@@ -1,0 +1,151 @@
+package repro
+
+// One benchmark per table and figure in the paper's evaluation (§5).
+// Analytic experiments (Figs. 3–5, Table 2, §5.4) regenerate the paper's
+// numbers through the calibrated hardware model; engine experiments
+// (Table 1, Figs. 6–8, the TTFT benches) run the real Go inference
+// engine, so their ns/op directly exhibit the paper's baseline-vs-cached
+// shape on this machine.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+// report runs a bench-package experiment once per iteration, discarding
+// the rendered output.
+func report(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep.Print(io.Discard)
+	}
+}
+
+// BenchmarkFig3GPULatency regenerates Figure 3 (GPU TTFT, 8 datasets × 3
+// GPUs × 3 configurations).
+func BenchmarkFig3GPULatency(b *testing.B) { report(b, "fig3") }
+
+// BenchmarkFig4CPULatency regenerates Figure 4 (CPU TTFT, 8 datasets × 2
+// CPUs).
+func BenchmarkFig4CPULatency(b *testing.B) { report(b, "fig4") }
+
+// BenchmarkFig5CacheAdvantage regenerates Figure 5 (quadratic baseline vs
+// linear memcpy across sequence lengths).
+func BenchmarkFig5CacheAdvantage(b *testing.B) { report(b, "fig5") }
+
+// BenchmarkTable2MemoryOverhead regenerates Table 2 (MB per cached token
+// for eight published models).
+func BenchmarkTable2MemoryOverhead(b *testing.B) { report(b, "table2") }
+
+// BenchmarkSec54ModelSize regenerates §5.4's model-size and end-to-end
+// analysis.
+func BenchmarkSec54ModelSize(b *testing.B) { report(b, "sec54") }
+
+// BenchmarkTable1Accuracy regenerates a reduced Table 1 grid (real
+// engine inference: 8 datasets × 4 architectures, cached vs baseline).
+func BenchmarkTable1Accuracy(b *testing.B) { report(b, "table1-quick") }
+
+// useCaseBench measures real engine serving for a §5.6 use case, cached
+// vs baseline: the cached/baseline ns/op ratio is the figure's claim.
+func useCaseBench(b *testing.B, schema, prompt string) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 555))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewCache(m)
+	if _, err := cache.RegisterSchema(schema); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.BaselineServe(prompt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Serve(prompt, core.ServeOpts{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig6CodeGen measures the Figure-6 code-generation scenario on
+// the real engine.
+func BenchmarkFig6CodeGen(b *testing.B) {
+	useCaseBench(b, bench.CodeGenSchema, bench.CodeGenPrompt)
+}
+
+// BenchmarkFig7Personalization measures the Figure-7 personalization
+// scenario on the real engine.
+func BenchmarkFig7Personalization(b *testing.B) {
+	useCaseBench(b, bench.PersonalizationSchema, bench.PersonalizationPrompt)
+}
+
+// BenchmarkFig8Parameterized measures the Figure-8 parameterized-prompt
+// scenario on the real engine.
+func BenchmarkFig8Parameterized(b *testing.B) {
+	useCaseBench(b, bench.TripPlanSchema, bench.TripPlanPrompt)
+}
+
+// BenchmarkEngineTTFT is the measured Fig-5 analogue on the Go engine:
+// per document length, baseline prefill vs cached serve.
+func BenchmarkEngineTTFT(b *testing.B) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 777))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewCache(m)
+	for _, n := range []int{128, 256, 512} {
+		name := fmt.Sprintf("bench-%d", n)
+		if _, err := cache.RegisterSchema(bench.EngineSchema(name, n, uint64(n))); err != nil {
+			b.Fatal(err)
+		}
+		prompt := fmt.Sprintf("<prompt schema=%q><doc/><user>summarize the document</user></prompt>", name)
+		b.Run(fmt.Sprintf("baseline-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cache.BaselineServe(prompt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cached-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cache.Serve(prompt, core.ServeOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchemaEncoding measures prompt-module encoding cost (§3.3),
+// the one-time price a schema registration pays.
+func BenchmarkSchemaEncoding(b *testing.B) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 888))
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := bench.EngineSchema("enc", 256, 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := core.NewCache(m)
+		if _, err := cache.RegisterSchema(schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command pcbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pcbench list                 # show available experiments
+//	pcbench all                  # run everything
+//	pcbench fig3 table2 ...      # run specific experiments
+//	pcbench -csv fig5            # emit CSV instead of a table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pcbench [-csv] <experiment>... | all | list\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e[0], e[1])
+		}
+		return
+	}
+	if args[0] == "all" {
+		args = nil
+		for _, e := range bench.Experiments() {
+			if e[0] == "table1-quick" || e[0] == "fig3-all" || e[0] == "fig4-all" {
+				continue
+			}
+			args = append(args, e[0])
+		}
+	}
+	failed := false
+	for _, id := range args {
+		rep, err := bench.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			failed = true
+			continue
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			rep.Print(os.Stdout)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,99 @@
+// Command pcencode precomputes a schema's prompt-module attention states
+// (§3.3) and persists them, so serving processes can restore instead of
+// re-encoding (core snapshots).
+//
+// Usage:
+//
+//	pcencode -schema cities.pml -out cities.pcss           # encode + save
+//	pcencode -schema cities.pml -in cities.pcss -verify    # restore + check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+func main() {
+	var (
+		schemaPath = flag.String("schema", "", "PML schema file (required)")
+		outPath    = flag.String("out", "", "write snapshot to this file")
+		inPath     = flag.String("in", "", "restore snapshot from this file")
+		verify     = flag.Bool("verify", false, "with -in: verify the snapshot serves")
+		arch       = flag.String("arch", "llama", "architecture: llama, llama-large, mpt, falcon, gpt2")
+		seed       = flag.Uint64("seed", 1, "weight seed")
+		vocab      = flag.Int("vocab", tokenizer.WordBase+8192, "vocabulary size")
+	)
+	flag.Parse()
+	if *schemaPath == "" || (*outPath == "") == (*inPath == "") {
+		fmt.Fprintln(os.Stderr, "usage: pcencode -schema s.pml (-out snap.pcss | -in snap.pcss [-verify])")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		log.Fatalf("pcencode: %v", err)
+	}
+	var cfg model.Config
+	switch *arch {
+	case "llama":
+		cfg = model.LlamaStyle(*vocab, *seed)
+	case "llama-large":
+		cfg = model.LlamaStyleLarge(*vocab, *seed)
+	case "mpt":
+		cfg = model.MPTStyle(*vocab, *seed)
+	case "falcon":
+		cfg = model.FalconStyle(*vocab, *seed)
+	case "gpt2":
+		cfg = model.GPT2Style(*vocab, *seed)
+	default:
+		log.Fatalf("pcencode: unknown architecture %q", *arch)
+	}
+	m, err := model.New(cfg)
+	if err != nil {
+		log.Fatalf("pcencode: %v", err)
+	}
+	cache := core.NewCache(m)
+
+	if *outPath != "" {
+		layout, err := cache.RegisterSchema(string(src))
+		if err != nil {
+			log.Fatalf("pcencode: %v", err)
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatalf("pcencode: %v", err)
+		}
+		defer f.Close()
+		if err := cache.SaveSchemaStates(layout.Schema.Name, f); err != nil {
+			log.Fatalf("pcencode: %v", err)
+		}
+		st, _ := f.Stat()
+		fmt.Printf("encoded schema %q: %d modules, %d position IDs, snapshot %d bytes -> %s\n",
+			layout.Schema.Name, len(layout.Order), layout.TotalLen, st.Size(), *outPath)
+		return
+	}
+
+	f, err := os.Open(*inPath)
+	if err != nil {
+		log.Fatalf("pcencode: %v", err)
+	}
+	defer f.Close()
+	layout, err := cache.RegisterSchemaFromSnapshot(string(src), f)
+	if err != nil {
+		log.Fatalf("pcencode: restore failed: %v", err)
+	}
+	fmt.Printf("restored schema %q: %d modules without re-encoding\n", layout.Schema.Name, len(layout.Order))
+	if *verify {
+		stats := cache.Stats()
+		if stats.ModulesEncoded > len(layout.Schema.Scaffolds) {
+			log.Fatalf("pcencode: verify failed: %d modules were re-encoded", stats.ModulesEncoded)
+		}
+		fmt.Printf("verify ok: %d modules restored, %d encoded (scaffolds only)\n",
+			stats.ModulesRestored, stats.ModulesEncoded)
+	}
+}

@@ -1,0 +1,59 @@
+// Command pcserve runs a Prompt Cache HTTP inference server.
+//
+// Endpoints:
+//
+//	POST /schemas      {"pml": "<schema ...>"}          register a schema
+//	GET  /schemas                                       list schemas
+//	POST /v1/complete  {"prompt": "<prompt ...>", ...}  cached completion
+//	GET  /stats                                         cache statistics
+//	GET  /healthz                                       liveness
+//
+// Example:
+//
+//	pcserve -addr :8080 -arch llama &
+//	curl -d '{"pml":"<schema name=\"s\"><module name=\"m\">hi</module></schema>"}' localhost:8080/schemas
+//	curl -d '{"prompt":"<prompt schema=\"s\"><m/>go</prompt>","max_tokens":16}' localhost:8080/v1/complete
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/server"
+	"repro/internal/tokenizer"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	arch := flag.String("arch", "llama", "architecture family: llama, llama-large, mpt, falcon, gpt2")
+	seed := flag.Uint64("seed", 1, "weight seed")
+	vocab := flag.Int("vocab", tokenizer.WordBase+8192, "vocabulary size")
+	flag.Parse()
+
+	var cfg model.Config
+	switch *arch {
+	case "llama":
+		cfg = model.LlamaStyle(*vocab, *seed)
+	case "llama-large":
+		cfg = model.LlamaStyleLarge(*vocab, *seed)
+	case "mpt":
+		cfg = model.MPTStyle(*vocab, *seed)
+	case "falcon":
+		cfg = model.FalconStyle(*vocab, *seed)
+	case "gpt2":
+		cfg = model.GPT2Style(*vocab, *seed)
+	default:
+		log.Fatalf("pcserve: unknown architecture %q", *arch)
+	}
+	m, err := model.New(cfg)
+	if err != nil {
+		log.Fatalf("pcserve: %v", err)
+	}
+	srv := server.New(core.NewCache(m))
+	fmt.Printf("pcserve: %s model on %s\n", cfg.Name, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

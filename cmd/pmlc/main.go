@@ -1,0 +1,96 @@
+// Command pmlc validates PML documents and compiles promptlang programs
+// (§3.2.4) into PML.
+//
+// Usage:
+//
+//	pmlc check schema.pml        # parse + validate a PML schema
+//	pmlc check-prompt p.pml      # parse + validate a PML prompt
+//	pmlc compile program.plp     # compile promptlang -> PML on stdout
+//	pmlc fmt schema.pml          # canonical re-formatting on stdout
+//	pmlc layout schema.pml       # print the position-ID layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pml"
+	"repro/internal/promptlang"
+	"repro/internal/tokenizer"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pmlc <check|check-prompt|compile|fmt|layout> <file>")
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd, path := flag.Arg(0), flag.Arg(1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	src := string(data)
+	switch cmd {
+	case "check":
+		s, err := pml.ParseSchema(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schema %q ok: %d top-level nodes, %d scaffolds\n", s.Name, len(s.Nodes), len(s.Scaffolds))
+	case "check-prompt":
+		p, err := pml.ParsePrompt(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("prompt ok: derives from schema %q, %d items\n", p.SchemaName, len(p.Items))
+	case "compile":
+		out, err := promptlang.CompileToPML(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case "fmt":
+		s, err := pml.ParseSchema(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(pml.Serialize(s))
+	case "layout":
+		s, err := pml.ParseSchema(src)
+		if err != nil {
+			fatal(err)
+		}
+		tk := tokenizer.New(tokenizer.WordBase + 65536)
+		ly, err := pml.Compile(s, tk, pml.PlainTemplate())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schema %q: %d position IDs total\n", s.Name, ly.TotalLen)
+		for _, name := range ly.Order {
+			m := ly.Modules[name]
+			kind := "module"
+			if m.Anonymous {
+				kind = "anon"
+			}
+			union := ""
+			if m.UnionID >= 0 {
+				union = fmt.Sprintf(" union=%d", m.UnionID)
+			}
+			fmt.Printf("  %-24s %-6s pos=[%d,%d) own=%d params=%d%s\n",
+				name, kind, m.Start, m.Start+m.Len, m.OwnTokens(), len(m.Params), union)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pmlc: %v\n", err)
+	os.Exit(1)
+}

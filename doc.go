@@ -1,0 +1,21 @@
+// Package repro is a from-scratch Go reproduction of "Prompt Cache:
+// Modular Attention Reuse for Low-Latency Inference" (Gim et al., MLSys
+// 2024).
+//
+// The library implements the paper's full stack: a transformer inference
+// engine with explicit position IDs (internal/model, internal/tensor,
+// internal/kvcache), the Prompt Markup Language and its position-layout
+// compiler (internal/pml), a prompt-program front end (internal/
+// promptlang), the prompt cache itself — schema encoding, scaffolding,
+// cached inference, LRU eviction (internal/core) — simulated GPU/CPU
+// memory tiers (internal/memory), calibrated hardware latency models
+// (internal/hw), synthetic LongBench workloads (internal/longbench),
+// evaluation metrics (internal/metrics), an HTTP serving layer
+// (internal/server) and the experiment harness that regenerates every
+// table and figure in the paper (internal/bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks in bench_test.go regenerate each table and
+// figure via `go test -bench=.`.
+package repro

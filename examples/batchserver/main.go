@@ -1,0 +1,56 @@
+// Batchserver demonstrates §3.4's batch optimization on the real engine:
+// a burst of prompts importing the same documents is served as one batch,
+// with each distinct module's attention states stored once in a shared
+// paged pool instead of per prompt.
+//
+//	go run ./examples/batchserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/longbench"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+func main() {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+4096, 66))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := core.NewCache(m)
+
+	// A multi-doc QA workload whose samples draw from a shared pool.
+	d, _ := longbench.ByName("HotpotQA")
+	w := longbench.Generate(d, longbench.GenConfig{
+		Seed: 9, PoolDocs: 3, DocsPerSample: 2, NumSamples: 8, DocSentences: 8,
+	})
+	if _, err := cache.RegisterSchema(w.Schema); err != nil {
+		log.Fatal(err)
+	}
+	prompts := make([]string, len(w.Samples))
+	for i, s := range w.Samples {
+		prompts[i] = s.Prompt
+	}
+
+	results, stats, err := cache.ServeBatch(prompts, core.ServeOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gens, err := cache.GenerateBatch(results, model.GenerateOpts{MaxTokens: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range results {
+		fmt.Printf("prompt %d: docs %v, %3d reused + %2d new -> %s\n",
+			i, w.Samples[i].Docs, res.CachedTokens, res.NewTokens,
+			cache.Tokenizer().Decode(gens[i]))
+	}
+	fmt.Printf("\nbatch of %d: %d module references shared\n", stats.Prompts, stats.SharedModules)
+	fmt.Printf("logical KV bytes %8d (if every prompt duplicated modules)\n", stats.LogicalBytes)
+	fmt.Printf("physical KV bytes %7d (shared paged pool)\n", stats.PhysicalBytes)
+	fmt.Printf("memory saved: %.0f%% — the §3.4 batch effect\n", 100*stats.Savings())
+}

@@ -1,0 +1,55 @@
+// Personalization reproduces the Figure-7 scenario: learner traits are
+// organized as six unions of five mutually exclusive modules each; every
+// profile is one pick per union, and all 30 trait modules are cached once.
+//
+//	go run ./examples/personalization
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+func main() {
+	m, err := model.New(model.MPTStyle(tokenizer.WordBase+4096, 9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := core.NewCache(m)
+	if _, err := cache.RegisterSchema(bench.PersonalizationSchema); err != nil {
+		log.Fatal(err)
+	}
+
+	profiles := []struct {
+		label  string
+		traits string
+	}{
+		{"middle-school beginner", "<middle-school/><beginner/><studied-a-year-before/><auditory/><essay/><high-intrinsic-motivation/>"},
+		{"graduate expert", "<graduate/><expert/><reviewing-for-exam/><reading-writing/><project/><career-driven/>"},
+		{"undergrad visual learner", "<undergraduate/><intermediate/><self-taught-basics/><visual/><multiple-choice/><curiosity-driven/>"},
+	}
+	for _, p := range profiles {
+		prompt := fmt.Sprintf(`<prompt schema="learner-profile">%s<user>Concisely describe the learner's profile.</user></prompt>`, p.traits)
+		t0 := time.Now()
+		res, err := cache.Serve(prompt, core.ServeOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ttft := time.Since(t0)
+		text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 18})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s reused %3d tokens, TTFT %v\n  -> %s\n", p.label, res.CachedTokens, ttft, text)
+	}
+
+	// Union exclusivity is enforced: two grades cannot coexist.
+	_, err = cache.Serve(`<prompt schema="learner-profile"><middle-school/><high-school/><user>x</user></prompt>`, core.ServeOpts{})
+	fmt.Printf("\nimporting two grade traits fails as expected: %v\n", err)
+}

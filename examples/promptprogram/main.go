@@ -1,0 +1,80 @@
+// Promptprogram demonstrates §3.2.4: writing a Python-like prompt program
+// instead of PML, compiling it, and serving prompts against the compiled
+// schema — including a multi-turn session continuation.
+//
+//	go run ./examples/promptprogram
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/promptlang"
+	"repro/internal/tokenizer"
+)
+
+const program = `
+# A support-desk schema as a prompt program.
+schema helpdesk:
+  system "You are a patient support agent."
+  if warranty:
+    emit "The warranty covers parts and labor for two years from purchase."
+  if shipping:
+    emit "Orders ship within three business days with tracking provided."
+  def ticket(product: 3, issue: 6):
+    emit "The customer owns a"
+    arg product
+    emit "and reports the following issue:"
+    arg issue
+  choose:
+    when tier_free:
+      emit "Free tier customers receive community support responses."
+    when tier_pro:
+      emit "Pro tier customers receive priority responses within one day."
+`
+
+func main() {
+	pmlSrc, err := promptlang.CompileToPML(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiled PML:")
+	fmt.Println(pmlSrc)
+
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+4096, 77))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := core.NewCache(m)
+	if _, err := cache.RegisterSchema(pmlSrc); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cache.Serve(`<prompt schema="helpdesk">
+	  <warranty/>
+	  <ticket product="coffee grinder" issue="burrs jam every morning"/>
+	  <tier_pro/>
+	  <user>Draft a first reply.</user>
+	</prompt>`, core.ServeOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("turn 1 (%d cached + %d new tokens): %s\n", res.CachedTokens, res.NewTokens, text)
+
+	// Multi-turn: continue the same session, reusing its whole KV cache.
+	res2, err := cache.Continue(res, "The customer replies that cleaning did not help.")
+	if err != nil {
+		log.Fatal(err)
+	}
+	text2, err := cache.GenerateText(res2, model.GenerateOpts{MaxTokens: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("turn 2 (session cache %d tokens): %s\n", res2.KV.Len(), text2)
+}

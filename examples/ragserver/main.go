@@ -1,0 +1,113 @@
+// Ragserver demonstrates the paper's §6 outlook: Prompt Cache as the
+// storage layer of a retrieval-augmented-generation service. A document
+// pool is registered once as a schema; each query "retrieves" documents
+// (keyword match here), imports only those modules, and completes with
+// cached attention states over an in-process HTTP server.
+//
+//	go run ./examples/ragserver
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/server"
+	"repro/internal/tokenizer"
+)
+
+// corpus is the retrievable document pool.
+var corpus = map[string]string{
+	"doc-harbor":  "The harbor hosts the spring festival. The keeper of the harbor is garnet. Ships arrive with cedar and amber cargo.",
+	"doc-archive": "The archive stores council records. The founder of the archive is meridian. Visitors consult maps of the old railway.",
+	"doc-garden":  "The garden grows juniper and heather. The patron of the garden is ochre. The season of bloom is early spring.",
+	"doc-bridge":  "The bridge connects the market to the castle. The age of the bridge is basalt era. Lanterns line it during the festival.",
+}
+
+func buildSchema() string {
+	var sb strings.Builder
+	sb.WriteString("<schema name=\"rag\">\n  <system>Answer strictly from the retrieved documents.</system>\n")
+	for name, text := range corpus {
+		fmt.Fprintf(&sb, "  <module name=%q>%s</module>\n", name, text)
+	}
+	sb.WriteString("</schema>\n")
+	return sb.String()
+}
+
+// retrieve returns the modules whose text shares words with the query —
+// a stand-in for the paper's "information retrieval system serving as a
+// database of prompt modules".
+func retrieve(query string) []string {
+	qwords := map[string]bool{}
+	for _, w := range strings.Fields(strings.ToLower(query)) {
+		qwords[w] = true
+	}
+	var hits []string
+	for name, text := range corpus {
+		for _, w := range strings.Fields(strings.ToLower(text)) {
+			if qwords[strings.Trim(w, ".,")] {
+				hits = append(hits, name)
+				break
+			}
+		}
+	}
+	if len(hits) == 0 {
+		hits = []string{"doc-archive"}
+	}
+	if len(hits) > 2 {
+		hits = hits[:2]
+	}
+	return hits
+}
+
+func main() {
+	m, err := model.New(model.FalconStyle(tokenizer.WordBase+4096, 33))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(core.NewCache(m)))
+	defer ts.Close()
+	fmt.Printf("rag server on %s\n", ts.URL)
+
+	post := func(path string, body any) map[string]any {
+		b, _ := json.Marshal(body)
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		if e, ok := out["error"]; ok {
+			log.Fatalf("server error: %v", e)
+		}
+		return out
+	}
+
+	reg := post("/schemas", server.SchemaRequest{PML: buildSchema()})
+	fmt.Printf("registered schema %v with %v modules (encoded once)\n", reg["name"], reg["modules"])
+
+	queries := []string{
+		"who is the keeper of the harbor",
+		"what does the garden grow in spring",
+		"when do lanterns line the bridge",
+	}
+	for _, q := range queries {
+		docs := retrieve(q)
+		var imports strings.Builder
+		for _, d := range docs {
+			fmt.Fprintf(&imports, "<%s/>", d)
+		}
+		prompt := fmt.Sprintf("<prompt schema=\"rag\">%s<user>%s</user></prompt>", imports.String(), q)
+		out := post("/v1/complete", server.CompleteRequest{Prompt: prompt, MaxTokens: 14})
+		fmt.Printf("q: %-38s retrieved %v, reused %v tokens\n  -> %v\n",
+			q, docs, out["cached_tokens"], out["text"])
+	}
+}

@@ -1,0 +1,64 @@
+// Tripplanner reproduces the Figure-8 scenario: a parameterized
+// travel-plan module (trip duration) with nested destination unions,
+// reconfigured at runtime while reusing cached states.
+//
+//	go run ./examples/tripplanner
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+func main() {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+4096, 21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cache := core.NewCache(m)
+	if _, err := cache.RegisterSchema(bench.TripPlanSchema); err != nil {
+		log.Fatal(err)
+	}
+
+	trips := []struct {
+		label, prompt string
+	}{
+		{"a week in Tokyo", bench.TripPlanPrompt},
+		{"three days in Paris", `
+<prompt schema="travel-planner">
+  <travel-plan for="three days"><overseas><paris/></overseas></travel-plan>
+  <user>Create a travel plan</user>
+</prompt>`},
+		{"a weekend in the mountains", `
+<prompt schema="travel-planner">
+  <travel-plan for="a weekend"><domestic><mountains/></domestic></travel-plan>
+  <user>Create a travel plan</user>
+</prompt>`},
+	}
+	for _, tr := range trips {
+		t0 := time.Now()
+		res, err := cache.Serve(tr.prompt, core.ServeOpts{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ttft := time.Since(t0)
+		text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 18})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s reused %3d + computed %2d tokens, TTFT %v\n  -> %s\n",
+			tr.label, res.CachedTokens, res.NewTokens, ttft, text)
+	}
+
+	// Oversized arguments are rejected against the parameter's len.
+	_, err = cache.Serve(`<prompt schema="travel-planner">
+	  <travel-plan for="an extremely long duration that cannot possibly fit the parameter buffer"/>
+	  <user>plan</user></prompt>`, core.ServeOpts{})
+	fmt.Printf("\noversized argument fails as expected: %v\n", err)
+}

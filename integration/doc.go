@@ -1,0 +1,6 @@
+// Package integration hosts cross-module end-to-end tests: prompt
+// programs compiled to PML and served through the cache, LongBench
+// workloads scored through the metrics stack, and the HTTP server driven
+// over quantized, capacity-limited caches. These tests exercise the same
+// paths a downstream adopter of the library would compose.
+package integration

@@ -1,0 +1,274 @@
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evict"
+	"repro/internal/longbench"
+	"repro/internal/memory"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/pml"
+	"repro/internal/promptlang"
+	"repro/internal/server"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+)
+
+const vocab = tokenizer.WordBase + 2048
+
+func newModel(t *testing.T, seed uint64) *model.Model {
+	t.Helper()
+	m, err := model.New(model.LlamaStyle(vocab, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPromptProgramToGeneration runs the full §3.2.4 path: a Python-like
+// prompt program compiles to PML, registers, serves with parameters and
+// unions, and generates.
+func TestPromptProgramToGeneration(t *testing.T) {
+	program := `
+schema kiosk:
+  system "You are a museum kiosk."
+  def visit_plan(hours: 3):
+    emit "Plan a visit lasting"
+    arg hours
+    emit "with short breaks."
+  choose:
+    when paintings:
+      emit "The paintings wing shows portraits and landscapes."
+    when fossils:
+      emit "The fossils wing shows dinosaurs and ammonites."
+`
+	pmlSrc, err := promptlang.CompileToPML(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := core.NewCache(newModel(t, 1))
+	layout, err := cache.RegisterSchema(pmlSrc)
+	if err != nil {
+		t.Fatalf("compiled schema rejected: %v\n%s", err, pmlSrc)
+	}
+	if layout.Schema.Name != "kiosk" {
+		t.Fatalf("schema name %q", layout.Schema.Name)
+	}
+	res, err := cache.Serve(`<prompt schema="kiosk">
+	  <visit_plan hours="two hours"/>
+	  <fossils/>
+	  <user>What should I see first?</user>
+	</prompt>`, core.ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachedTokens == 0 || res.NewTokens == 0 {
+		t.Fatalf("reuse accounting: %+v", res)
+	}
+	text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(text) == "" {
+		t.Fatal("empty generation")
+	}
+	// Union exclusivity holds for compiled schemas too.
+	if _, err := cache.Serve(`<prompt schema="kiosk"><paintings/><fossils/>x</prompt>`, core.ServeOpts{}); err == nil {
+		t.Fatal("union clash should fail")
+	}
+}
+
+// TestLongBenchPipeline: workload generation → schema registration →
+// paired cached/baseline inference → metric scoring, for one dataset of
+// each category.
+func TestLongBenchPipeline(t *testing.T) {
+	cache := core.NewCache(newModel(t, 2))
+	picks := []string{"NarrativeQA", "GovReport", "TriviaQA", "Passage Retrieval", "LCC", "HotpotQA"}
+	for _, name := range picks {
+		d, ok := longbench.ByName(name)
+		if !ok {
+			t.Fatalf("dataset %q missing", name)
+		}
+		w := longbench.Generate(d, longbench.GenConfig{Seed: 3, NumSamples: 2, PoolDocs: 3, DocSentences: 5})
+		if _, err := cache.RegisterSchema(w.Schema); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, s := range w.Samples {
+			cres, err := cache.Serve(s.Prompt, core.ServeOpts{})
+			if err != nil {
+				t.Fatalf("%s serve: %v", name, err)
+			}
+			bres, err := cache.BaselineServe(s.Prompt)
+			if err != nil {
+				t.Fatalf("%s baseline: %v", name, err)
+			}
+			if cres.CachedTokens == 0 {
+				t.Fatalf("%s: nothing reused", name)
+			}
+			if cos := tensor.CosineSimilarity(cres.Logits, bres.Logits); cos < 0.3 {
+				t.Fatalf("%s: cached/baseline cosine %v implausibly low", name, cos)
+			}
+			gen, err := cache.GenerateText(cres, model.GenerateOpts{MaxTokens: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Metrics accept arbitrary generations.
+			_ = metrics.F1(gen, s.Reference)
+			_ = metrics.RougeL(gen, s.Reference)
+		}
+	}
+}
+
+// TestServerWithQuantizedEvictingCache drives the HTTP API over a cache
+// configured with int8 storage, a tight HBM pool and a GDSF policy — the
+// full §6 feature set composed.
+func TestServerWithQuantizedEvictingCache(t *testing.T) {
+	m := newModel(t, 4)
+	// Probe footprint with an unconstrained quantized cache first.
+	probe := core.NewCache(m, core.WithInt8Modules())
+	w := longbench.Generate(mustDataset(t, "MultiNews"), longbench.GenConfig{Seed: 9, PoolDocs: 4, DocSentences: 6})
+	if _, err := probe.RegisterSchema(w.Schema); err != nil {
+		t.Fatal(err)
+	}
+	tight := core.NewCache(m,
+		core.WithInt8Modules(),
+		core.WithEvictionPolicy(evict.NewGDSF()),
+		core.WithPool(memory.NewPool(memory.Device{Name: "hbm", Kind: memory.HBM, Capacity: probe.PoolUsed()/2 + 1})),
+	)
+	srv := httptest.NewServer(server.New(tight))
+	defer srv.Close()
+
+	post := func(path string, body any) map[string]any {
+		t.Helper()
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if e, ok := out["error"]; ok {
+			t.Fatalf("server error: %v", e)
+		}
+		return out
+	}
+	post("/schemas", server.SchemaRequest{PML: w.Schema})
+	for _, s := range w.Samples[:4] {
+		out := post("/v1/complete", server.CompleteRequest{Prompt: s.Prompt, MaxTokens: 6})
+		if out["cached_tokens"].(float64) <= 0 {
+			t.Fatalf("no reuse through server: %v", out)
+		}
+	}
+	stats := post("/stats", nil)
+	if stats["modules_evicted"].(float64) == 0 {
+		t.Fatalf("tight pool should evict: %v", stats)
+	}
+	if stats["modules_reloaded"].(float64) == 0 {
+		t.Fatalf("reuse after eviction should reload: %v", stats)
+	}
+}
+
+func mustDataset(t *testing.T, name string) longbench.Dataset {
+	t.Helper()
+	d, ok := longbench.ByName(name)
+	if !ok {
+		t.Fatalf("dataset %q missing", name)
+	}
+	return d
+}
+
+// TestBatchEndpointSharing: HTTP batch completion over a LongBench
+// workload where samples share pool documents.
+func TestBatchEndpointSharing(t *testing.T) {
+	cache := core.NewCache(newModel(t, 5))
+	srv := httptest.NewServer(server.New(cache))
+	defer srv.Close()
+
+	d := mustDataset(t, "HotpotQA")
+	w := longbench.Generate(d, longbench.GenConfig{Seed: 11, PoolDocs: 3, DocsPerSample: 2, NumSamples: 6, DocSentences: 5})
+	body, _ := json.Marshal(server.SchemaRequest{PML: w.Schema})
+	if _, err := srv.Client().Post(srv.URL+"/schemas", "application/json", bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+	var prompts []string
+	for _, s := range w.Samples {
+		prompts = append(prompts, s.Prompt)
+	}
+	breq, _ := json.Marshal(server.BatchRequest{Prompts: prompts, MaxTokens: 4})
+	resp, err := srv.Client().Post(srv.URL+"/v1/complete_batch", "application/json", bytes.NewReader(breq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out server.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(prompts) {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	// 6 samples drawing 2 docs each from a pool of 3 must share.
+	if out.SharedModules == 0 || out.SavingsPct <= 0 {
+		t.Fatalf("no sharing over shared pool: %+v", out)
+	}
+}
+
+// TestCrossSchemaIsolation: same module name in two schemas must resolve
+// independently.
+func TestCrossSchemaIsolation(t *testing.T) {
+	cache := core.NewCache(newModel(t, 6))
+	for i, body := range []string{"first corpus of words here", "totally different other corpus"} {
+		src := fmt.Sprintf(`<schema name="s%d"><module name="doc">%s</module></schema>`, i, body)
+		if _, err := cache.RegisterSchema(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := cache.Serve(`<prompt schema="s0"><doc/>question</prompt>`, core.ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cache.Serve(`<prompt schema="s1"><doc/>question</prompt>`, core.ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.MaxAbsDiff(a.Logits, b.Logits) < 1e-6 {
+		t.Fatal("different schemas' docs produced identical logits — cross-schema leakage")
+	}
+}
+
+// TestSerializeParseFixpointOnGeneratedSchemas: every LongBench-generated
+// schema survives a serialize→parse→serialize round trip unchanged.
+func TestSerializeParseFixpointOnGeneratedSchemas(t *testing.T) {
+	for _, d := range longbench.Figure8()[:4] {
+		w := longbench.Generate(d, longbench.GenConfig{Seed: 13, PoolDocs: 2, DocSentences: 4})
+		s1, err := pml.ParseSchema(w.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out1 := pml.Serialize(s1)
+		s2, err := pml.ParseSchema(out1)
+		if err != nil {
+			t.Fatalf("%s: serialized schema does not parse: %v", d.Name, err)
+		}
+		if out2 := pml.Serialize(s2); out2 != out1 {
+			t.Fatalf("%s: serialize/parse not a fixpoint", d.Name)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import "fmt"
+
+// Run executes an experiment by id. Known ids: fig3, fig3-all, fig4,
+// fig4-all, fig5, fig6, fig7, fig8, table1, table1-quick, table2, sec54,
+// ablation-scaffold, ablation-paged, ablation-concat.
+func Run(id string) (*Report, error) {
+	switch id {
+	case "fig3":
+		return Fig3(false), nil
+	case "fig3-all":
+		return Fig3(true), nil
+	case "fig4":
+		return Fig4(false), nil
+	case "fig4-all":
+		return Fig4(true), nil
+	case "fig5":
+		return Fig5(), nil
+	case "fig6":
+		return Fig6()
+	case "fig7":
+		return Fig7()
+	case "fig8":
+		return Fig8()
+	case "table1":
+		return Table1(AccuracyConfig{Seed: 7})
+	case "table1-quick":
+		return Table1(AccuracyConfig{Seed: 7, Samples: 2, DocSentences: 5, MaxNewTokens: 10})
+	case "table1-all21":
+		return Table1Appendix(AccuracyConfig{Seed: 7, Samples: 2, DocSentences: 6, MaxNewTokens: 12})
+	case "table2":
+		return Table2(), nil
+	case "sec54":
+		return Sec54(), nil
+	case "ablation-scaffold":
+		return AblationScaffold()
+	case "ablation-paged":
+		return AblationPagedSharing(), nil
+	case "ablation-concat":
+		return AblationConcat(), nil
+	case "ablation-masking":
+		return AblationMasking()
+	case "engine":
+		return EngineLatency()
+	case "engine-serving":
+		return EngineServing()
+	case "serving":
+		return Serving()
+	case "quant":
+		return Quant()
+	case "throughput":
+		return Throughput(), nil
+	case "breakdown":
+		return Breakdown(), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown experiment %q (see `pcbench list`)", id)
+	}
+}
+
+// Experiments lists all runnable experiment ids with one-line summaries.
+func Experiments() [][2]string {
+	return [][2]string{
+		{"fig3", "GPU TTFT across 8 LongBench datasets × 3 GPUs (Figure 3)"},
+		{"fig3-all", "Figure 3 over all 21 LongBench datasets (appendix)"},
+		{"fig4", "CPU TTFT across 8 LongBench datasets × 2 CPUs (Figure 4)"},
+		{"fig4-all", "Figure 4 over all 21 LongBench datasets (appendix)"},
+		{"fig5", "Cache advantage vs sequence length (Figure 5)"},
+		{"fig6", "Code generation use case (Figure 6)"},
+		{"fig7", "Personalization use case (Figure 7)"},
+		{"fig8", "Parameterized prompts use case (Figure 8)"},
+		{"table1", "Accuracy baseline-vs-cached over 8 datasets × 4 models (Table 1)"},
+		{"table1-quick", "Table 1 at reduced sample count"},
+		{"table1-all21", "Appendix accuracy over all 21 datasets, one model"},
+		{"table2", "Memory overhead per cached token (Table 2)"},
+		{"sec54", "Model-size and end-to-end latency analysis (§5.4)"},
+		{"ablation-scaffold", "Masking effect vs scaffolding (§3.3)"},
+		{"ablation-paged", "Batch memory with paged module sharing (§3.4)"},
+		{"ablation-concat", "Buffered vs naive KV concatenation (§4.2)"},
+		{"ablation-masking", "Masking severity vs module granularity (§3.3)"},
+		{"engine", "Measured wall-clock TTFT on the Go engine (Fig. 5 shape)"},
+		{"engine-serving", "Measured Zipf trace replay with tiered cache on the engine"},
+		{"serving", "Two-tier serving simulation with replacement policies (§6)"},
+		{"quant", "int8 module-state compression vs fp32 (§6)"},
+		{"throughput", "Batch throughput vs module sharing (§3.4/§5.4)"},
+		{"breakdown", "Cached TTFT cost decomposition (model inspection)"},
+	}
+}

@@ -1,0 +1,85 @@
+// Package bench is the experiment harness: one entry point per table and
+// figure in the paper's evaluation (§5), each returning a Report that
+// prints the same rows/series the paper shows. Latency experiments at
+// paper scale (Figs. 3–5, §5.4, Figs. 6–8 timings) use the calibrated
+// analytic hardware model in internal/hw; output-quality experiments
+// (Table 1, Figs. 6–8 outputs) run the real Go engine end to end.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one experiment's printable result.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) && len(c) < widths[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	printRow(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the report as comma-separated values (quotes escaped
+// minimally; our cells contain no commas or quotes).
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Header, ","))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func ms(d float64) string {
+	return fmt.Sprintf("%.1f", d*1e3)
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func f1x(v float64) string { return fmt.Sprintf("%.1fx", v) }

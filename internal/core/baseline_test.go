@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestBaselineUnsuppliedParamMatchesEncoding: the baseline path keeps
+// <unk> buffers for unsupplied parameters, exactly as encoding does, so
+// cached and baseline token/position multisets stay comparable.
+func TestBaselineUnsuppliedParamMatchesEncoding(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	prompt := `<prompt schema="travel"><trip-plan/><miami/>Go.</prompt>`
+	base, err := c.BaselineServe(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := c.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NewTokens != cached.KV.Len() {
+		t.Fatalf("baseline %d tokens vs cached cache %d", base.NewTokens, cached.KV.Len())
+	}
+	// Same position multiset.
+	count := map[int]int{}
+	for _, p := range base.KV.Pos {
+		count[p]++
+	}
+	for _, p := range cached.KV.Pos {
+		count[p]--
+	}
+	for pos, n := range count {
+		if n != 0 {
+			t.Fatalf("position %d multiplicity differs by %d", pos, n)
+		}
+	}
+}
+
+// TestBaselineErrorsMirrorServe: validation failures are identical
+// between the two paths.
+func TestBaselineErrorsMirrorServe(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	for _, p := range []string{
+		`<prompt schema="ghost">x</prompt>`,
+		`<prompt schema="travel"><atlantis/>x</prompt>`,
+		`<prompt schema="travel"><trip-plan speed="x"/>ok</prompt>`,
+		`<prompt schema="travel"><trip-plan duration="one two three four five six seven"/>ok</prompt>`,
+	} {
+		if _, err := c.BaselineServe(p); err == nil {
+			t.Fatalf("baseline accepted invalid prompt %q", p)
+		}
+		if _, err := c.Serve(p, ServeOpts{}); err == nil {
+			t.Fatalf("serve accepted invalid prompt %q", p)
+		}
+	}
+}
+
+// TestBaselineDeterministic: repeat baselines agree exactly.
+func TestBaselineDeterministic(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	prompt := `<prompt schema="travel"><tokyo/>What to eat?</prompt>`
+	a, err := c.BaselineServe(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.BaselineServe(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a.Logits, b.Logits); d != 0 {
+		t.Fatalf("baseline nondeterministic by %v", d)
+	}
+}
+
+// TestBaselineOnlyAnonymous: a prompt with no imports still includes
+// anonymous modules plus its text.
+func TestBaselineOnlyAnonymous(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	res, err := c.BaselineServe(`<prompt schema="travel">Just a question with no imports.</prompt>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modules) != 1 || res.Modules[0] != "_anon0" {
+		t.Fatalf("modules = %v", res.Modules)
+	}
+	cached, err := c.Serve(`<prompt schema="travel">Just a question with no imports.</prompt>`, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(res.Logits, cached.Logits); d > 1e-4 {
+		// Single (anonymous) module ⇒ exact equivalence again.
+		t.Fatalf("anon-only prompt differs by %v", d)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/pml"
+)
+
+// BatchStats reports the memory effect of serving a batch with shared
+// prompt modules (§3.4: "Prompt Cache can reduce the memory footprint ...
+// when combined with methods like paged attention, allowing for a larger
+// working batch size").
+type BatchStats struct {
+	Prompts int
+	// LogicalBytes is what the batch's module states would occupy if
+	// every prompt duplicated them; PhysicalBytes is the actual shared
+	// footprint (each distinct module stored once).
+	LogicalBytes, PhysicalBytes int64
+	// SharedModules counts module references served from an earlier
+	// prompt's blocks.
+	SharedModules int
+}
+
+// Savings returns 1 - physical/logical (0 when nothing shared).
+func (b BatchStats) Savings() float64 {
+	if b.LogicalBytes == 0 {
+		return 0
+	}
+	return 1 - float64(b.PhysicalBytes)/float64(b.LogicalBytes)
+}
+
+// ServeBatch serves a batch of prompts derived from registered schemas,
+// sharing each distinct module's attention states across the batch
+// through a reference-counted paged pool instead of duplicating them per
+// prompt. Results are positionally parallel to prompts.
+func (c *Cache) ServeBatch(prompts []string, opts ServeOpts) ([]*ServeResult, BatchStats, error) {
+	if len(prompts) == 0 {
+		return nil, BatchStats{}, fmt.Errorf("core: empty batch")
+	}
+	pool := kvcache.NewPagedPool(16, int64(c.m.Cfg.KVDim())*int64(c.m.Cfg.NLayers)*2*4)
+	blocks := map[string][]kvcache.BlockID{} // "schema/module" -> stored blocks
+
+	var stats BatchStats
+	stats.Prompts = len(prompts)
+	results := make([]*ServeResult, len(prompts))
+	for i, src := range prompts {
+		prompt, err := pml.ParsePrompt(src)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: batch[%d]: %w", i, err)
+		}
+		res, err := c.serveShared(prompt, opts, pool, blocks, &stats)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: batch[%d]: %w", i, err)
+		}
+		results[i] = res
+	}
+	stats.PhysicalBytes = pool.PhysicalBytes()
+	stats.LogicalBytes = pool.LogicalBytes()
+	return results, stats, nil
+}
+
+// serveShared is Serve with module states materialized through the shared
+// paged pool. Parameter-supplied slots still require per-prompt
+// filtering, so sharing happens at block granularity and exclusion during
+// gather.
+func (c *Cache) serveShared(prompt *pml.Prompt, opts ServeOpts, pool *kvcache.PagedPool, blocks map[string][]kvcache.BlockID, stats *BatchStats) (*ServeResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.schemas[prompt.SchemaName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, prompt.SchemaName)
+	}
+	bindings, err := c.resolveImports(e, prompt)
+	if err != nil {
+		return nil, err
+	}
+	included := c.includedModules(e, bindings)
+	seenUnion := map[int]string{}
+	for _, name := range included {
+		ml := e.layout.Modules[name]
+		if ml.UnionID >= 0 {
+			if prev, clash := seenUnion[ml.UnionID]; clash {
+				return nil, fmt.Errorf("core: modules %q and %q are exclusive union members", prev, name)
+			}
+			seenUnion[ml.UnionID] = name
+		}
+	}
+	excluded := map[int]bool{}
+	for _, b := range bindings {
+		ml := e.layout.Modules[b.name]
+		for pname := range b.args {
+			for _, p := range ml.ParamSegment(pname).Pos {
+				excluded[p] = true
+			}
+		}
+	}
+
+	res := &ServeResult{Modules: included}
+	kv := c.m.NewCache(e.layout.TotalLen + 64)
+	for _, name := range included {
+		key := prompt.SchemaName + "/" + name
+		ids, have := blocks[key]
+		if have {
+			if err := pool.Retain(ids); err != nil {
+				return nil, err
+			}
+			stats.SharedModules++
+		} else {
+			em, err := c.getModuleLocked(prompt.SchemaName, e, name)
+			if err != nil {
+				return nil, err
+			}
+			st := em.States()
+			if st.Len() == 0 {
+				blocks[key] = nil
+				continue
+			}
+			ids = pool.Store(st)
+			blocks[key] = ids
+		}
+		if len(ids) == 0 {
+			continue
+		}
+		part, err := pool.Gather(ids)
+		if err != nil {
+			return nil, err
+		}
+		appendFiltered(kv, part, excluded)
+	}
+	res.CachedTokens = kv.Len()
+	c.stats.TokensReused += kv.Len()
+
+	newToks, newPos, err := c.gatherNewTokens(e, prompt, bindings, included)
+	if err != nil {
+		return nil, err
+	}
+	res.NewTokens = len(newToks)
+	if len(newToks) == 0 {
+		return nil, fmt.Errorf("core: prompt adds no new tokens; add instruction text or parameter arguments")
+	}
+	logits, err := c.m.Prefill(newToks, newPos, kv)
+	if err != nil {
+		return nil, err
+	}
+	res.KV = kv
+	res.Logits = logits
+	return res, nil
+}
+
+// GenerateBatch continues every result greedily, returning the generated
+// token ids per prompt.
+func (c *Cache) GenerateBatch(results []*ServeResult, opts model.GenerateOpts) ([][]int, error) {
+	out := make([][]int, len(results))
+	for i, res := range results {
+		gen, err := c.Generate(res, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch generate[%d]: %w", i, err)
+		}
+		out[i] = gen
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func TestServeBatchMatchesIndividualServes(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	prompts := []string{
+		`<prompt schema="travel"><trip-plan duration="two days"/><miami/>Plan it.</prompt>`,
+		`<prompt schema="travel"><trip-plan duration="one week"/><tokyo/>Plan it.</prompt>`,
+		`<prompt schema="travel"><miami/>Just the beaches please.</prompt>`,
+	}
+	batch, stats, err := c.ServeBatch(prompts, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 || stats.Prompts != 3 {
+		t.Fatalf("batch size %d stats %+v", len(batch), stats)
+	}
+	for i, p := range prompts {
+		solo, err := c.Serve(p, ServeOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(batch[i].Logits, solo.Logits); d > 1e-4 {
+			t.Fatalf("prompt %d: batch vs solo logits differ by %v", i, d)
+		}
+		if batch[i].CachedTokens != solo.CachedTokens {
+			t.Fatalf("prompt %d: cached token mismatch", i)
+		}
+	}
+}
+
+func TestServeBatchSharesModules(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	// All prompts share _anon0 and miami.
+	var prompts []string
+	for i := 0; i < 10; i++ {
+		prompts = append(prompts, fmt.Sprintf(
+			`<prompt schema="travel"><miami/>Question number %d about surfing.</prompt>`, i))
+	}
+	_, stats, err := c.ServeBatch(prompts, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SharedModules == 0 {
+		t.Fatal("no sharing recorded")
+	}
+	// 10 prompts × 2 modules logically, 2 modules physically → ~90%.
+	if s := stats.Savings(); s < 0.85 {
+		t.Fatalf("savings %.2f, want ~0.9 for 10-way sharing", s)
+	}
+	if stats.PhysicalBytes >= stats.LogicalBytes {
+		t.Fatal("physical must be below logical under sharing")
+	}
+}
+
+func TestServeBatchHalvesPaperScenario(t *testing.T) {
+	// §3.4's worked example: prompts of 2K tokens sharing a 1K module →
+	// ~50% footprint reduction. Scaled down: a shared module and a
+	// per-prompt unique module of equal size.
+	schema := `<schema name="b">
+	  <module name="shared">` + repeatWords("shared context words", 30) + `</module>
+	  <module name="u0">` + repeatWords("unique zero text", 30) + `</module>
+	  <module name="u1">` + repeatWords("unique one text", 30) + `</module>
+	  <module name="u2">` + repeatWords("unique two text", 30) + `</module>
+	</schema>`
+	c := llamaCache(t)
+	mustRegister(t, c, schema)
+	prompts := []string{
+		`<prompt schema="b"><shared/><u0/>go</prompt>`,
+		`<prompt schema="b"><shared/><u1/>go</prompt>`,
+		`<prompt schema="b"><shared/><u2/>go</prompt>`,
+	}
+	_, stats, err := c.ServeBatch(prompts, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical: 3×(shared+unique); physical: shared + 3 uniques →
+	// savings ≈ 1/3 for equal sizes (plus the tiny anon-free schema).
+	if s := stats.Savings(); s < 0.25 || s > 0.45 {
+		t.Fatalf("savings %.2f, want ~0.33", s)
+	}
+}
+
+func repeatWords(s string, n int) string {
+	out := s
+	for i := 0; i < n; i++ {
+		out += " " + s
+	}
+	return out
+}
+
+func TestServeBatchErrors(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	if _, _, err := c.ServeBatch(nil, ServeOpts{}); err == nil {
+		t.Fatal("empty batch should error")
+	}
+	_, _, err := c.ServeBatch([]string{`<prompt schema="travel"><ghost/>x</prompt>`}, ServeOpts{})
+	if err == nil {
+		t.Fatal("bad prompt should error")
+	}
+	_, _, err = c.ServeBatch([]string{`<prompt schema="travel"><tokyo/><miami/>x</prompt>`}, ServeOpts{})
+	if err == nil {
+		t.Fatal("union clash should error in batch too")
+	}
+}
+
+func TestGenerateBatch(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	prompts := []string{
+		`<prompt schema="travel"><miami/>Ask one.</prompt>`,
+		`<prompt schema="travel"><tokyo/>Ask two.</prompt>`,
+	}
+	batch, _, err := c.ServeBatch(prompts, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := c.GenerateBatch(batch, model.GenerateOpts{MaxTokens: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("gens = %d", len(gens))
+	}
+	// Batch generation must match solo generation per prompt.
+	for i, p := range prompts {
+		solo, err := c.Serve(p, ServeOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloGen, err := c.Generate(solo, model.GenerateOpts{MaxTokens: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(soloGen) != len(gens[i]) {
+			t.Fatalf("prompt %d: lengths differ", i)
+		}
+		for j := range soloGen {
+			if soloGen[j] != gens[i][j] {
+				t.Fatalf("prompt %d: generation diverges", i)
+			}
+		}
+	}
+}

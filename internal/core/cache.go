@@ -1,0 +1,480 @@
+// Package core implements Prompt Cache itself (§3): schema registration
+// and prompt-module encoding (§3.3), storage of encoded modules in a
+// simulated memory tier with LRU eviction, scaffolding, and cached
+// inference (§3.4) that splices precomputed attention states into new
+// prompts, computing attention only for uncached text.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/evict"
+	"repro/internal/kvcache"
+	"repro/internal/memory"
+	"repro/internal/model"
+	"repro/internal/pml"
+	"repro/internal/quant"
+	"repro/internal/tokenizer"
+)
+
+// ErrUnknownSchema is returned when a prompt names an unregistered schema.
+var ErrUnknownSchema = errors.New("core: unknown schema")
+
+// EncodedModule is one prompt module's precomputed attention states.
+type EncodedModule struct {
+	Name   string
+	Schema string
+	// KV holds the module's own tokens' attention states (text and
+	// parameter <unk> buffers; nested children are cached separately).
+	// Positions are absolute per the schema layout. When the cache runs
+	// with int8 storage, KV is nil and Quant holds the states.
+	KV *kvcache.Cache
+	// Quant is the compressed form (§6 compression direction); non-nil
+	// only under WithInt8Modules.
+	Quant *quant.Compressed
+	// Layout is the module's compiled layout entry.
+	Layout *pml.ModuleLayout
+	state  moduleState
+}
+
+// moduleState tracks where a module's states live.
+type moduleState int
+
+const (
+	// stateResident: states are in the primary (GPU) pool.
+	stateResident moduleState = iota
+	// stateDemoted: states were evicted from the primary pool but kept
+	// in the host pool (§4.1's two-tier configuration); reuse promotes
+	// them back without re-encoding.
+	stateDemoted
+	// stateDropped: states are gone; reuse must re-encode.
+	stateDropped
+)
+
+// Bytes returns the storage footprint: compressed size under int8
+// storage, fp32 otherwise.
+func (m *EncodedModule) Bytes() int64 {
+	if m.Quant != nil {
+		return m.Quant.Bytes()
+	}
+	return m.KV.Bytes(4)
+}
+
+// States materializes the module's attention states (decompressing if
+// stored quantized).
+func (m *EncodedModule) States() *kvcache.Cache {
+	if m.Quant != nil {
+		return m.Quant.Decompress()
+	}
+	return m.KV
+}
+
+// EncodedScaffold is a set of modules co-encoded with a shared attention
+// span (§3.3). When all members are imported, it overrides their
+// individual states.
+type EncodedScaffold struct {
+	Name    string
+	Members []string
+	KV      *kvcache.Cache
+}
+
+// schemaEntry is one registered schema with its compiled layout and
+// encoded modules.
+type schemaEntry struct {
+	schema    *pml.Schema
+	layout    *pml.Layout
+	modules   map[string]*EncodedModule
+	scaffolds map[string]*EncodedScaffold
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	ModulesEncoded  int // prompt module encodings performed (incl. re-encodes)
+	ModulesReused   int // cache hits at serve time
+	ModulesEvicted  int // evictions from the primary pool
+	ModulesReloaded int // re-encodes forced by earlier eviction
+	ModulesRestored int // modules loaded from a schema snapshot
+	ModulesDemoted  int // evictions that kept states in the host pool
+	ModulesPromoted int // demoted modules pulled back on reuse
+	TokensEncoded   int // tokens run through prefill during encoding
+	TokensReused    int // cached tokens spliced into served prompts
+}
+
+// Cache is the Prompt Cache: it owns a model, a tokenizer, a chat
+// template, registered schemas, and the memory pool module states live in.
+// It is safe for concurrent use.
+type Cache struct {
+	m    *model.Model
+	tok  *tokenizer.Tokenizer
+	tmpl *pml.Template
+	pool *memory.Pool
+	// hostPool, when set, receives evicted module states instead of
+	// dropping them (two-tier §4.1); nil disables demotion.
+	hostPool *memory.Pool
+
+	compress bool
+
+	mu      sync.Mutex
+	schemas map[string]*schemaEntry
+	// policy ranks module keys ("schema/module") for eviction when the
+	// pool fills (§6's cache-replacement direction; default LRU).
+	// Scaffold states are pinned: they exist for output exactness.
+	policy evict.Policy
+	stats  Stats
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithTemplate sets the chat template (§3.2.3); default is the template
+// for the model's architecture family.
+func WithTemplate(t *pml.Template) Option { return func(c *Cache) { c.tmpl = t } }
+
+// WithPool stores module states in the given memory pool, enabling
+// capacity limits and LRU eviction (§4.1's GPU-memory configuration).
+func WithPool(p *memory.Pool) Option { return func(c *Cache) { c.pool = p } }
+
+// WithHostPool enables two-tier storage (§4.1): modules evicted from the
+// primary pool demote into this host pool with their states intact, and
+// promote back on reuse without re-encoding. Pass an uncapped pool to
+// model terabyte-scale host DRAM.
+func WithHostPool(p *memory.Pool) Option { return func(c *Cache) { c.hostPool = p } }
+
+// WithEvictionPolicy selects the cache-replacement policy for module
+// states under a capacity-limited pool (default: evict.NewLRU()).
+func WithEvictionPolicy(p evict.Policy) Option { return func(c *Cache) { c.policy = p } }
+
+// WithInt8Modules stores module states quantized to int8 with per-row
+// scales (§6's compression direction): ~3.8× less storage and copy
+// volume, at a bounded reconstruction error paid on each use.
+// Scaffold states stay full precision (they exist for exactness).
+func WithInt8Modules() Option { return func(c *Cache) { c.compress = true } }
+
+// NewCache builds a Prompt Cache around a model.
+func NewCache(m *model.Model, opts ...Option) *Cache {
+	c := &Cache{
+		m:       m,
+		tok:     tokenizer.New(m.Cfg.VocabSize),
+		tmpl:    pml.TemplateFor(m.Cfg.Name),
+		schemas: make(map[string]*schemaEntry),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.pool == nil {
+		c.pool = memory.NewPool(memory.Device{Name: "unbounded", Kind: memory.DRAM})
+	}
+	if c.policy == nil {
+		c.policy = evict.NewLRU()
+	}
+	return c
+}
+
+// Model returns the underlying model.
+func (c *Cache) Model() *model.Model { return c.m }
+
+// Tokenizer returns the cache's tokenizer.
+func (c *Cache) Tokenizer() *tokenizer.Tokenizer { return c.tok }
+
+// Stats returns a snapshot of cache activity counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// PoolUsed returns the bytes of module states currently resident.
+func (c *Cache) PoolUsed() int64 { return c.pool.Used() }
+
+// RegisterSchema parses a PML schema, compiles its position layout, and
+// eagerly encodes every prompt module and scaffold (§3.3: "Prompt Cache
+// populates its cache when a schema is loaded"). Re-registering a schema
+// name replaces the old entry.
+func (c *Cache) RegisterSchema(src string) (*pml.Layout, error) {
+	schema, err := pml.ParseSchema(src)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := pml.Compile(schema, c.tok, c.tmpl)
+	if err != nil {
+		return nil, err
+	}
+	if layout.TotalLen > c.m.Cfg.MaxSeq {
+		return nil, fmt.Errorf("core: schema %q needs %d positions, model max is %d",
+			schema.Name, layout.TotalLen, c.m.Cfg.MaxSeq)
+	}
+	entry := &schemaEntry{
+		schema:    schema,
+		layout:    layout,
+		modules:   make(map[string]*EncodedModule),
+		scaffolds: make(map[string]*EncodedScaffold),
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.schemas[schema.Name]; ok {
+		c.dropSchemaLocked(schema.Name, old)
+	}
+	c.schemas[schema.Name] = entry
+	for _, name := range layout.Order {
+		if _, err := c.encodeModuleLocked(schema.Name, entry, name); err != nil {
+			return nil, err
+		}
+	}
+	for _, sc := range schema.Scaffolds {
+		if err := c.encodeScaffoldLocked(schema.Name, entry, sc); err != nil {
+			return nil, err
+		}
+	}
+	return layout, nil
+}
+
+// dropSchemaLocked releases all pool reservations of a schema.
+func (c *Cache) dropSchemaLocked(name string, e *schemaEntry) {
+	for mod := range e.modules {
+		key := name + "/" + mod
+		if c.pool.Has(key) {
+			_ = c.pool.Free(key)
+		}
+		if c.hostPool != nil && c.hostPool.Has(key) {
+			_ = c.hostPool.Free(key)
+		}
+		c.policy.Remove(key)
+	}
+	for sc := range e.scaffolds {
+		key := name + "/scaffold/" + sc
+		if c.pool.Has(key) {
+			_ = c.pool.Free(key)
+		}
+	}
+	delete(c.schemas, name)
+}
+
+// moduleTokens gathers a module's own token/position streams (text plus
+// <unk> parameter buffers, excluding nested children).
+func moduleTokens(ml *pml.ModuleLayout) (toks, pos []int) {
+	for _, seg := range ml.Segments {
+		if seg.Kind == pml.SegChild {
+			continue
+		}
+		toks = append(toks, seg.Tokens...)
+		pos = append(pos, seg.Pos...)
+	}
+	return toks, pos
+}
+
+// encodeModuleLocked computes and stores one module's attention states:
+// prefill of the module's own tokens into an empty cache, which confines
+// attention to the module span (the §3.3 masking effect).
+func (c *Cache) encodeModuleLocked(schema string, e *schemaEntry, name string) (*EncodedModule, error) {
+	ml, ok := e.layout.Modules[name]
+	if !ok {
+		return nil, fmt.Errorf("core: schema %q has no module %q", schema, name)
+	}
+	toks, pos := moduleTokens(ml)
+	em := &EncodedModule{Name: name, Schema: schema, Layout: ml}
+	kv := c.m.NewCache(len(toks))
+	if len(toks) > 0 {
+		if _, err := c.m.Prefill(toks, pos, kv); err != nil {
+			return nil, fmt.Errorf("core: encoding %s/%s: %w", schema, name, err)
+		}
+	}
+	if c.compress && kv.Len() > 0 {
+		em.Quant = quant.Compress(kv)
+	} else {
+		em.KV = kv
+	}
+	key := schema + "/" + name
+	if err := c.reserveLocked(key, em.Bytes()); err != nil {
+		return nil, err
+	}
+	e.modules[name] = em
+	c.policy.Touch(key, em.Bytes())
+	c.stats.ModulesEncoded++
+	c.stats.TokensEncoded += len(toks)
+	return em, nil
+}
+
+// encodeScaffoldLocked co-encodes a scaffold's members with a shared
+// attention span: one prefill over the concatenation of all member
+// tokens, in schema order, at their absolute positions.
+func (c *Cache) encodeScaffoldLocked(schema string, e *schemaEntry, sc pml.Scaffold) error {
+	var toks, pos []int
+	for _, name := range e.layout.Order { // schema order
+		if !contains(sc.Modules, name) {
+			continue
+		}
+		t, p := moduleTokens(e.layout.Modules[name])
+		toks = append(toks, t...)
+		pos = append(pos, p...)
+	}
+	if len(toks) == 0 {
+		return fmt.Errorf("core: scaffold %q has no tokens", sc.Name)
+	}
+	kv := c.m.NewCache(len(toks))
+	if _, err := c.m.Prefill(toks, pos, kv); err != nil {
+		return fmt.Errorf("core: encoding scaffold %s/%s: %w", schema, sc.Name, err)
+	}
+	es := &EncodedScaffold{Name: sc.Name, Members: sc.Modules, KV: kv}
+	key := schema + "/scaffold/" + sc.Name
+	if err := c.reserveLocked(key, kv.Bytes(4)); err != nil {
+		return err
+	}
+	e.scaffolds[sc.Name] = es
+	c.stats.ModulesEncoded++
+	c.stats.TokensEncoded += len(toks)
+	return nil
+}
+
+// reserveLocked reserves pool space, evicting least-recently-used modules
+// until the reservation fits (§4.1: "a caching mechanism that leverages
+// both CPU and GPU memory... cache replacement").
+func (c *Cache) reserveLocked(key string, size int64) error {
+	for {
+		err := c.pool.Alloc(key, size)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, memory.ErrOutOfMemory) {
+			return err
+		}
+		if !c.evictOneLocked(key) {
+			return fmt.Errorf("core: module %s (%d bytes) cannot fit even after eviction: %w", key, size, err)
+		}
+	}
+}
+
+// evictOneLocked drops the policy's next victim (never the module being
+// loaded, which is not yet tracked). Returns false if nothing can be
+// evicted.
+func (c *Cache) evictOneLocked(loading string) bool {
+	for {
+		key, ok := c.policy.Victim()
+		if !ok {
+			return false
+		}
+		c.policy.Remove(key)
+		if key == loading {
+			continue
+		}
+		if !c.pool.Has(key) {
+			continue
+		}
+		schema, mod, keyOK := splitKey(key)
+		var em *EncodedModule
+		if keyOK {
+			if e := c.schemas[schema]; e != nil {
+				em = e.modules[mod]
+			}
+		}
+		if em != nil {
+			// Prefer demotion to the host tier; drop only when the host
+			// pool is absent or full.
+			if c.hostPool != nil && c.hostPool.Alloc(key, em.Bytes()) == nil {
+				em.state = stateDemoted
+				c.stats.ModulesDemoted++
+			} else {
+				em.KV = nil
+				em.Quant = nil
+				em.state = stateDropped
+			}
+		}
+		_ = c.pool.Free(key)
+		c.stats.ModulesEvicted++
+		return true
+	}
+}
+
+func splitKey(key string) (schema, mod string, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// getModuleLocked returns a module's states, re-encoding if it was
+// evicted.
+func (c *Cache) getModuleLocked(schemaName string, e *schemaEntry, name string) (*EncodedModule, error) {
+	em := e.modules[name]
+	if em == nil {
+		return nil, fmt.Errorf("core: schema %q has no module %q", schemaName, name)
+	}
+	key := schemaName + "/" + name
+	switch em.state {
+	case stateDropped:
+		c.stats.ModulesReloaded++
+		return c.encodeModuleLocked(schemaName, e, name)
+	case stateDemoted:
+		// Promote back into the primary pool (evicting others if needed)
+		// and release the host reservation.
+		if err := c.reserveLocked(key, em.Bytes()); err != nil {
+			return nil, err
+		}
+		_ = c.hostPool.Free(key)
+		em.state = stateResident
+		c.stats.ModulesPromoted++
+	}
+	c.policy.Touch(key, em.Bytes())
+	c.stats.ModulesReused++
+	return em, nil
+}
+
+// Prefetch warms the named modules — promoting demoted states back into
+// the primary pool and re-encoding dropped ones — before a prompt needs
+// them. §3.2.3 notes unions enable exactly this: once one member of a
+// union is known to be in play, its siblings (or the chosen member) can
+// be staged ahead of the request.
+func (c *Cache) Prefetch(schema string, names ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.schemas[schema]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSchema, schema)
+	}
+	for _, name := range names {
+		if _, err := c.getModuleLocked(schema, e, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrefetchUnion warms every member of the union containing member.
+func (c *Cache) PrefetchUnion(schema, member string) error {
+	c.mu.Lock()
+	e, ok := c.schemas[schema]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownSchema, schema)
+	}
+	members := e.layout.UnionOf(member)
+	c.mu.Unlock()
+	if members == nil {
+		return fmt.Errorf("core: module %q is not a union member", member)
+	}
+	return c.Prefetch(schema, members...)
+}
+
+// Layout returns the compiled layout of a registered schema.
+func (c *Cache) Layout(schema string) (*pml.Layout, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.schemas[schema]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, schema)
+	}
+	return e.layout, nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestConcurrentServes: the cache must serve many goroutines at once
+// (the serving-system use) with every result identical to a solo serve.
+// Run with -race to catch synchronization bugs.
+func TestConcurrentServes(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	prompts := []string{
+		`<prompt schema="travel"><miami/>First question.</prompt>`,
+		`<prompt schema="travel"><tokyo/>Second question.</prompt>`,
+		`<prompt schema="travel"><trip-plan duration="two days"/><miami/>Third.</prompt>`,
+	}
+	want := make([][]float32, len(prompts))
+	for i, p := range prompts {
+		res, err := c.Serve(p, ServeOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Logits
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(prompts))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				i := (w + round) % len(prompts)
+				res, err := c.Serve(prompts[i], ServeOpts{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d := tensor.MaxAbsDiff(res.Logits, want[i]); d != 0 {
+					errs <- fmt.Errorf("worker %d: prompt %d diverged by %v", w, i, d)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentRegisterAndServe: schema registration racing with serves
+// of other schemas must be safe.
+func TestConcurrentRegisterAndServe(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			src := fmt.Sprintf(`<schema name="aux%d"><module name="doc%d">auxiliary content number %d here</module></schema>`, w, w, w)
+			if _, err := c.RegisterSchema(src); err != nil {
+				errs <- err
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := c.Serve(`<prompt schema="travel"><miami/>Go.</prompt>`, ServeOpts{}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// All aux schemas usable afterwards.
+	for w := 0; w < 4; w++ {
+		p := fmt.Sprintf(`<prompt schema="aux%d"><doc%d/>ok</prompt>`, w, w)
+		if _, err := c.Serve(p, ServeOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

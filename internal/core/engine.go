@@ -1,0 +1,491 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/pml"
+)
+
+// ServeOpts controls cached inference.
+type ServeOpts struct {
+	// DisableScaffolds skips scaffold override even when every member of
+	// a scaffold is imported (for the §3.3 masking-effect ablation).
+	DisableScaffolds bool
+}
+
+// ServeResult is the outcome of assembling a prompt's attention states.
+type ServeResult struct {
+	// KV is the prompt's full attention-state cache, ready for decoding.
+	KV *kvcache.Cache
+	// Logits are the final-token logits (feed to Generate).
+	Logits []float32
+	// CachedTokens counts tokens whose states were reused from the cache;
+	// NewTokens counts tokens computed at serve time (arguments + new
+	// text). TTFT saving is the story of this ratio (§3.4).
+	CachedTokens, NewTokens int
+	// Modules lists imported modules (including anonymous ones) in
+	// position order; Scaffolds lists scaffold overrides applied.
+	Modules   []string
+	Scaffolds []string
+}
+
+// importBinding is one resolved module import with validated arguments.
+type importBinding struct {
+	name string
+	args map[string]string // param name -> value text
+}
+
+// Serve performs cached inference for a PML prompt (§3.4): it validates
+// the prompt against its schema, retrieves cached module states,
+// concatenates them, computes attention states only for uncached tokens
+// (parameter arguments and new text), and returns a cache + logits ready
+// for token generation.
+func (c *Cache) Serve(promptSrc string, opts ServeOpts) (*ServeResult, error) {
+	prompt, err := pml.ParsePrompt(promptSrc)
+	if err != nil {
+		return nil, err
+	}
+	return c.ServeParsed(prompt, opts)
+}
+
+// ServeParsed is Serve for an already-parsed prompt.
+func (c *Cache) ServeParsed(prompt *pml.Prompt, opts ServeOpts) (*ServeResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.schemas[prompt.SchemaName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, prompt.SchemaName)
+	}
+
+	bindings, err := c.resolveImports(e, prompt)
+	if err != nil {
+		return nil, err
+	}
+	included := c.includedModules(e, bindings)
+
+	// Union exclusivity (§3.2.3).
+	seenUnion := map[int]string{}
+	for _, name := range included {
+		ml := e.layout.Modules[name]
+		if ml.UnionID >= 0 {
+			if prev, clash := seenUnion[ml.UnionID]; clash {
+				return nil, fmt.Errorf("core: modules %q and %q are exclusive union members", prev, name)
+			}
+			seenUnion[ml.UnionID] = name
+		}
+	}
+
+	// Positions of supplied parameter slots must be excluded from the
+	// cached states: the argument's freshly computed states replace the
+	// <unk> buffer rows (§3.3).
+	excluded := map[int]bool{}
+	for _, b := range bindings {
+		ml := e.layout.Modules[b.name]
+		for pname := range b.args {
+			seg := ml.ParamSegment(pname)
+			for _, p := range seg.Pos {
+				excluded[p] = true
+			}
+		}
+	}
+
+	res := &ServeResult{Modules: included}
+
+	// Scaffold override (§3.3): if every member of a scaffold is
+	// imported, its co-encoded states replace the members' individual
+	// states.
+	covered := map[string]bool{}
+	var scaffolds []*EncodedScaffold
+	if !opts.DisableScaffolds {
+		for _, sc := range e.schema.Scaffolds {
+			es := e.scaffolds[sc.Name]
+			if es == nil || !allIncluded(sc.Modules, included) {
+				continue
+			}
+			overlap := false
+			for _, m := range sc.Modules {
+				if covered[m] {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				continue
+			}
+			scaffolds = append(scaffolds, es)
+			for _, m := range sc.Modules {
+				covered[m] = true
+			}
+			res.Scaffolds = append(res.Scaffolds, sc.Name)
+		}
+	}
+
+	// Assemble the cached prefix: modules in schema position order;
+	// scaffold states splice in at their first covered member.
+	kv := c.m.NewCache(e.layout.TotalLen + 64)
+	emittedScaffold := map[string]bool{}
+	for _, name := range included {
+		if covered[name] {
+			for _, es := range scaffolds {
+				if contains(es.Members, name) && !emittedScaffold[es.Name] {
+					appendFiltered(kv, es.KV, excluded)
+					emittedScaffold[es.Name] = true
+				}
+			}
+			continue
+		}
+		em, err := c.getModuleLocked(prompt.SchemaName, e, name)
+		if err != nil {
+			return nil, err
+		}
+		appendFiltered(kv, em.States(), excluded)
+	}
+	res.CachedTokens = kv.Len()
+	c.stats.TokensReused += kv.Len()
+
+	// Gather uncached tokens: parameter arguments at their slot
+	// positions, and new text at positions assigned per §3.4.
+	newToks, newPos, err := c.gatherNewTokens(e, prompt, bindings, included)
+	if err != nil {
+		return nil, err
+	}
+	res.NewTokens = len(newToks)
+	if len(newToks) == 0 {
+		return nil, fmt.Errorf("core: prompt adds no new tokens; add instruction text or parameter arguments")
+	}
+	logits, err := c.m.Prefill(newToks, newPos, kv)
+	if err != nil {
+		return nil, err
+	}
+	res.KV = kv
+	res.Logits = logits
+	return res, nil
+}
+
+// resolveImports validates the prompt's import tree against the schema
+// and flattens it to bindings.
+func (c *Cache) resolveImports(e *schemaEntry, prompt *pml.Prompt) ([]importBinding, error) {
+	var out []importBinding
+	var walk func(items []pml.PromptItem, parent string) error
+	walk = func(items []pml.PromptItem, parent string) error {
+		for _, it := range items {
+			imp, ok := it.(*pml.Import)
+			if !ok {
+				if parent != "" {
+					return fmt.Errorf("core: module %q may contain only nested imports, not text", parent)
+				}
+				continue
+			}
+			ml, ok := e.layout.Modules[imp.Name]
+			if !ok {
+				return fmt.Errorf("core: schema %q has no module %q", e.schema.Name, imp.Name)
+			}
+			if ml.Parent != parent {
+				if parent == "" {
+					return fmt.Errorf("core: module %q is nested inside %q; import it within its parent", imp.Name, ml.Parent)
+				}
+				return fmt.Errorf("core: module %q is not a child of %q", imp.Name, parent)
+			}
+			args := map[string]string{}
+			for k, v := range imp.Args {
+				p := ml.Param(k)
+				if p == nil {
+					return fmt.Errorf("core: module %q has no parameter %q", imp.Name, k)
+				}
+				n := len(c.tok.Encode(v))
+				if n > p.Len {
+					return fmt.Errorf("core: argument %q of %s is %d tokens, exceeding len=%d",
+						k, imp.Name, n, p.Len)
+				}
+				args[k] = v
+			}
+			out = append(out, importBinding{name: imp.Name, args: args})
+			if err := walk(imp.Children, imp.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(prompt.Items, ""); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// includedModules returns anonymous modules plus imported ones, sorted by
+// layout start (ties broken by schema order).
+func (c *Cache) includedModules(e *schemaEntry, bindings []importBinding) []string {
+	pick := map[string]bool{}
+	for _, name := range e.layout.AnonymousModules() {
+		pick[name] = true
+	}
+	for _, b := range bindings {
+		pick[b.name] = true
+	}
+	orderIdx := map[string]int{}
+	for i, n := range e.layout.Order {
+		orderIdx[n] = i
+	}
+	out := make([]string, 0, len(pick))
+	for n := range pick {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := e.layout.Modules[out[i]], e.layout.Modules[out[j]]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return orderIdx[out[i]] < orderIdx[out[j]]
+	})
+	return out
+}
+
+// gatherNewTokens collects the uncached token/position streams in prompt
+// order: parameter arguments adopt their slot positions (§3.3); new text
+// takes positions after the preceding module, falling back past the
+// global maximum when the natural slot is occupied (§3.4).
+func (c *Cache) gatherNewTokens(e *schemaEntry, prompt *pml.Prompt, bindings []importBinding, included []string) ([]int, []int, error) {
+	// Occupied ranges: included modules' spans.
+	type span struct{ lo, hi int }
+	var occupied []span
+	maxEnd := 0
+	for _, name := range included {
+		ml := e.layout.Modules[name]
+		occupied = append(occupied, span{ml.Start, ml.Start + ml.Len})
+		if ml.Start+ml.Len > maxEnd {
+			maxEnd = ml.Start + ml.Len
+		}
+	}
+	overlaps := func(lo, hi int) bool {
+		for _, s := range occupied {
+			if lo < s.hi && s.lo < hi && lo != hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	bind := map[string]map[string]string{}
+	for _, b := range bindings {
+		bind[b.name] = b.args
+	}
+
+	var toks, pos []int
+	cursor := 0
+	var walk func(items []pml.PromptItem) error
+	walk = func(items []pml.PromptItem) error {
+		for _, it := range items {
+			switch v := it.(type) {
+			case *pml.Import:
+				ml := e.layout.Modules[v.Name]
+				// Supplied arguments: tokens at the slot's positions.
+				for pname, value := range bind[v.Name] {
+					if _, here := v.Args[pname]; !here {
+						continue
+					}
+					seg := ml.ParamSegment(pname)
+					argToks := c.tok.Encode(value)
+					for i, at := range argToks {
+						toks = append(toks, at)
+						pos = append(pos, seg.Pos[i])
+					}
+				}
+				if ml.Start+ml.Len > cursor {
+					cursor = ml.Start + ml.Len
+				}
+				if err := walk(v.Children); err != nil {
+					return err
+				}
+			case *pml.PromptText:
+				t := c.tmpl.Wrap(v.Role, c.tok.Encode(v.Content))
+				if len(t) == 0 {
+					continue
+				}
+				start := cursor
+				if overlaps(start, start+len(t)) {
+					start = maxEnd
+				}
+				if start+len(t) > c.m.Cfg.MaxSeq {
+					return fmt.Errorf("core: prompt text exceeds model max positions (%d)", c.m.Cfg.MaxSeq)
+				}
+				for i, tt := range t {
+					toks = append(toks, tt)
+					pos = append(pos, start+i)
+				}
+				occupied = append(occupied, span{start, start + len(t)})
+				if start+len(t) > maxEnd {
+					maxEnd = start + len(t)
+				}
+				cursor = start + len(t)
+			}
+		}
+		return nil
+	}
+	if err := walk(prompt.Items); err != nil {
+		return nil, nil, err
+	}
+	return toks, pos, nil
+}
+
+// appendFiltered appends src's rows to dst, skipping rows whose position
+// is excluded (supplied parameter buffers).
+func appendFiltered(dst, src *kvcache.Cache, excluded map[int]bool) {
+	if len(excluded) == 0 {
+		dst.AppendCache(src)
+		return
+	}
+	for i, p := range src.Pos {
+		if excluded[p] {
+			continue
+		}
+		for l := 0; l < src.NLayers; l++ {
+			dst.AppendToken(l, src.KeyRow(l, i), src.ValueRow(l, i))
+		}
+		dst.AppendPos(p)
+	}
+}
+
+func allIncluded(members, included []string) bool {
+	for _, m := range members {
+		if !contains(included, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// BaselineServe computes the same prompt with ordinary full prefill (the
+// paper's KV-Cache baseline): the identical token/position sequence —
+// module tokens with arguments substituted inline, then new text — run
+// through one full-attention prefill with no reuse. Comparing its output
+// against Serve's isolates the §3.3 masking effect.
+func (c *Cache) BaselineServe(promptSrc string) (*ServeResult, error) {
+	prompt, err := pml.ParsePrompt(promptSrc)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.schemas[prompt.SchemaName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, prompt.SchemaName)
+	}
+	bindings, err := c.resolveImports(e, prompt)
+	if err != nil {
+		return nil, err
+	}
+	included := c.includedModules(e, bindings)
+	bind := map[string]map[string]string{}
+	for _, b := range bindings {
+		bind[b.name] = b.args
+	}
+
+	var toks, pos []int
+	for _, name := range included {
+		ml := e.layout.Modules[name]
+		for _, seg := range ml.Segments {
+			switch seg.Kind {
+			case pml.SegText:
+				toks = append(toks, seg.Tokens...)
+				pos = append(pos, seg.Pos...)
+			case pml.SegParam:
+				if value, ok := bind[name][seg.Param]; ok {
+					argToks := c.tok.Encode(value)
+					for i, at := range argToks {
+						toks = append(toks, at)
+						pos = append(pos, seg.Pos[i])
+					}
+				} else {
+					// Unsupplied parameter: the <unk> buffer stands in
+					// for whitespace, as at encode time.
+					toks = append(toks, seg.Tokens...)
+					pos = append(pos, seg.Pos...)
+				}
+			}
+		}
+	}
+	// New text only: arguments were already inlined at their slots above,
+	// so gather with no bindings.
+	textToks, textPos, err := c.gatherNewTokens(e, prompt, nil, included)
+	if err != nil {
+		return nil, err
+	}
+	toks = append(toks, textToks...)
+	pos = append(pos, textPos...)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("core: baseline prompt is empty")
+	}
+	kv := c.m.NewCache(len(toks) + 64)
+	logits, err := c.m.Prefill(toks, pos, kv)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeResult{
+		KV:        kv,
+		Logits:    logits,
+		NewTokens: len(toks),
+		Modules:   included,
+	}, nil
+}
+
+// Generate continues autoregressively from a Serve or BaselineServe
+// result.
+func (c *Cache) Generate(res *ServeResult, opts model.GenerateOpts) ([]int, error) {
+	return c.m.Generate(res.KV, res.Logits, opts)
+}
+
+// Continue appends a follow-up user turn to an already-served session and
+// returns an updated result ready for Generate — multi-turn conversation
+// over one KV cache, the standard decode-phase reuse (§2.2) composed with
+// Prompt Cache's prefill reuse. The new turn takes consecutive positions
+// after the session's maximum position ID.
+func (c *Cache) Continue(res *ServeResult, userText string) (*ServeResult, error) {
+	if res == nil || res.KV == nil {
+		return nil, fmt.Errorf("core: Continue on an unserved result")
+	}
+	content := c.tok.Encode(userText)
+	if len(content) == 0 {
+		return nil, fmt.Errorf("core: Continue with empty text")
+	}
+	toks := c.tmpl.Wrap(pml.RoleUser, content)
+	start := res.KV.MaxPos() + 1
+	if start+len(toks) > c.m.Cfg.MaxSeq {
+		return nil, fmt.Errorf("core: session exceeds model max positions (%d)", c.m.Cfg.MaxSeq)
+	}
+	pos := make([]int, len(toks))
+	for i := range pos {
+		pos[i] = start + i
+	}
+	logits, err := c.m.Prefill(toks, pos, res.KV)
+	if err != nil {
+		return nil, err
+	}
+	return &ServeResult{
+		KV:           res.KV,
+		Logits:       logits,
+		CachedTokens: res.CachedTokens,
+		NewTokens:    res.NewTokens + len(toks),
+		Modules:      res.Modules,
+		Scaffolds:    res.Scaffolds,
+	}, nil
+}
+
+// GenerateStream generates token by token, calling emit with each
+// token's decoded text as soon as it is sampled; returning false stops.
+func (c *Cache) GenerateStream(res *ServeResult, opts model.GenerateOpts, emit func(text string) bool) ([]int, error) {
+	return c.m.GenerateStream(res.KV, res.Logits, opts, func(tok int) bool {
+		return emit(c.tok.Decode([]int{tok}))
+	})
+}
+
+// GenerateText is Generate plus detokenization.
+func (c *Cache) GenerateText(res *ServeResult, opts model.GenerateOpts) (string, error) {
+	ids, err := c.Generate(res, opts)
+	if err != nil {
+		return "", err
+	}
+	return c.tok.Decode(ids), nil
+}

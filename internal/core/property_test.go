@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/rng"
+)
+
+// TestServeAccountingProperty: for randomized schemas and random valid
+// import subsets, CachedTokens + NewTokens always equals the served
+// cache's length, every included module's own tokens appear (minus
+// supplied parameter buffers), and serving is error-free.
+func TestServeAccountingProperty(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(coreVocab, 801))
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"harbor", "archive", "castle", "garden", "market", "railway"}
+	check := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		c := NewCache(m)
+
+		// Random schema: 2-4 modules, optional param, maybe a union.
+		nMods := r.IntRange(2, 5)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, `<schema name="p%d">`, seed)
+		names := make([]string, nMods)
+		hasParam := make([]bool, nMods)
+		for i := 0; i < nMods; i++ {
+			names[i] = fmt.Sprintf("mod%d", i)
+			fmt.Fprintf(&sb, `<module name=%q>`, names[i])
+			for w := 0; w < r.IntRange(3, 10); w++ {
+				sb.WriteString(rng.Choice(r, words) + " ")
+			}
+			if r.Intn(3) == 0 {
+				hasParam[i] = true
+				sb.WriteString(`<param name="arg" len="3"/>`)
+			}
+			sb.WriteString(`</module>`)
+		}
+		sb.WriteString(`</schema>`)
+		if _, err := c.RegisterSchema(sb.String()); err != nil {
+			t.Logf("register: %v", err)
+			return false
+		}
+
+		// Random import subset (at least one).
+		var imports strings.Builder
+		layout, _ := c.Layout(fmt.Sprintf("p%d", seed))
+		expectTokens := 0
+		any := false
+		for i := 0; i < nMods; i++ {
+			if r.Intn(2) == 0 && any {
+				continue
+			}
+			any = true
+			ml := layout.Modules[names[i]]
+			own := ml.OwnTokens()
+			if hasParam[i] && r.Intn(2) == 0 {
+				imports.WriteString(fmt.Sprintf(`<%s arg="one two"/>`, names[i]))
+				own -= 3 // full buffer excluded; arg counts as new tokens
+			} else {
+				fmt.Fprintf(&imports, "<%s/>", names[i])
+			}
+			expectTokens += own
+		}
+		prompt := fmt.Sprintf(`<prompt schema="p%d">%s ask a closing question</prompt>`, seed, imports.String())
+		res, err := c.Serve(prompt, ServeOpts{})
+		if err != nil {
+			t.Logf("serve: %v", err)
+			return false
+		}
+		if res.CachedTokens+res.NewTokens != res.KV.Len() {
+			t.Logf("accounting: %d + %d != %d", res.CachedTokens, res.NewTokens, res.KV.Len())
+			return false
+		}
+		if res.CachedTokens != expectTokens {
+			t.Logf("cached %d != expected %d", res.CachedTokens, expectTokens)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

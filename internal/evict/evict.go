@@ -1,0 +1,269 @@
+// Package evict provides cache-replacement policies for prompt-module
+// storage, the §6 future-work direction ("GPU cache replacement
+// strategies optimized to achieve the latency lower bound made possible
+// by Prompt Cache"). Policies rank resident modules for eviction when a
+// capacity-limited tier (GPU HBM) fills; internal/core plugs them in via
+// WithEvictionPolicy, and internal/serving compares them under
+// trace-driven workloads.
+package evict
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy ranks cached entries for eviction. Implementations are not
+// thread-safe; callers serialize access (core holds its own lock).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Touch records an access to key (inserting it if new) with its
+	// storage size.
+	Touch(key string, size int64)
+	// Victim proposes the entry to evict next, without removing it.
+	// ok is false when the policy tracks nothing.
+	Victim() (key string, ok bool)
+	// Remove forgets an entry (after eviction or explicit free).
+	Remove(key string)
+	// Len returns the number of tracked entries.
+	Len() int
+}
+
+// --- LRU ---
+
+type lruEntry struct {
+	key  string
+	size int64
+}
+
+// LRU evicts the least recently used entry — the paper's implicit
+// default.
+type LRU struct {
+	ll  *list.List // front = most recent
+	idx map[string]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{ll: list.New(), idx: map[string]*list.Element{}}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Touch implements Policy.
+func (p *LRU) Touch(key string, size int64) {
+	if el, ok := p.idx[key]; ok {
+		el.Value.(*lruEntry).size = size
+		p.ll.MoveToFront(el)
+		return
+	}
+	p.idx[key] = p.ll.PushFront(&lruEntry{key: key, size: size})
+}
+
+// Victim implements Policy.
+func (p *LRU) Victim() (string, bool) {
+	back := p.ll.Back()
+	if back == nil {
+		return "", false
+	}
+	return back.Value.(*lruEntry).key, true
+}
+
+// Remove implements Policy.
+func (p *LRU) Remove(key string) {
+	if el, ok := p.idx[key]; ok {
+		p.ll.Remove(el)
+		delete(p.idx, key)
+	}
+}
+
+// Len implements Policy.
+func (p *LRU) Len() int { return p.ll.Len() }
+
+// --- FIFO ---
+
+// FIFO evicts the oldest-inserted entry regardless of use.
+type FIFO struct {
+	ll  *list.List
+	idx map[string]*list.Element
+}
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO {
+	return &FIFO{ll: list.New(), idx: map[string]*list.Element{}}
+}
+
+// Name implements Policy.
+func (p *FIFO) Name() string { return "fifo" }
+
+// Touch implements Policy.
+func (p *FIFO) Touch(key string, size int64) {
+	if _, ok := p.idx[key]; ok {
+		return // insertion order fixed
+	}
+	p.idx[key] = p.ll.PushFront(&lruEntry{key: key, size: size})
+}
+
+// Victim implements Policy.
+func (p *FIFO) Victim() (string, bool) {
+	back := p.ll.Back()
+	if back == nil {
+		return "", false
+	}
+	return back.Value.(*lruEntry).key, true
+}
+
+// Remove implements Policy.
+func (p *FIFO) Remove(key string) {
+	if el, ok := p.idx[key]; ok {
+		p.ll.Remove(el)
+		delete(p.idx, key)
+	}
+}
+
+// Len implements Policy.
+func (p *FIFO) Len() int { return p.ll.Len() }
+
+// --- LFU ---
+
+type lfuEntry struct {
+	key   string
+	size  int64
+	count int64
+	seq   int64 // recency tiebreak
+}
+
+// LFU evicts the least frequently used entry (ties broken by recency).
+type LFU struct {
+	entries map[string]*lfuEntry
+	clock   int64
+}
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU { return &LFU{entries: map[string]*lfuEntry{}} }
+
+// Name implements Policy.
+func (p *LFU) Name() string { return "lfu" }
+
+// Touch implements Policy.
+func (p *LFU) Touch(key string, size int64) {
+	p.clock++
+	if e, ok := p.entries[key]; ok {
+		e.count++
+		e.seq = p.clock
+		e.size = size
+		return
+	}
+	p.entries[key] = &lfuEntry{key: key, size: size, count: 1, seq: p.clock}
+}
+
+// Victim implements Policy.
+func (p *LFU) Victim() (string, bool) {
+	var best *lfuEntry
+	for _, e := range p.entries {
+		if best == nil || e.count < best.count || (e.count == best.count && e.seq < best.seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.key, true
+}
+
+// Remove implements Policy.
+func (p *LFU) Remove(key string) { delete(p.entries, key) }
+
+// Len implements Policy.
+func (p *LFU) Len() int { return len(p.entries) }
+
+// --- GDSF ---
+
+type gdsfEntry struct {
+	key      string
+	size     int64
+	count    int64
+	priority float64
+	seq      int64
+}
+
+// GDSF is Greedy-Dual-Size-Frequency: priority = L + frequency/size, so
+// small, hot modules survive while large, cold ones go first — the right
+// bias for prompt modules whose sizes span orders of magnitude (a system
+// message vs a 5K-token document).
+type GDSF struct {
+	entries map[string]*gdsfEntry
+	l       float64 // aging floor: priority of the last victim
+	clock   int64
+}
+
+// NewGDSF returns an empty GDSF policy.
+func NewGDSF() *GDSF { return &GDSF{entries: map[string]*gdsfEntry{}} }
+
+// Name implements Policy.
+func (p *GDSF) Name() string { return "gdsf" }
+
+// Touch implements Policy.
+func (p *GDSF) Touch(key string, size int64) {
+	p.clock++
+	if size <= 0 {
+		size = 1
+	}
+	e, ok := p.entries[key]
+	if !ok {
+		e = &gdsfEntry{key: key, size: size}
+		p.entries[key] = e
+	}
+	e.count++
+	e.size = size
+	e.seq = p.clock
+	e.priority = p.l + float64(e.count)/float64(e.size)
+}
+
+// Victim implements Policy.
+func (p *GDSF) Victim() (string, bool) {
+	var best *gdsfEntry
+	for _, e := range p.entries {
+		if best == nil || e.priority < best.priority ||
+			(e.priority == best.priority && e.seq < best.seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.key, true
+}
+
+// Remove implements Policy. Removing the current victim advances the
+// aging floor so long-resident entries eventually become evictable.
+func (p *GDSF) Remove(key string) {
+	if e, ok := p.entries[key]; ok {
+		if e.priority > p.l {
+			p.l = e.priority
+		}
+		delete(p.entries, key)
+	}
+}
+
+// Len implements Policy.
+func (p *GDSF) Len() int { return len(p.entries) }
+
+// New constructs a policy by name: "lru", "fifo", "lfu" or "gdsf".
+func New(name string) (Policy, error) {
+	switch name {
+	case "lru":
+		return NewLRU(), nil
+	case "fifo":
+		return NewFIFO(), nil
+	case "lfu":
+		return NewLFU(), nil
+	case "gdsf":
+		return NewGDSF(), nil
+	}
+	return nil, fmt.Errorf("evict: unknown policy %q", name)
+}
+
+// Names lists the available policies.
+func Names() []string { return []string{"lru", "fifo", "lfu", "gdsf"} }

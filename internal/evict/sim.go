@@ -1,0 +1,60 @@
+package evict
+
+// Access is one cache reference in a trace.
+type Access struct {
+	Key  string
+	Size int64
+}
+
+// SimResult summarizes a trace-driven cache simulation.
+type SimResult struct {
+	Policy    string
+	Hits      int
+	Misses    int
+	Evictions int
+	BytesIn   int64 // bytes loaded on misses (re-encode / upload volume)
+}
+
+// HitRate returns hits / (hits+misses).
+func (r SimResult) HitRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(total)
+}
+
+// Simulate replays a trace against a capacity-limited cache governed by
+// the policy. Entries larger than the capacity bypass the cache (counted
+// as misses, no evictions).
+func Simulate(p Policy, capacity int64, trace []Access) SimResult {
+	res := SimResult{Policy: p.Name()}
+	resident := map[string]int64{}
+	var used int64
+	for _, a := range trace {
+		if _, ok := resident[a.Key]; ok {
+			res.Hits++
+			p.Touch(a.Key, a.Size)
+			continue
+		}
+		res.Misses++
+		res.BytesIn += a.Size
+		if a.Size > capacity {
+			continue // cannot ever fit
+		}
+		for used+a.Size > capacity {
+			victim, ok := p.Victim()
+			if !ok {
+				break
+			}
+			used -= resident[victim]
+			delete(resident, victim)
+			p.Remove(victim)
+			res.Evictions++
+		}
+		resident[a.Key] = a.Size
+		used += a.Size
+		p.Touch(a.Key, a.Size)
+	}
+	return res
+}

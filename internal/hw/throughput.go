@@ -1,0 +1,41 @@
+package hw
+
+import "time"
+
+// ThroughputPoint models §3.4/§5.4's batch-size argument: KV memory per
+// request bounds the working batch, and sharing prompt-module states
+// across a batch shrinks per-request memory, admitting a larger batch and
+// hence higher decode throughput.
+type ThroughputPoint struct {
+	ShareFraction float64 // fraction of each prompt's tokens shared batch-wide
+	BatchSize     int
+	TokensPerSec  float64
+}
+
+// ThroughputModel computes decode throughput for a batch of identical
+// requests with promptTokens context each, of which shareFraction is a
+// module shared by the whole batch (stored once). hbmBudget is the memory
+// available for KV states after weights.
+//
+// Batch decode time per step is modelled as the weight-stream time (one
+// pass serves the whole batch) plus per-request KV reads.
+func ThroughputModel(d *Device, m Model, promptTokens int, shareFraction float64, hbmBudget int64) ThroughputPoint {
+	perReq := float64(promptTokens) * (1 - shareFraction) * float64(m.BytesPerToken())
+	shared := float64(promptTokens) * shareFraction * float64(m.BytesPerToken())
+	if perReq <= 0 {
+		perReq = float64(m.BytesPerToken()) // at least the generated token
+	}
+	batch := int((float64(hbmBudget) - shared) / perReq)
+	if batch < 1 {
+		batch = 1
+	}
+	// Per decode step: stream weights once, read each request's KV.
+	weightT := float64(m.WeightBytes()) / d.EffMemBW()
+	kvT := (shared + float64(batch)*perReq) / d.EffMemBW()
+	stepT := weightT + kvT + (time.Duration(d.Overhead) / 8).Seconds()
+	return ThroughputPoint{
+		ShareFraction: shareFraction,
+		BatchSize:     batch,
+		TokensPerSec:  float64(batch) / stepT,
+	}
+}

@@ -1,0 +1,209 @@
+package kvcache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrDoubleFree is returned when a sequence or block is released more
+// times than it was acquired.
+var ErrDoubleFree = errors.New("kvcache: double free")
+
+// BlockID identifies a block in a PagedPool.
+type BlockID int
+
+// PagedPool is a reference-counted block pool for KV states, modelling
+// the paged-attention sharing optimization the paper leans on for batch
+// inference (§3.4): prompts in a batch that import the same prompt module
+// point at the same physical blocks instead of duplicating them.
+//
+// The pool tracks logical token blocks; the actual KV payload lives in
+// the *Cache objects the blocks reference. What the pool gives the system
+// is exact accounting of physical vs logical memory so the Fig-5/§5.4
+// batch-footprint claims can be measured.
+type PagedPool struct {
+	blockTokens int // tokens per block
+	bytesPerTok int64
+
+	mu       sync.Mutex
+	refs     map[BlockID]int
+	sizes    map[BlockID]int // tokens actually used in the block
+	payload  map[BlockID]*Cache
+	nextID   BlockID
+	freed    []BlockID // recycled ids
+	physPeak int64
+}
+
+// NewPagedPool returns a pool with the given block granularity (tokens per
+// block) and per-token physical size in bytes.
+func NewPagedPool(blockTokens int, bytesPerToken int64) *PagedPool {
+	if blockTokens <= 0 {
+		panic("kvcache: blockTokens must be positive")
+	}
+	return &PagedPool{
+		blockTokens: blockTokens,
+		bytesPerTok: bytesPerToken,
+		refs:        make(map[BlockID]int),
+		sizes:       make(map[BlockID]int),
+		payload:     make(map[BlockID]*Cache),
+	}
+}
+
+// BlockTokens returns the tokens-per-block granularity.
+func (p *PagedPool) BlockTokens() int { return p.blockTokens }
+
+// Store splits kv into blocks, stores them with refcount 1 and returns
+// their ids. The returned blocks can subsequently be shared with Retain.
+func (p *PagedPool) Store(kv *Cache) []BlockID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ids []BlockID
+	for lo := 0; lo < kv.Len(); lo += p.blockTokens {
+		hi := lo + p.blockTokens
+		if hi > kv.Len() {
+			hi = kv.Len()
+		}
+		id := p.alloc()
+		p.refs[id] = 1
+		p.sizes[id] = hi - lo
+		p.payload[id] = kv.Slice(lo, hi)
+		ids = append(ids, id)
+	}
+	p.physPeak = maxI64(p.physPeak, p.physicalBytesLocked())
+	return ids
+}
+
+func (p *PagedPool) alloc() BlockID {
+	if n := len(p.freed); n > 0 {
+		id := p.freed[n-1]
+		p.freed = p.freed[:n-1]
+		return id
+	}
+	id := p.nextID
+	p.nextID++
+	return id
+}
+
+// Retain increments the refcount of every block in ids, sharing them with
+// another sequence. It returns an error if any id is not live.
+func (p *PagedPool) Retain(ids []BlockID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		if p.refs[id] <= 0 {
+			return fmt.Errorf("kvcache: Retain of dead block %d", id)
+		}
+	}
+	for _, id := range ids {
+		p.refs[id]++
+	}
+	return nil
+}
+
+// Release decrements refcounts, freeing blocks that reach zero. Releasing
+// a dead block returns ErrDoubleFree and leaves the pool unchanged.
+func (p *PagedPool) Release(ids []BlockID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		if p.refs[id] <= 0 {
+			return fmt.Errorf("%w: block %d", ErrDoubleFree, id)
+		}
+	}
+	for _, id := range ids {
+		p.refs[id]--
+		if p.refs[id] == 0 {
+			delete(p.refs, id)
+			delete(p.sizes, id)
+			delete(p.payload, id)
+			p.freed = append(p.freed, id)
+		}
+	}
+	return nil
+}
+
+// Gather materializes the blocks in ids, in order, into a single Cache.
+func (p *PagedPool) Gather(ids []BlockID) (*Cache, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var parts []*Cache
+	for _, id := range ids {
+		pay, ok := p.payload[id]
+		if !ok {
+			return nil, fmt.Errorf("kvcache: Gather of dead block %d", id)
+		}
+		parts = append(parts, pay)
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("kvcache: Gather of no blocks")
+	}
+	return Concat(parts...), nil
+}
+
+// LiveBlocks returns the number of live (refcount > 0) blocks.
+func (p *PagedPool) LiveBlocks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.refs)
+}
+
+// PhysicalBytes returns the bytes held by live blocks (each block counted
+// once regardless of sharing).
+func (p *PagedPool) PhysicalBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.physicalBytesLocked()
+}
+
+func (p *PagedPool) physicalBytesLocked() int64 {
+	var b int64
+	for _, n := range p.sizes {
+		b += int64(n) * p.bytesPerTok
+	}
+	return b
+}
+
+// LogicalBytes returns the bytes the blocks would occupy without sharing
+// (each block counted once per reference). The gap between LogicalBytes
+// and PhysicalBytes is exactly the saving §3.4 describes.
+func (p *PagedPool) LogicalBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var b int64
+	for id, n := range p.sizes {
+		b += int64(n) * p.bytesPerTok * int64(p.refs[id])
+	}
+	return b
+}
+
+// PeakPhysicalBytes returns the high-water mark of physical usage.
+func (p *PagedPool) PeakPhysicalBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.physPeak
+}
+
+// RefCounts returns a sorted snapshot of live block refcounts, for tests.
+func (p *PagedPool) RefCounts() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]int, 0, len(p.refs))
+	for id := range p.refs {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = p.refs[BlockID(id)]
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package kvcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization for KV caches, so a serving system can persist
+// encoded prompt modules across restarts instead of re-running prompt
+// module encoding (§3.3's one-time cost) on every boot.
+//
+// Format (little-endian):
+//
+//	magic   uint32  'P''C''K''V'
+//	version uint32  1
+//	nLayers uint32
+//	kvDim   uint32
+//	tokens  uint32
+//	pos     tokens × int64
+//	layers  nLayers × (K payload, V payload), each tokens×kvDim float32
+
+const (
+	kvMagic   = 0x504b4356 // "PKCV"
+	kvVersion = 1
+)
+
+// WriteTo serializes the cache. It returns the number of bytes written.
+func (c *Cache) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	hdr := []uint32{kvMagic, kvVersion, uint32(c.NLayers), uint32(c.KVDim), uint32(c.Len())}
+	for _, h := range hdr {
+		if err := write(h); err != nil {
+			return n, err
+		}
+	}
+	for _, p := range c.Pos {
+		if err := write(int64(p)); err != nil {
+			return n, err
+		}
+	}
+	for l := 0; l < c.NLayers; l++ {
+		if err := writeFloats(bw, c.K[l], &n); err != nil {
+			return n, err
+		}
+		if err := writeFloats(bw, c.V[l], &n); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+func writeFloats(w io.Writer, xs []float32, n *int64) error {
+	buf := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
+	}
+	m, err := w.Write(buf)
+	*n += int64(m)
+	return err
+}
+
+// maxSerializedTokens bounds deserialization against corrupt headers.
+const maxSerializedTokens = 1 << 24
+
+// ReadFrom deserializes a cache produced by WriteTo.
+func ReadFrom(r io.Reader) (*Cache, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("kvcache: reading header: %w", err)
+		}
+	}
+	if hdr[0] != kvMagic {
+		return nil, fmt.Errorf("kvcache: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != kvVersion {
+		return nil, fmt.Errorf("kvcache: unsupported version %d", hdr[1])
+	}
+	nLayers, kvDim, tokens := int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if nLayers <= 0 || kvDim <= 0 || tokens < 0 || tokens > maxSerializedTokens {
+		return nil, fmt.Errorf("kvcache: implausible header layers=%d kvDim=%d tokens=%d", nLayers, kvDim, tokens)
+	}
+	c := New(nLayers, kvDim, tokens)
+	for i := 0; i < tokens; i++ {
+		var p int64
+		if err := binary.Read(br, binary.LittleEndian, &p); err != nil {
+			return nil, fmt.Errorf("kvcache: reading positions: %w", err)
+		}
+		c.Pos = append(c.Pos, int(p))
+	}
+	for l := 0; l < nLayers; l++ {
+		k, err := readFloats(br, tokens*kvDim)
+		if err != nil {
+			return nil, fmt.Errorf("kvcache: layer %d keys: %w", l, err)
+		}
+		v, err := readFloats(br, tokens*kvDim)
+		if err != nil {
+			return nil, fmt.Errorf("kvcache: layer %d values: %w", l, err)
+		}
+		c.K[l] = k
+		c.V[l] = v
+	}
+	return c, nil
+}
+
+func readFloats(r io.Reader, n int) ([]float32, error) {
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package kvcache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	c := New(3, 8, 12)
+	fill(c, 12, 100, 77)
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NLayers != c.NLayers || got.KVDim != c.KVDim || got.Len() != c.Len() {
+		t.Fatalf("shape mismatch: %+v", got)
+	}
+	for i := range c.Pos {
+		if got.Pos[i] != c.Pos[i] {
+			t.Fatal("positions corrupted")
+		}
+	}
+	for l := 0; l < c.NLayers; l++ {
+		for i := range c.K[l] {
+			if got.K[l][i] != c.K[l][i] || got.V[l][i] != c.V[l][i] {
+				t.Fatal("payload corrupted")
+			}
+		}
+	}
+}
+
+func TestSerializeEmptyCache(t *testing.T) {
+	c := New(2, 4, 0)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}
+
+func TestReadFromBadMagic(t *testing.T) {
+	if _, err := ReadFrom(strings.NewReader("not a kv cache at all, sorry")); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestReadFromTruncated(t *testing.T) {
+	c := New(2, 4, 6)
+	fill(c, 6, 0, 5)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{4, 10, 20, len(full) / 2, len(full) - 1} {
+		if _, err := ReadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestReadFromImplausibleHeader(t *testing.T) {
+	c := New(1, 1, 1)
+	fill(c, 1, 0, 1)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt token count to a huge value.
+	b[16], b[17], b[18], b[19] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Fatal("expected implausible-header error")
+	}
+}
+
+func TestSerializeVersioned(t *testing.T) {
+	c := New(1, 2, 1)
+	fill(c, 1, 0, 3)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // bump version
+	if _, err := ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Fatal("expected version error")
+	}
+}

@@ -1,0 +1,298 @@
+// Package longbench generates synthetic stand-ins for the LongBench suite
+// (Bai et al. 2023) the paper evaluates on (§5.1): 21 datasets across 6
+// categories, 4–10K-token contexts built from document pools that recur
+// across samples — exactly the sharing structure Prompt Cache exploits —
+// plus task-specific uncached directives.
+//
+// Real LongBench data is unavailable offline; what the experiments need
+// from it is (a) the cached/uncached token-count distributions per dataset
+// (for the latency figures, which use the analytic hardware model) and
+// (b) paired prompts with references so baseline and cached inference can
+// be scored with the same metrics (for Table 1). Both are preserved:
+// documents are deterministic pseudo-text with embedded facts, questions
+// target those facts, and references are the fact statements.
+package longbench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Category mirrors LongBench's six task families.
+type Category int
+
+const (
+	// SingleDocQA asks one question about one document.
+	SingleDocQA Category = iota
+	// MultiDocQA reasons over several documents.
+	MultiDocQA
+	// Summarization condenses one or more documents.
+	Summarization
+	// FewShot prepends in-context examples (TriviaQA-style).
+	FewShot
+	// Synthetic covers retrieval/counting probes.
+	Synthetic
+	// Code covers repository-level code completion.
+	Code
+)
+
+func (c Category) String() string {
+	switch c {
+	case SingleDocQA:
+		return "single-doc QA"
+	case MultiDocQA:
+		return "multi-doc QA"
+	case Summarization:
+		return "summarization"
+	case FewShot:
+		return "few-shot"
+	case Synthetic:
+		return "synthetic"
+	case Code:
+		return "code"
+	}
+	return "unknown"
+}
+
+// Dataset describes one LongBench dataset: its task family, Table-1
+// metric, and the paper-scale token statistics the latency model consumes
+// (ContextTokens ≈ cached document tokens, TaskTokens ≈ uncached
+// directive tokens; §5.1 keeps documents cached and directives uncached).
+type Dataset struct {
+	Name          string
+	Category      Category
+	Metric        string // "F1", "Rouge L", or "Acc"
+	ContextTokens int
+	TaskTokens    int
+}
+
+// All21 returns the full LongBench roster (§5.1, appendix).
+func All21() []Dataset {
+	return []Dataset{
+		{"NarrativeQA", SingleDocQA, "F1", 6000, 150},
+		{"Qasper", SingleDocQA, "F1", 4200, 140},
+		{"MultiFieldQA-en", SingleDocQA, "F1", 4800, 120},
+		{"MultiFieldQA-zh", SingleDocQA, "F1", 4400, 120},
+		{"HotpotQA", MultiDocQA, "F1", 5200, 130},
+		{"2 Wiki Multi-Hop QA", MultiDocQA, "F1", 4900, 130},
+		{"MuSiQue", MultiDocQA, "F1", 5600, 140},
+		{"DuReader", MultiDocQA, "Rouge L", 5100, 160},
+		{"GovReport", Summarization, "Rouge L", 6200, 90},
+		{"QMSum", Summarization, "Rouge L", 5400, 180},
+		{"MultiNews", Summarization, "Rouge L", 4600, 90},
+		{"VCSUM", Summarization, "Rouge L", 5800, 100},
+		{"TREC", FewShot, "Acc", 4100, 220},
+		{"TriviaQA", FewShot, "F1", 5500, 600},
+		{"SAMSum", FewShot, "Rouge L", 4300, 240},
+		{"LSHT", FewShot, "Acc", 4500, 230},
+		{"PassageCount", Synthetic, "Acc", 5000, 80},
+		{"Passage Retrieval", Synthetic, "Acc", 5300, 60},
+		{"PassageRetrieval-zh", Synthetic, "Acc", 4900, 60},
+		{"LCC", Code, "EditSim", 4700, 110},
+		{"RepoBench-P", Code, "EditSim", 5200, 130},
+	}
+}
+
+// Figure8 returns the eight datasets of Figs. 3–4 and Table 1.
+func Figure8() []Dataset {
+	want := map[string]bool{
+		"NarrativeQA": true, "2 Wiki Multi-Hop QA": true, "MuSiQue": true,
+		"GovReport": true, "QMSum": true, "MultiNews": true,
+		"TriviaQA": true, "Passage Retrieval": true,
+	}
+	var out []Dataset
+	for _, d := range All21() {
+		if want[d.Name] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByName returns the dataset with the given name.
+func ByName(name string) (Dataset, bool) {
+	for _, d := range All21() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// Sample is one evaluation prompt paired with its reference answer.
+type Sample struct {
+	Prompt    string   // PML prompt importing document modules + question
+	Question  string   // raw question text
+	Reference string   // ground-truth answer for scoring
+	Docs      []string // imported module names
+}
+
+// Workload is a dataset instantiated at some scale: one PML schema whose
+// modules are the document pool, plus samples that import pool subsets.
+type Workload struct {
+	Dataset Dataset
+	Schema  string
+	Samples []Sample
+}
+
+// GenConfig controls workload synthesis. The zero value is usable; Scale
+// shrinks documents for engine-speed tests while keeping structure.
+type GenConfig struct {
+	Seed          uint64
+	NumSamples    int // prompts to generate (default 8)
+	PoolDocs      int // documents in the schema pool (default 6)
+	DocsPerSample int // documents each prompt imports (default 2)
+	DocSentences  int // sentences per document (default 12)
+}
+
+func (g *GenConfig) defaults() {
+	if g.NumSamples <= 0 {
+		g.NumSamples = 8
+	}
+	if g.PoolDocs <= 0 {
+		g.PoolDocs = 6
+	}
+	if g.DocsPerSample <= 0 {
+		g.DocsPerSample = 2
+	}
+	if g.DocsPerSample > g.PoolDocs {
+		g.DocsPerSample = g.PoolDocs
+	}
+	if g.DocSentences <= 0 {
+		g.DocSentences = 12
+	}
+}
+
+// vocabulary pools for pseudo-text. Small pools give generations and
+// references a realistic token overlap under an untrained model.
+var (
+	subjects = []string{"river", "archive", "council", "harbor", "garden",
+		"observatory", "market", "bridge", "library", "festival", "mine",
+		"railway", "castle", "valley", "workshop"}
+	attributes = []string{"founder", "height", "color", "age", "keeper",
+		"origin", "neighbor", "motto", "season", "patron"}
+	values = []string{"amber", "basalt", "cedar", "dorian", "ember",
+		"fennel", "garnet", "heather", "indigo", "juniper", "krypton",
+		"laurel", "meridian", "nimbus", "ochre"}
+	fillers = []string{"the", "records", "show", "that", "many", "visitors",
+		"described", "its", "long", "history", "with", "great", "detail",
+		"while", "others", "noted", "seasonal", "changes", "and", "trade"}
+)
+
+// fact is one retrievable statement planted in a document.
+type fact struct {
+	subject, attribute, value string
+}
+
+func (f fact) statement() string {
+	return fmt.Sprintf("the %s of the %s is %s", f.attribute, f.subject, f.value)
+}
+
+func (f fact) question() string {
+	return fmt.Sprintf("what is the %s of the %s", f.attribute, f.subject)
+}
+
+// docContent builds one document's text and returns its planted facts.
+func docContent(r *rng.RNG, sentences int) (string, []fact) {
+	var sb strings.Builder
+	var facts []fact
+	for s := 0; s < sentences; s++ {
+		if s%3 == 1 { // every third sentence carries a fact
+			f := fact{
+				subject:   rng.Choice(r, subjects),
+				attribute: rng.Choice(r, attributes),
+				value:     rng.Choice(r, values),
+			}
+			facts = append(facts, f)
+			sb.WriteString(f.statement())
+		} else {
+			n := r.IntRange(6, 14)
+			words := make([]string, n)
+			for i := range words {
+				words[i] = rng.Choice(r, fillers)
+			}
+			sb.WriteString(strings.Join(words, " "))
+		}
+		sb.WriteString(". ")
+	}
+	return strings.TrimSpace(sb.String()), facts
+}
+
+// Generate synthesizes a workload for dataset d.
+func Generate(d Dataset, cfg GenConfig) *Workload {
+	cfg.defaults()
+	r := rng.New(cfg.Seed ^ rng.NewString(d.Name).Uint64())
+
+	type doc struct {
+		name  string
+		text  string
+		facts []fact
+	}
+	docs := make([]doc, cfg.PoolDocs)
+	var schema strings.Builder
+	fmt.Fprintf(&schema, "<schema name=%q>\n", schemaName(d))
+	schema.WriteString("  You are a careful assistant answering from the provided documents.\n")
+	for i := range docs {
+		text, facts := docContent(r.Split(), cfg.DocSentences)
+		docs[i] = doc{name: fmt.Sprintf("doc%d", i), text: text, facts: facts}
+		fmt.Fprintf(&schema, "  <module name=%q>%s</module>\n", docs[i].name, text)
+	}
+	schema.WriteString("</schema>\n")
+
+	w := &Workload{Dataset: d, Schema: schema.String()}
+	for s := 0; s < cfg.NumSamples; s++ {
+		picked := rng.Sample(r, docs, cfg.DocsPerSample)
+		names := make([]string, len(picked))
+		var imports strings.Builder
+		for i, dd := range picked {
+			names[i] = dd.name
+			fmt.Fprintf(&imports, "<%s/>", dd.name)
+		}
+		q, ref := taskFor(d, r, picked[0].facts, names)
+		prompt := fmt.Sprintf("<prompt schema=%q>%s\n<user>%s</user>\n</prompt>",
+			schemaName(d), imports.String(), q)
+		w.Samples = append(w.Samples, Sample{
+			Prompt: prompt, Question: q, Reference: ref, Docs: names,
+		})
+	}
+	return w
+}
+
+func schemaName(d Dataset) string {
+	return "lb-" + strings.ToLower(strings.ReplaceAll(d.Name, " ", "-"))
+}
+
+// taskFor builds the question and reference appropriate to the dataset's
+// category.
+func taskFor(d Dataset, r *rng.RNG, facts []fact, docNames []string) (q, ref string) {
+	switch d.Category {
+	case Summarization:
+		q = "summarize the key facts stated in the documents"
+		parts := make([]string, 0, len(facts))
+		for _, f := range facts {
+			parts = append(parts, f.statement())
+		}
+		return q, strings.Join(parts, ". ")
+	case Synthetic:
+		f := rng.Choice(r, facts)
+		q = fmt.Sprintf("which document states the %s of the %s", f.attribute, f.subject)
+		return q, docNames[0]
+	case FewShot:
+		// Few-shot directives carry worked examples, inflating the
+		// uncached portion (the paper calls out TriviaQA for this).
+		f := rng.Choice(r, facts)
+		example := fact{subject: rng.Choice(r, subjects), attribute: rng.Choice(r, attributes), value: rng.Choice(r, values)}
+		q = fmt.Sprintf("for example when asked %s one answers %s. now %s",
+			example.question(), example.value, f.question())
+		return q, f.value
+	case Code:
+		f := rng.Choice(r, facts)
+		q = fmt.Sprintf("complete the accessor returning the %s of the %s", f.attribute, f.subject)
+		return q, f.value
+	default: // single- and multi-doc QA
+		f := rng.Choice(r, facts)
+		return f.question(), f.statement()
+	}
+}

@@ -1,0 +1,253 @@
+package longbench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pml"
+	"repro/internal/tokenizer"
+)
+
+func TestAll21Roster(t *testing.T) {
+	ds := All21()
+	if len(ds) != 21 {
+		t.Fatalf("got %d datasets, LongBench has 21", len(ds))
+	}
+	seen := map[string]bool{}
+	cats := map[Category]int{}
+	for _, d := range ds {
+		if seen[d.Name] {
+			t.Fatalf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		cats[d.Category]++
+		if d.ContextTokens < 4000 || d.ContextTokens > 10000 {
+			t.Errorf("%s: context %d outside LongBench's 4-10K", d.Name, d.ContextTokens)
+		}
+		if d.TaskTokens <= 0 {
+			t.Errorf("%s: non-positive task tokens", d.Name)
+		}
+	}
+	if len(cats) != 6 {
+		t.Fatalf("got %d categories, want 6", len(cats))
+	}
+}
+
+func TestFigure8Roster(t *testing.T) {
+	ds := Figure8()
+	if len(ds) != 8 {
+		t.Fatalf("Figure8 has %d datasets, want 8", len(ds))
+	}
+	want := []string{"NarrativeQA", "2 Wiki Multi-Hop QA", "MuSiQue",
+		"GovReport", "QMSum", "MultiNews", "TriviaQA", "Passage Retrieval"}
+	for i, d := range ds {
+		if d.Name != want[i] {
+			t.Fatalf("Figure8[%d] = %q, want %q", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestTriviaQAHasLargestUncached(t *testing.T) {
+	// §5.2.2 calls out TriviaQA for its large uncached portion.
+	tq, ok := ByName("TriviaQA")
+	if !ok {
+		t.Fatal("TriviaQA missing")
+	}
+	for _, d := range Figure8() {
+		if d.Name != "TriviaQA" && d.TaskTokens >= tq.TaskTokens {
+			t.Fatalf("%s task tokens %d >= TriviaQA's %d", d.Name, d.TaskTokens, tq.TaskTokens)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("GovReport"); !ok {
+		t.Fatal("GovReport should resolve")
+	}
+	if _, ok := ByName("Nonexistent"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d, _ := ByName("NarrativeQA")
+	a := Generate(d, GenConfig{Seed: 1})
+	b := Generate(d, GenConfig{Seed: 1})
+	if a.Schema != b.Schema {
+		t.Fatal("schema not deterministic")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Prompt != b.Samples[i].Prompt || a.Samples[i].Reference != b.Samples[i].Reference {
+			t.Fatal("samples not deterministic")
+		}
+	}
+	c := Generate(d, GenConfig{Seed: 2})
+	if a.Schema == c.Schema {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGeneratedSchemaParses(t *testing.T) {
+	for _, d := range Figure8() {
+		w := Generate(d, GenConfig{Seed: 3, PoolDocs: 4, NumSamples: 3})
+		s, err := pml.ParseSchema(w.Schema)
+		if err != nil {
+			t.Fatalf("%s schema: %v", d.Name, err)
+		}
+		// Pool docs present as modules.
+		mods := 0
+		for _, n := range s.Nodes {
+			if _, ok := n.(*pml.Module); ok {
+				mods++
+			}
+		}
+		if mods != 4 {
+			t.Fatalf("%s: %d modules, want 4", d.Name, mods)
+		}
+	}
+}
+
+func TestGeneratedPromptsParseAndResolve(t *testing.T) {
+	for _, d := range Figure8() {
+		w := Generate(d, GenConfig{Seed: 5, PoolDocs: 5, DocsPerSample: 2, NumSamples: 4})
+		for _, s := range w.Samples {
+			p, err := pml.ParsePrompt(s.Prompt)
+			if err != nil {
+				t.Fatalf("%s prompt: %v", d.Name, err)
+			}
+			if p.SchemaName != schemaName(d) {
+				t.Fatalf("%s: schema ref %q", d.Name, p.SchemaName)
+			}
+			imports := 0
+			hasUser := false
+			for _, it := range p.Items {
+				switch v := it.(type) {
+				case *pml.Import:
+					imports++
+					if !strings.HasPrefix(v.Name, "doc") {
+						t.Fatalf("unexpected import %q", v.Name)
+					}
+				case *pml.PromptText:
+					if v.Role == pml.RoleUser {
+						hasUser = true
+					}
+				}
+			}
+			if imports != 2 || !hasUser {
+				t.Fatalf("%s: imports=%d user=%v", d.Name, imports, hasUser)
+			}
+		}
+	}
+}
+
+func TestReferencesNonEmpty(t *testing.T) {
+	for _, d := range All21() {
+		w := Generate(d, GenConfig{Seed: 7, NumSamples: 3})
+		for i, s := range w.Samples {
+			if strings.TrimSpace(s.Reference) == "" {
+				t.Fatalf("%s sample %d: empty reference", d.Name, i)
+			}
+			if strings.TrimSpace(s.Question) == "" {
+				t.Fatalf("%s sample %d: empty question", d.Name, i)
+			}
+			if len(s.Docs) == 0 {
+				t.Fatalf("%s sample %d: no docs", d.Name, i)
+			}
+		}
+	}
+}
+
+func TestQAReferenceAnswerable(t *testing.T) {
+	// For QA datasets the reference fact statement must literally appear
+	// in one of the imported documents.
+	d, _ := ByName("NarrativeQA")
+	w := Generate(d, GenConfig{Seed: 11, NumSamples: 5})
+	for i, s := range w.Samples {
+		if !strings.Contains(w.Schema, s.Reference) {
+			t.Fatalf("sample %d: reference %q not planted in any document", i, s.Reference)
+		}
+	}
+}
+
+func TestDocSizesScaleWithConfig(t *testing.T) {
+	d, _ := ByName("GovReport")
+	small := Generate(d, GenConfig{Seed: 13, DocSentences: 4})
+	big := Generate(d, GenConfig{Seed: 13, DocSentences: 40})
+	tk := tokenizer.New(tokenizer.WordBase + 4096)
+	if len(tk.Encode(big.Schema)) < 3*len(tk.Encode(small.Schema)) {
+		t.Fatal("DocSentences should scale document size")
+	}
+}
+
+func TestFewShotDirectiveLonger(t *testing.T) {
+	// Few-shot questions carry worked examples → longer task text than
+	// plain QA questions, mirroring the dataset metadata.
+	qa, _ := ByName("NarrativeQA")
+	fs, _ := ByName("TriviaQA")
+	wqa := Generate(qa, GenConfig{Seed: 17, NumSamples: 6})
+	wfs := Generate(fs, GenConfig{Seed: 17, NumSamples: 6})
+	avg := func(w *Workload) int {
+		n := 0
+		for _, s := range w.Samples {
+			n += len(strings.Fields(s.Question))
+		}
+		return n / len(w.Samples)
+	}
+	if avg(wfs) <= avg(wqa) {
+		t.Fatalf("few-shot questions (%d words) should exceed QA questions (%d words)", avg(wfs), avg(wqa))
+	}
+}
+
+// TestPaperScaleTokenCounts: generating a workload at paper scale
+// (large documents) actually produces schemas whose tokenized size is in
+// the 4-10K LongBench band the latency model assumes, reconciling the
+// generator with the Dataset.ContextTokens metadata.
+func TestPaperScaleTokenCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale generation")
+	}
+	d, _ := ByName("QMSum")
+	// ~9 tokens per sentence; ContextTokens/PoolDocs sentences per doc
+	// puts the pool near the advertised context size.
+	sentences := d.ContextTokens / 4 / 9
+	w := Generate(d, GenConfig{Seed: 23, PoolDocs: 4, DocSentences: sentences, NumSamples: 1})
+	tk := tokenizer.New(tokenizer.WordBase + 65536)
+	s, err := pml.ParseSchema(w.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ly, err := pml.Compile(s, tk, pml.PlainTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ly.TotalLen < 4000 || ly.TotalLen > 10000 {
+		t.Fatalf("paper-scale schema is %d tokens, want within LongBench's 4-10K", ly.TotalLen)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for c, want := range map[Category]string{
+		SingleDocQA: "single-doc QA", MultiDocQA: "multi-doc QA",
+		Summarization: "summarization", FewShot: "few-shot",
+		Synthetic: "synthetic", Code: "code",
+	} {
+		if c.String() != want {
+			t.Fatalf("Category(%d) = %q", c, c.String())
+		}
+	}
+}
+
+func TestGenConfigDefaults(t *testing.T) {
+	d, _ := ByName("QMSum")
+	w := Generate(d, GenConfig{Seed: 19})
+	if len(w.Samples) != 8 {
+		t.Fatalf("default samples = %d", len(w.Samples))
+	}
+	// DocsPerSample capped at pool size.
+	w2 := Generate(d, GenConfig{Seed: 19, PoolDocs: 2, DocsPerSample: 10})
+	for _, s := range w2.Samples {
+		if len(s.Docs) != 2 {
+			t.Fatalf("docs per sample = %d, want capped 2", len(s.Docs))
+		}
+	}
+}

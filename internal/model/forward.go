@@ -1,0 +1,262 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kvcache"
+	"repro/internal/tensor"
+)
+
+func cos(x float64) float64    { return math.Cos(x) }
+func sin(x float64) float64    { return math.Sin(x) }
+func pow(b, e float64) float64 { return math.Pow(b, e) }
+
+// NewCache returns an empty KV cache shaped for this model, reserving
+// capacity for capTokens tokens.
+func (m *Model) NewCache(capTokens int) *kvcache.Cache {
+	return kvcache.New(m.Cfg.NLayers, m.Cfg.KVDim(), capTokens)
+}
+
+// scratch holds per-forward-pass temporaries so the token loop does not
+// allocate. One scratch per goroutine; Model itself stays read-only.
+type scratch struct {
+	x, h, attnOut, proj []float32
+	q, k, v             []float32
+	ffn1, ffn3          []float32
+	scores              []float32
+}
+
+func (m *Model) newScratch() *scratch {
+	d := m.Cfg.Dim
+	return &scratch{
+		x: make([]float32, d), h: make([]float32, d),
+		attnOut: make([]float32, d), proj: make([]float32, d),
+		q: make([]float32, d), k: make([]float32, m.Cfg.KVDim()), v: make([]float32, m.Cfg.KVDim()),
+		ffn1: make([]float32, m.Cfg.FFNDim), ffn3: make([]float32, m.Cfg.FFNDim),
+	}
+}
+
+// Prefill runs the forward pass over tokens with the given explicit
+// position IDs, appending each token's key/value states to cache and
+// returning the logits of the final token. Attention for token i spans
+// everything already in cache plus tokens 0..i of this call — exactly the
+// KV-cache contract (§2.2), generalized to arbitrary position IDs (§3.3).
+//
+// Encoding a prompt module is Prefill into an empty cache (confining
+// attention to the module span); serving a prompt is Prefill of the
+// uncached suffix into the concatenated module states (§3.4).
+func (m *Model) Prefill(tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+	if len(tokens) != len(positions) {
+		return nil, fmt.Errorf("model: %d tokens but %d positions", len(tokens), len(positions))
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("model: empty prefill")
+	}
+	if len(tokens) >= chunkThreshold {
+		return m.prefillChunk(tokens, positions, cache)
+	}
+	return m.prefillSequential(tokens, positions, cache)
+}
+
+// prefillSequential is the reference per-token path; prefillChunk must
+// agree with it (tested bit-close).
+func (m *Model) prefillSequential(tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+	sc := m.newScratch()
+	var logits []float32
+	for i, tok := range tokens {
+		if err := m.step(tok, positions[i], cache, sc); err != nil {
+			return nil, err
+		}
+		if i == len(tokens)-1 {
+			logits = m.logits(sc.x)
+		}
+	}
+	return logits, nil
+}
+
+// Decode runs one autoregressive step: it appends token at position pos to
+// the cache and returns the next-token logits.
+func (m *Model) Decode(token, pos int, cache *kvcache.Cache) ([]float32, error) {
+	sc := m.newScratch()
+	if err := m.step(token, pos, cache, sc); err != nil {
+		return nil, err
+	}
+	return m.logits(sc.x), nil
+}
+
+// step processes a single token through every layer, appending its KV
+// states to cache. After step returns, sc.x holds the final hidden state
+// (pre final-norm; logits() applies it).
+func (m *Model) step(token, pos int, cache *kvcache.Cache, sc *scratch) error {
+	cfg := &m.Cfg
+	if token < 0 || token >= cfg.VocabSize {
+		return fmt.Errorf("model: token %d out of vocab %d", token, cfg.VocabSize)
+	}
+	if pos < 0 || pos >= cfg.MaxSeq {
+		return fmt.Errorf("model: position %d out of range [0,%d)", pos, cfg.MaxSeq)
+	}
+	copy(sc.x, m.embedding.Row(token))
+	if cfg.PosEnc == Learned {
+		tensor.Add(sc.x, m.posTable.Row(pos))
+	}
+
+	// The token's position is recorded before the layer loop; each layer
+	// appends its K/V rows, so after layer l the cache's layer-l buffers
+	// have exactly len(Pos) rows.
+	cache.AppendPos(pos)
+	n := cache.Len() // rows to attend over at each layer, including self
+
+	for l := range m.layers {
+		ly := &m.layers[l]
+		m.norm(sc.h, sc.x, ly.attnNormW, ly.attnNormB)
+
+		matVecT(sc.q, ly.wq, sc.h)
+		matVecT(sc.k, ly.wk, sc.h)
+		matVecT(sc.v, ly.wv, sc.h)
+		if cfg.PosEnc == RoPE {
+			m.applyRope(sc.q, cfg.NHeads, pos)
+			m.applyRope(sc.k, cfg.NKVHeads, pos)
+		}
+		cache.AppendToken(l, sc.k, sc.v)
+
+		m.attend(sc, cache, l, n)
+
+		matVecT(sc.proj, ly.wo, sc.attnOut)
+		if cfg.ParallelAttn {
+			// Falcon block: x = x + attn(h) + ffn(h), same normed input.
+			tensor.Add(sc.x, sc.proj)
+			m.ffn(sc, ly, sc.h)
+		} else {
+			tensor.Add(sc.x, sc.proj)
+			m.norm(sc.h, sc.x, ly.ffnNormW, ly.ffnNormB)
+			m.ffn(sc, ly, sc.h)
+		}
+	}
+	return nil
+}
+
+// attend computes multi-head attention for the newest cache row (index
+// n-1) over rows [0, n) of layer l, writing the merged heads to sc.attnOut.
+func (m *Model) attend(sc *scratch, cache *kvcache.Cache, l, n int) {
+	cfg := &m.Cfg
+	hd := cfg.HeadDim()
+	group := cfg.NHeads / cfg.NKVHeads
+	invSqrt := float32(1 / math.Sqrt(float64(hd)))
+	if cap(sc.scores) < n {
+		sc.scores = make([]float32, n)
+	}
+	scores := sc.scores[:n]
+	qPos := cache.Pos[n-1]
+
+	for h := 0; h < cfg.NHeads; h++ {
+		kvh := h / group
+		qh := sc.q[h*hd : (h+1)*hd]
+		for j := 0; j < n; j++ {
+			krow := cache.KeyRow(l, j)
+			s := tensor.Dot(qh, krow[kvh*hd:(kvh+1)*hd]) * invSqrt
+			if cfg.PosEnc == ALiBi {
+				// Bias from explicit position IDs (§4.2): the classic
+				// -slope·distance, where distance uses the recorded
+				// positions, not array indices, so module gaps behave
+				// like the paper's "white space".
+				dist := qPos - cache.Pos[j]
+				if dist < 0 {
+					dist = 0
+				}
+				s -= m.alibiSlope[h] * float32(dist)
+			}
+			scores[j] = s
+		}
+		tensor.Softmax(scores)
+		out := sc.attnOut[h*hd : (h+1)*hd]
+		for i := range out {
+			out[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			w := scores[j]
+			if w == 0 {
+				continue
+			}
+			vrow := cache.ValueRow(l, j)
+			vh := vrow[kvh*hd : (kvh+1)*hd]
+			for i := range out {
+				out[i] += w * vh[i]
+			}
+		}
+	}
+}
+
+// ffn applies the feed-forward block to h and adds it into sc.x.
+func (m *Model) ffn(sc *scratch, ly *layer, h []float32) {
+	matVecT(sc.ffn1, ly.w1, h)
+	switch m.Cfg.Act {
+	case SwiGLU:
+		tensor.SiLU(sc.ffn1)
+		matVecT(sc.ffn3, ly.w3, h)
+		tensor.Mul(sc.ffn1, sc.ffn3)
+	case GELU:
+		tensor.GELU(sc.ffn1)
+	}
+	matVecT(sc.proj, ly.w2, sc.ffn1)
+	tensor.Add(sc.x, sc.proj)
+}
+
+// applyRope rotates each head's (even, odd) pairs by the position's
+// precomputed angle from the lookup tables.
+func (m *Model) applyRope(vec []float32, nHeads, pos int) {
+	hd := m.Cfg.HeadDim()
+	half := hd / 2
+	cosRow := m.ropeCos.Row(pos)
+	sinRow := m.ropeSin.Row(pos)
+	for h := 0; h < nHeads; h++ {
+		base := h * hd
+		for f := 0; f < half; f++ {
+			c, s := cosRow[f], sinRow[f]
+			a, b := vec[base+2*f], vec[base+2*f+1]
+			vec[base+2*f] = a*c - b*s
+			vec[base+2*f+1] = a*s + b*c
+		}
+	}
+}
+
+// norm applies the configured normalization.
+func (m *Model) norm(dst, x, w, b []float32) {
+	switch m.Cfg.Norm {
+	case RMSNorm:
+		tensor.RMSNorm(dst, x, w, 1e-5)
+	case LayerNorm:
+		tensor.LayerNorm(dst, x, w, b, 1e-5)
+	}
+}
+
+// logits applies the final norm and the tied output head.
+func (m *Model) logits(x []float32) []float32 {
+	h := make([]float32, len(x))
+	m.norm(h, x, m.finalNormW, m.finalNormB)
+	out := make([]float32, m.Cfg.VocabSize)
+	for t := 0; t < m.Cfg.VocabSize; t++ {
+		out[t] = tensor.Dot(m.embedding.Row(t), h)
+	}
+	return out
+}
+
+// matVecT computes dst = W^T · h for W stored as (in × out):
+// dst[j] = Σ_i W[i][j] · h[i].
+func matVecT(dst []float32, w *tensor.Matrix, h []float32) {
+	if len(h) != w.Rows || len(dst) != w.Cols {
+		panic(fmt.Sprintf("model: matVecT shapes W=%dx%d h=%d dst=%d", w.Rows, w.Cols, len(h), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, hv := range h {
+		if hv == 0 {
+			continue
+		}
+		row := w.Row(i)
+		for j, wv := range row {
+			dst[j] += hv * wv
+		}
+	}
+}

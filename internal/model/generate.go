@@ -1,0 +1,262 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/kvcache"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/tokenizer"
+)
+
+// Sampler selects the next token from logits.
+type Sampler interface {
+	Sample(logits []float32) int
+}
+
+// GreedySampler picks the argmax token. The paper uses deterministic
+// (greedy) sampling for all accuracy comparisons (§5.3) so baseline and
+// cached runs are directly comparable; so do we.
+type GreedySampler struct{}
+
+// Sample returns the argmax token id.
+func (GreedySampler) Sample(logits []float32) int { return tensor.ArgMax(logits) }
+
+// TemperatureSampler draws from the softmax distribution at the given
+// temperature using a seeded generator.
+type TemperatureSampler struct {
+	Temperature float32
+	RNG         *rng.RNG
+}
+
+// Sample draws a token proportional to exp(logit/T).
+func (s *TemperatureSampler) Sample(logits []float32) int {
+	t := s.Temperature
+	if t <= 0 {
+		return tensor.ArgMax(logits)
+	}
+	scaled := make([]float32, len(logits))
+	for i, v := range logits {
+		scaled[i] = v / t
+	}
+	tensor.Softmax(scaled)
+	u := s.RNG.Float32()
+	var acc float32
+	for i, p := range scaled {
+		acc += p
+		if u < acc {
+			return i
+		}
+	}
+	return len(scaled) - 1
+}
+
+// TopKSampler samples among the k highest logits at the given
+// temperature, the truncation strategy most serving systems default to.
+type TopKSampler struct {
+	K           int
+	Temperature float32
+	RNG         *rng.RNG
+}
+
+// Sample draws from the renormalized top-k distribution.
+func (s *TopKSampler) Sample(logits []float32) int {
+	k := s.K
+	if k <= 0 || k > len(logits) {
+		k = len(logits)
+	}
+	// Partial selection of the top-k indices.
+	idx := make([]int, len(logits))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if logits[idx[j]] > logits[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	top := make([]float32, k)
+	t := s.Temperature
+	if t <= 0 {
+		return idx[0]
+	}
+	for i := 0; i < k; i++ {
+		top[i] = logits[idx[i]] / t
+	}
+	tensor.Softmax(top)
+	u := s.RNG.Float32()
+	var acc float32
+	for i, p := range top {
+		acc += p
+		if u < acc {
+			return idx[i]
+		}
+	}
+	return idx[k-1]
+}
+
+// RepetitionPenalty wraps a sampler, dividing the logits of
+// recently-generated tokens by Penalty (> 1) before sampling — the
+// standard mitigation for the token loops untrained and small models
+// fall into.
+type RepetitionPenalty struct {
+	Inner   Sampler
+	Penalty float32
+	Window  int // how many recent tokens to penalize (0 = all)
+
+	recent []int
+}
+
+// Sample applies the penalty and delegates to the inner sampler.
+func (r *RepetitionPenalty) Sample(logits []float32) int {
+	if r.Penalty <= 1 || len(r.recent) == 0 {
+		tok := r.inner().Sample(logits)
+		r.remember(tok)
+		return tok
+	}
+	adjusted := make([]float32, len(logits))
+	copy(adjusted, logits)
+	for _, t := range r.recent {
+		if t < 0 || t >= len(adjusted) {
+			continue
+		}
+		if adjusted[t] > 0 {
+			adjusted[t] /= r.Penalty
+		} else {
+			adjusted[t] *= r.Penalty
+		}
+	}
+	tok := r.inner().Sample(adjusted)
+	r.remember(tok)
+	return tok
+}
+
+func (r *RepetitionPenalty) inner() Sampler {
+	if r.Inner == nil {
+		return GreedySampler{}
+	}
+	return r.Inner
+}
+
+func (r *RepetitionPenalty) remember(tok int) {
+	r.recent = append(r.recent, tok)
+	if r.Window > 0 && len(r.recent) > r.Window {
+		r.recent = r.recent[len(r.recent)-r.Window:]
+	}
+}
+
+// GenerateOpts controls autoregressive generation.
+type GenerateOpts struct {
+	MaxTokens int
+	Sampler   Sampler
+	// StopToken ends generation when sampled (defaults to tokenizer.EosID).
+	StopToken int
+}
+
+func (o *GenerateOpts) defaults() {
+	if o.MaxTokens <= 0 {
+		o.MaxTokens = 32
+	}
+	if o.Sampler == nil {
+		o.Sampler = GreedySampler{}
+	}
+	if o.StopToken == 0 {
+		o.StopToken = tokenizer.EosID
+	}
+}
+
+// Generate continues autoregressively from a prefilled cache and the
+// final prefill logits, returning the generated token ids (stop token
+// excluded). New tokens take consecutive positions after the cache's
+// maximum position ID — the paper's observation that decode behaves
+// identically under KV Cache and Prompt Cache (§3.4: "prompt modules are
+// not employed beyond the initial token").
+func (m *Model) Generate(cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts) ([]int, error) {
+	opts.defaults()
+	if cache.Len() == 0 {
+		return nil, fmt.Errorf("model: Generate on empty cache")
+	}
+	if len(lastLogits) != m.Cfg.VocabSize {
+		return nil, fmt.Errorf("model: logits width %d != vocab %d", len(lastLogits), m.Cfg.VocabSize)
+	}
+	var out []int
+	logits := lastLogits
+	pos := cache.MaxPos()
+	for len(out) < opts.MaxTokens {
+		next := opts.Sampler.Sample(logits)
+		if next == opts.StopToken {
+			break
+		}
+		out = append(out, next)
+		pos++
+		if pos >= m.Cfg.MaxSeq {
+			break
+		}
+		var err error
+		logits, err = m.Decode(next, pos, cache)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// GenerateStream is Generate with per-token delivery: emit is called with
+// each generated token id as soon as it is sampled; returning false stops
+// generation early. The generated ids are also returned.
+func (m *Model) GenerateStream(cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts, emit func(token int) bool) ([]int, error) {
+	opts.defaults()
+	if cache.Len() == 0 {
+		return nil, fmt.Errorf("model: GenerateStream on empty cache")
+	}
+	if emit == nil {
+		return nil, fmt.Errorf("model: GenerateStream requires an emit callback")
+	}
+	var out []int
+	logits := lastLogits
+	pos := cache.MaxPos()
+	for len(out) < opts.MaxTokens {
+		next := opts.Sampler.Sample(logits)
+		if next == opts.StopToken {
+			break
+		}
+		out = append(out, next)
+		if !emit(next) {
+			break
+		}
+		pos++
+		if pos >= m.Cfg.MaxSeq {
+			break
+		}
+		var err error
+		logits, err = m.Decode(next, pos, cache)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Complete is the whole-prompt convenience path used as the paper's
+// baseline: prefill tokens at positions 0..n-1 into a fresh cache, then
+// generate. It returns the generated ids and the cache (for inspection).
+func (m *Model) Complete(tokens []int, opts GenerateOpts) ([]int, *kvcache.Cache, error) {
+	if len(tokens) == 0 {
+		return nil, nil, fmt.Errorf("model: Complete with no tokens")
+	}
+	positions := make([]int, len(tokens))
+	for i := range positions {
+		positions[i] = i
+	}
+	cache := m.NewCache(len(tokens) + opts.MaxTokens)
+	logits, err := m.Prefill(tokens, positions, cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := m.Generate(cache, logits, opts)
+	return out, cache, err
+}

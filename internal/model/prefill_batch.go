@@ -1,0 +1,150 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kvcache"
+	"repro/internal/tensor"
+)
+
+// chunkThreshold is the prefill length at which the batched path takes
+// over from the per-token path. Batching turns the weight applications
+// into (n × dim)·(dim × out) matrix multiplications that internal/tensor
+// parallelizes across cores — the same reason real engines prefill in
+// chunks rather than token by token.
+const chunkThreshold = 16
+
+// prefillChunk runs the forward pass over a whole chunk with batched
+// matmuls. It is numerically equivalent to the sequential path: both use
+// the same ascending-k accumulation order per output element, and
+// attention is evaluated per token with an identical causal row bound.
+func (m *Model) prefillChunk(tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+	cfg := &m.Cfg
+	n := len(tokens)
+	past := cache.Len()
+
+	// Embed.
+	x := tensor.NewMatrix(n, cfg.Dim)
+	for i, tok := range tokens {
+		if tok < 0 || tok >= cfg.VocabSize {
+			return nil, fmt.Errorf("model: token %d out of vocab %d", tok, cfg.VocabSize)
+		}
+		pos := positions[i]
+		if pos < 0 || pos >= cfg.MaxSeq {
+			return nil, fmt.Errorf("model: position %d out of range [0,%d)", pos, cfg.MaxSeq)
+		}
+		copy(x.Row(i), m.embedding.Row(tok))
+		if cfg.PosEnc == Learned {
+			tensor.Add(x.Row(i), m.posTable.Row(pos))
+		}
+	}
+	for _, pos := range positions {
+		cache.AppendPos(pos)
+	}
+
+	h := tensor.NewMatrix(n, cfg.Dim)
+	q := tensor.NewMatrix(n, cfg.Dim)
+	k := tensor.NewMatrix(n, cfg.KVDim())
+	v := tensor.NewMatrix(n, cfg.KVDim())
+	attnOut := tensor.NewMatrix(n, cfg.Dim)
+	proj := tensor.NewMatrix(n, cfg.Dim)
+	ffn1 := tensor.NewMatrix(n, cfg.FFNDim)
+	ffn3 := tensor.NewMatrix(n, cfg.FFNDim)
+
+	for l := range m.layers {
+		ly := &m.layers[l]
+		for i := 0; i < n; i++ {
+			m.norm(h.Row(i), x.Row(i), ly.attnNormW, ly.attnNormB)
+		}
+		tensor.MatMul(q, h, ly.wq)
+		tensor.MatMul(k, h, ly.wk)
+		tensor.MatMul(v, h, ly.wv)
+		if cfg.PosEnc == RoPE {
+			for i := 0; i < n; i++ {
+				m.applyRope(q.Row(i), cfg.NHeads, positions[i])
+				m.applyRope(k.Row(i), cfg.NKVHeads, positions[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			cache.AppendToken(l, k.Row(i), v.Row(i))
+		}
+		m.attendChunk(q, attnOut, cache, l, past, n)
+		tensor.MatMul(proj, attnOut, ly.wo)
+		tensor.Add(x.Data, proj.Data)
+		if cfg.ParallelAttn {
+			// Falcon block: FFN from the same normed input.
+			m.ffnChunk(x, h, ffn1, ffn3, proj, ly)
+		} else {
+			for i := 0; i < n; i++ {
+				m.norm(h.Row(i), x.Row(i), ly.ffnNormW, ly.ffnNormB)
+			}
+			m.ffnChunk(x, h, ffn1, ffn3, proj, ly)
+		}
+	}
+	return m.logits(x.Row(n - 1)), nil
+}
+
+// ffnChunk applies the feed-forward block to every row of h and adds the
+// result into x.
+func (m *Model) ffnChunk(x, h, ffn1, ffn3, proj *tensor.Matrix, ly *layer) {
+	tensor.MatMul(ffn1, h, ly.w1)
+	switch m.Cfg.Act {
+	case SwiGLU:
+		tensor.SiLU(ffn1.Data)
+		tensor.MatMul(ffn3, h, ly.w3)
+		tensor.Mul(ffn1.Data, ffn3.Data)
+	case GELU:
+		tensor.GELU(ffn1.Data)
+	}
+	tensor.MatMul(proj, ffn1, ly.w2)
+	tensor.Add(x.Data, proj.Data)
+}
+
+// attendChunk computes causal attention for every chunk token: token i
+// (cache row past+i) attends over rows [0, past+i+1).
+func (m *Model) attendChunk(q, out *tensor.Matrix, cache *kvcache.Cache, l, past, n int) {
+	cfg := &m.Cfg
+	hd := cfg.HeadDim()
+	group := cfg.NHeads / cfg.NKVHeads
+	invSqrt := float32(1 / math.Sqrt(float64(hd)))
+	scores := make([]float32, past+n)
+	for i := 0; i < n; i++ {
+		rows := past + i + 1
+		qPos := cache.Pos[past+i]
+		outRow := out.Row(i)
+		for hIdx := 0; hIdx < cfg.NHeads; hIdx++ {
+			kvh := hIdx / group
+			qh := q.Row(i)[hIdx*hd : (hIdx+1)*hd]
+			s := scores[:rows]
+			for j := 0; j < rows; j++ {
+				krow := cache.KeyRow(l, j)
+				sc := tensor.Dot(qh, krow[kvh*hd:(kvh+1)*hd]) * invSqrt
+				if cfg.PosEnc == ALiBi {
+					dist := qPos - cache.Pos[j]
+					if dist < 0 {
+						dist = 0
+					}
+					sc -= m.alibiSlope[hIdx] * float32(dist)
+				}
+				s[j] = sc
+			}
+			tensor.Softmax(s)
+			oh := outRow[hIdx*hd : (hIdx+1)*hd]
+			for t := range oh {
+				oh[t] = 0
+			}
+			for j := 0; j < rows; j++ {
+				w := s[j]
+				if w == 0 {
+					continue
+				}
+				vrow := cache.ValueRow(l, j)
+				vh := vrow[kvh*hd : (kvh+1)*hd]
+				for t := range oh {
+					oh[t] += w * vh[t]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package pml implements the Prompt Markup Language of §3.2: schemas that
+// declare reusable prompt modules (with parameters, unions, nesting, and
+// chat-template tags) and prompts derived from those schemas that import
+// modules, supply parameter arguments, and add new text.
+//
+// The package owns parsing, validation, and the position-ID layout solver
+// (§3.3): given a tokenizer, it assigns every module an absolute start
+// position and length, with union members sharing a start sized by the
+// largest child. The core package consumes the compiled layout to encode
+// and reuse attention states.
+package pml
+
+import "fmt"
+
+// Role identifies LLM-specific chat-template tags (§3.2.3).
+type Role int
+
+const (
+	// RoleNone marks plain text.
+	RoleNone Role = iota
+	// RoleSystem marks <system> content.
+	RoleSystem
+	// RoleUser marks <user> content.
+	RoleUser
+	// RoleAssistant marks <assistant> content.
+	RoleAssistant
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleSystem:
+		return "system"
+	case RoleUser:
+		return "user"
+	case RoleAssistant:
+		return "assistant"
+	default:
+		return "none"
+	}
+}
+
+// Node is a schema AST node: *Text, *Param, *Module, or *Union.
+type Node interface{ nodeKind() string }
+
+// Text is literal schema text, possibly wrapped in a chat-template role
+// tag. Text outside any <module> is an anonymous module, always included
+// in derived prompts (§3.2.1).
+type Text struct {
+	Content string
+	Role    Role
+}
+
+func (*Text) nodeKind() string { return "text" }
+
+// Param is a named placeholder inside a module (§3.2.2). Len is the
+// maximum number of tokens an argument may occupy; at encode time the
+// slot is filled with <unk> tokens.
+type Param struct {
+	Name string
+	Len  int
+}
+
+func (*Param) nodeKind() string { return "param" }
+
+// Module is a named reusable text segment. Children may be *Text, *Param,
+// nested *Module, or *Union nodes, in document order.
+type Module struct {
+	Name  string
+	Nodes []Node
+}
+
+func (*Module) nodeKind() string { return "module" }
+
+// Union is a set of mutually exclusive modules sharing a start position
+// (§3.2.3); at most one member may be imported by a prompt.
+type Union struct {
+	Members []*Module
+}
+
+func (*Union) nodeKind() string { return "union" }
+
+// Scaffold names a set of modules that are additionally encoded together
+// with a shared attention span (§3.3). When a prompt imports every module
+// of a scaffold, the co-encoded states override the individual ones.
+type Scaffold struct {
+	Name    string
+	Modules []string
+}
+
+// Schema is a parsed PML schema document.
+type Schema struct {
+	Name      string
+	Nodes     []Node
+	Scaffolds []Scaffold
+}
+
+// Prompt is a parsed PML prompt document derived from a schema.
+type Prompt struct {
+	SchemaName string
+	Items      []PromptItem
+}
+
+// PromptItem is a prompt AST node: *Import or *PromptText.
+type PromptItem interface{ promptKind() string }
+
+// Import brings a schema module's cached states into the prompt. Args
+// supplies parameter values by name; Children are imports of nested
+// modules.
+type Import struct {
+	Name     string
+	Args     map[string]string
+	Children []PromptItem
+}
+
+func (*Import) promptKind() string { return "import" }
+
+// PromptText is new, uncached text in a prompt, possibly role-wrapped.
+type PromptText struct {
+	Content string
+	Role    Role
+}
+
+func (*PromptText) promptKind() string { return "text" }
+
+// ParseError reports a syntax or validation error with position info.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("pml: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,148 @@
+package pml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tokenizer"
+)
+
+// TestParserNeverPanicsOnRandomInput: arbitrary byte soup must yield an
+// error or a schema — never a panic.
+func TestParserNeverPanicsOnRandomInput(t *testing.T) {
+	check := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseSchema panicked on %q: %v", s, r)
+			}
+		}()
+		_, _ = ParseSchema(s)
+		_, _ = ParsePrompt(s)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParserNeverPanicsOnMangledSchemas: start from a valid schema and
+// apply random mutations (truncation, byte flips, tag splicing).
+func TestParserNeverPanicsOnMangledSchemas(t *testing.T) {
+	base := `<schema name="s">
+	  intro text
+	  <module name="m"><param name="p" len="3"/> body</module>
+	  <union><module name="a">x</module><module name="b">y</module></union>
+	  <scaffold name="sc" modules="m a"/>
+	</schema>`
+	r := rng.New(404)
+	for i := 0; i < 800; i++ {
+		b := []byte(base)
+		switch r.Intn(4) {
+		case 0: // truncate
+			b = b[:r.Intn(len(b))]
+		case 1: // flip a byte
+			if len(b) > 0 {
+				b[r.Intn(len(b))] = byte(r.Intn(256))
+			}
+		case 2: // duplicate a slice
+			lo := r.Intn(len(b))
+			hi := lo + r.Intn(len(b)-lo)
+			b = append(b[:hi:hi], append([]byte(string(b[lo:hi])), b[hi:]...)...)
+		case 3: // splice a random tag
+			frag := []string{"<union>", "</module>", "<param/>", "<prompt>", "&lt;", `name="`}[r.Intn(6)]
+			pos := r.Intn(len(b))
+			b = append(b[:pos:pos], append([]byte(frag), b[pos:]...)...)
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on mangled input %q: %v", string(b), rec)
+				}
+			}()
+			if s, err := ParseSchema(string(b)); err == nil {
+				// Anything that parses must also compile and serialize.
+				tk := tokenizer.New(tokenizer.WordBase + 4096)
+				if _, cerr := Compile(s, tk, PlainTemplate()); cerr != nil {
+					t.Fatalf("parsed but uncompilable: %v", cerr)
+				}
+				if _, perr := ParseSchema(Serialize(s)); perr != nil {
+					t.Fatalf("parsed but unserializable: %v", perr)
+				}
+			}
+		}()
+	}
+}
+
+// TestSerializeEscapesHostileContent: text containing PML metacharacters
+// survives a serialize→parse round trip with content intact.
+func TestSerializeEscapesHostileContent(t *testing.T) {
+	hostile := []string{
+		`a < b`, `x & y`, `quote " inside`, `</module>`, `<union>`, `tag<param`,
+	}
+	for _, content := range hostile {
+		s := &Schema{Name: "h", Nodes: []Node{
+			&Module{Name: "m", Nodes: []Node{&Text{Content: content}}},
+		}}
+		out := Serialize(s)
+		parsed, err := ParseSchema(out)
+		if err != nil {
+			t.Fatalf("content %q: %v\n%s", content, err, out)
+		}
+		m := parsed.Nodes[0].(*Module)
+		got := m.Nodes[0].(*Text).Content
+		if got != content {
+			t.Fatalf("content %q round-tripped as %q", content, got)
+		}
+	}
+}
+
+// TestLayoutTotalsConsistent: for random generated schemas, TotalLen
+// equals the end of the furthest module and all anonymous modules are in
+// Order.
+func TestLayoutTotalsConsistent(t *testing.T) {
+	r := rng.New(777)
+	tk := tokenizer.New(tokenizer.WordBase + 4096)
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for trial := 0; trial < 60; trial++ {
+		var sb strings.Builder
+		sb.WriteString(`<schema name="rand">`)
+		nMods := r.IntRange(1, 6)
+		for i := 0; i < nMods; i++ {
+			if r.Intn(3) == 0 {
+				sb.WriteString(" loose words here ")
+			}
+			sb.WriteString(`<module name="m` + string(rune('a'+i)) + `">`)
+			n := r.IntRange(1, 8)
+			for j := 0; j < n; j++ {
+				sb.WriteString(rng.Choice(r, words) + " ")
+			}
+			if r.Intn(2) == 0 {
+				sb.WriteString(`<param name="p" len="2"/>`)
+			}
+			sb.WriteString(`</module>`)
+		}
+		sb.WriteString(`</schema>`)
+		s, err := ParseSchema(sb.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ly, err := Compile(s, tk, PlainTemplate())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		maxEnd := 0
+		for _, m := range ly.Modules {
+			if m.Parent != "" {
+				continue
+			}
+			if end := m.Start + m.Len; end > maxEnd {
+				maxEnd = end
+			}
+		}
+		if ly.TotalLen != maxEnd {
+			t.Fatalf("trial %d: TotalLen %d != furthest end %d", trial, ly.TotalLen, maxEnd)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package pml
+
+import (
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexer token kinds.
+type tokKind int
+
+const (
+	tokText     tokKind = iota // raw character data
+	tokOpenTag                 // <name attr="v">
+	tokCloseTag                // </name>
+	tokSelfTag                 // <name attr="v"/>
+	tokEOF
+)
+
+// tok is one lexical token.
+type tok struct {
+	kind      tokKind
+	text      string            // tokText: raw content
+	name      string            // tag name
+	attrs     map[string]string // tag attributes in document order
+	line, col int
+}
+
+// lexer splits a PML document into text and tag tokens. PML is an XML-like
+// surface syntax but deliberately smaller: no processing instructions, no
+// CDATA, no entities except &lt; &gt; &amp; &quot;.
+type lexer struct {
+	src       string
+	off       int
+	line, col int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if lx.src[lx.off+i] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+	}
+	lx.off += n
+}
+
+func (lx *lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&amp;", "&")
+	return r.Replace(s)
+}
+
+// next returns the next token.
+func (lx *lexer) next() (tok, error) {
+	if lx.off >= len(lx.src) {
+		return tok{kind: tokEOF, line: lx.line, col: lx.col}, nil
+	}
+	startLine, startCol := lx.line, lx.col
+	if lx.peek() != '<' {
+		// Text run until next '<' or EOF.
+		end := strings.IndexByte(lx.src[lx.off:], '<')
+		if end < 0 {
+			end = len(lx.src) - lx.off
+		}
+		raw := lx.src[lx.off : lx.off+end]
+		lx.advance(end)
+		return tok{kind: tokText, text: unescape(raw), line: startLine, col: startCol}, nil
+	}
+	// Tag.
+	rest := lx.src[lx.off:]
+	gt := strings.IndexByte(rest, '>')
+	if gt < 0 {
+		return tok{}, errAt(startLine, startCol, "unterminated tag")
+	}
+	inner := rest[1:gt] // between < and >
+	lx.advance(gt + 1)
+
+	closing := strings.HasPrefix(inner, "/")
+	if closing {
+		name := strings.TrimSpace(inner[1:])
+		if !validTagName(name) {
+			return tok{}, errAt(startLine, startCol, "bad closing tag name %q", name)
+		}
+		return tok{kind: tokCloseTag, name: name, line: startLine, col: startCol}, nil
+	}
+	selfClose := strings.HasSuffix(inner, "/")
+	if selfClose {
+		inner = inner[:len(inner)-1]
+	}
+	name, attrs, err := parseTagBody(inner, startLine, startCol)
+	if err != nil {
+		return tok{}, err
+	}
+	k := tokOpenTag
+	if selfClose {
+		k = tokSelfTag
+	}
+	return tok{kind: k, name: name, attrs: attrs, line: startLine, col: startCol}, nil
+}
+
+// validTagName accepts XML-ish names: letters, digits, '-', '_', '.',
+// starting with a letter or underscore.
+func validTagName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' {
+			continue
+		}
+		if i > 0 && (unicode.IsDigit(r) || r == '-' || r == '.') {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// parseTagBody parses `name attr="v" attr2="v2"`.
+func parseTagBody(s string, line, col int) (string, map[string]string, error) {
+	s = strings.TrimSpace(s)
+	i := 0
+	for i < len(s) && !unicode.IsSpace(rune(s[i])) {
+		i++
+	}
+	name := s[:i]
+	if !validTagName(name) {
+		return "", nil, errAt(line, col, "bad tag name %q", name)
+	}
+	attrs := map[string]string{}
+	rest := strings.TrimSpace(s[i:])
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, errAt(line, col, "attribute without value in <%s>", name)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validTagName(key) {
+			return "", nil, errAt(line, col, "bad attribute name %q in <%s>", key, name)
+		}
+		v := strings.TrimSpace(rest[eq+1:])
+		if len(v) < 2 || v[0] != '"' {
+			return "", nil, errAt(line, col, "attribute %s in <%s> must be double-quoted", key, name)
+		}
+		endQ := strings.IndexByte(v[1:], '"')
+		if endQ < 0 {
+			return "", nil, errAt(line, col, "unterminated attribute value for %s in <%s>", key, name)
+		}
+		if _, dup := attrs[key]; dup {
+			return "", nil, errAt(line, col, "duplicate attribute %s in <%s>", key, name)
+		}
+		attrs[key] = unescape(v[1 : 1+endQ])
+		rest = strings.TrimSpace(v[1+endQ+1:])
+	}
+	return name, attrs, nil
+}

@@ -1,0 +1,441 @@
+package pml
+
+import (
+	"strconv"
+	"strings"
+)
+
+// reserved tag names that cannot be used as module names.
+var reservedTags = map[string]bool{
+	"schema": true, "module": true, "param": true, "union": true,
+	"prompt": true, "scaffold": true,
+	"system": true, "user": true, "assistant": true,
+}
+
+func roleForTag(name string) (Role, bool) {
+	switch name {
+	case "system":
+		return RoleSystem, true
+	case "user":
+		return RoleUser, true
+	case "assistant":
+		return RoleAssistant, true
+	}
+	return RoleNone, false
+}
+
+// parser wraps the lexer with one-token lookahead.
+type parser struct {
+	lx     *lexer
+	peeked *tok
+}
+
+func (p *parser) next() (tok, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lx.next()
+}
+
+func (p *parser) peek() (tok, error) {
+	if p.peeked == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return tok{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+// ParseSchema parses a PML schema document:
+//
+//	<schema name="cities">
+//	  anonymous text
+//	  <module name="trip-plan">Plan a trip of <param name="dur" len="2"/>.</module>
+//	  <union><module name="tokyo">...</module><module name="miami">...</module></union>
+//	  <scaffold name="pair" modules="trip-plan tokyo"/>
+//	</schema>
+func ParseSchema(src string) (*Schema, error) {
+	p := &parser{lx: newLexer(src)}
+	t, err := p.nextNonBlank()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokOpenTag || t.name != "schema" {
+		return nil, errAt(t.line, t.col, "document must start with <schema>")
+	}
+	name := t.attrs["name"]
+	if name == "" {
+		return nil, errAt(t.line, t.col, "<schema> requires a name attribute")
+	}
+	s := &Schema{Name: name}
+	if err := p.parseSchemaBody(s, "schema"); err != nil {
+		return nil, err
+	}
+	// Nothing but whitespace may follow.
+	t, err = p.nextNonBlank()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokEOF {
+		return nil, errAt(t.line, t.col, "content after </schema>")
+	}
+	if err := validateSchema(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// nextNonBlank skips whitespace-only text tokens.
+func (p *parser) nextNonBlank() (tok, error) {
+	for {
+		t, err := p.next()
+		if err != nil {
+			return tok{}, err
+		}
+		if t.kind == tokText && strings.TrimSpace(t.text) == "" {
+			continue
+		}
+		return t, nil
+	}
+}
+
+// parseSchemaBody consumes nodes until the matching close tag of `until`.
+func (p *parser) parseSchemaBody(s *Schema, until string) error {
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokEOF:
+			return errAt(t.line, t.col, "missing </%s>", until)
+		case tokCloseTag:
+			if t.name != until {
+				return errAt(t.line, t.col, "unexpected </%s>, want </%s>", t.name, until)
+			}
+			return nil
+		case tokText:
+			if txt := strings.TrimSpace(t.text); txt != "" {
+				s.Nodes = append(s.Nodes, &Text{Content: txt})
+			}
+		case tokOpenTag, tokSelfTag:
+			node, scaffold, err := p.parseSchemaElement(t)
+			if err != nil {
+				return err
+			}
+			if scaffold != nil {
+				s.Scaffolds = append(s.Scaffolds, *scaffold)
+			} else if node != nil {
+				s.Nodes = append(s.Nodes, node)
+			}
+		}
+	}
+}
+
+// parseSchemaElement parses one element that opened with tag t at schema
+// top level or inside a module.
+func (p *parser) parseSchemaElement(t tok) (Node, *Scaffold, error) {
+	switch t.name {
+	case "module":
+		m, err := p.parseModule(t)
+		return m, nil, err
+	case "union":
+		u, err := p.parseUnion(t)
+		return u, nil, err
+	case "param":
+		prm, err := parseParamTag(t)
+		return prm, nil, err
+	case "scaffold":
+		if t.kind != tokSelfTag {
+			return nil, nil, errAt(t.line, t.col, "<scaffold> must be self-closing")
+		}
+		name := t.attrs["name"]
+		mods := strings.Fields(t.attrs["modules"])
+		if name == "" || len(mods) == 0 {
+			return nil, nil, errAt(t.line, t.col, "<scaffold> requires name and modules attributes")
+		}
+		return nil, &Scaffold{Name: name, Modules: mods}, nil
+	case "system", "user", "assistant":
+		role, _ := roleForTag(t.name)
+		if t.kind == tokSelfTag {
+			return &Text{Role: role}, nil, nil
+		}
+		content, err := p.parseTextOnlyBody(t.name)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Text{Content: content, Role: role}, nil, nil
+	case "schema", "prompt":
+		return nil, nil, errAt(t.line, t.col, "<%s> cannot nest", t.name)
+	default:
+		return nil, nil, errAt(t.line, t.col, "unknown schema element <%s> (modules are declared with <module name=...>)", t.name)
+	}
+}
+
+// parseTextOnlyBody reads the body of a role tag, which may contain only
+// character data.
+func (p *parser) parseTextOnlyBody(until string) (string, error) {
+	var sb strings.Builder
+	for {
+		t, err := p.next()
+		if err != nil {
+			return "", err
+		}
+		switch t.kind {
+		case tokText:
+			sb.WriteString(t.text)
+		case tokCloseTag:
+			if t.name != until {
+				return "", errAt(t.line, t.col, "unexpected </%s> inside <%s>", t.name, until)
+			}
+			return strings.TrimSpace(sb.String()), nil
+		case tokEOF:
+			return "", errAt(t.line, t.col, "missing </%s>", until)
+		default:
+			return "", errAt(t.line, t.col, "<%s> may contain only text", until)
+		}
+	}
+}
+
+func parseParamTag(t tok) (*Param, error) {
+	if t.kind != tokSelfTag {
+		return nil, errAt(t.line, t.col, "<param> must be self-closing")
+	}
+	name := t.attrs["name"]
+	if name == "" {
+		return nil, errAt(t.line, t.col, "<param> requires a name attribute")
+	}
+	lenStr := t.attrs["len"]
+	n, err := strconv.Atoi(lenStr)
+	if err != nil || n <= 0 {
+		return nil, errAt(t.line, t.col, "<param name=%q> requires positive integer len, got %q", name, lenStr)
+	}
+	return &Param{Name: name, Len: n}, nil
+}
+
+func (p *parser) parseModule(open tok) (*Module, error) {
+	name := open.attrs["name"]
+	if name == "" {
+		return nil, errAt(open.line, open.col, "<module> requires a name attribute")
+	}
+	if reservedTags[name] {
+		return nil, errAt(open.line, open.col, "module name %q is reserved", name)
+	}
+	m := &Module{Name: name}
+	if open.kind == tokSelfTag {
+		return m, nil
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokEOF:
+			return nil, errAt(t.line, t.col, "missing </module> for %q", name)
+		case tokCloseTag:
+			if t.name != "module" {
+				return nil, errAt(t.line, t.col, "unexpected </%s> inside module %q", t.name, name)
+			}
+			return m, nil
+		case tokText:
+			if txt := strings.TrimSpace(t.text); txt != "" {
+				m.Nodes = append(m.Nodes, &Text{Content: txt})
+			}
+		case tokOpenTag, tokSelfTag:
+			node, scaffold, err := p.parseSchemaElement(t)
+			if err != nil {
+				return nil, err
+			}
+			if scaffold != nil {
+				return nil, errAt(t.line, t.col, "<scaffold> not allowed inside a module")
+			}
+			m.Nodes = append(m.Nodes, node)
+		}
+	}
+}
+
+func (p *parser) parseUnion(open tok) (*Union, error) {
+	if open.kind == tokSelfTag {
+		return nil, errAt(open.line, open.col, "<union> must contain modules")
+	}
+	u := &Union{}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokEOF:
+			return nil, errAt(t.line, t.col, "missing </union>")
+		case tokCloseTag:
+			if t.name != "union" {
+				return nil, errAt(t.line, t.col, "unexpected </%s> inside union", t.name)
+			}
+			if len(u.Members) == 0 {
+				return nil, errAt(t.line, t.col, "union has no members")
+			}
+			return u, nil
+		case tokText:
+			if strings.TrimSpace(t.text) != "" {
+				return nil, errAt(t.line, t.col, "text not allowed directly inside <union>")
+			}
+		case tokOpenTag, tokSelfTag:
+			if t.name != "module" {
+				return nil, errAt(t.line, t.col, "<union> may contain only <module> elements, got <%s>", t.name)
+			}
+			m, err := p.parseModule(t)
+			if err != nil {
+				return nil, err
+			}
+			u.Members = append(u.Members, m)
+		}
+	}
+}
+
+// ParsePrompt parses a PML prompt document:
+//
+//	<prompt schema="cities">
+//	  <trip-plan duration="3 days"/>
+//	  <miami/>
+//	  Highlight the surf spots.
+//	</prompt>
+func ParsePrompt(src string) (*Prompt, error) {
+	p := &parser{lx: newLexer(src)}
+	t, err := p.nextNonBlank()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokOpenTag || t.name != "prompt" {
+		return nil, errAt(t.line, t.col, "document must start with <prompt>")
+	}
+	schema := t.attrs["schema"]
+	if schema == "" {
+		return nil, errAt(t.line, t.col, "<prompt> requires a schema attribute")
+	}
+	pr := &Prompt{SchemaName: schema}
+	items, err := p.parsePromptBody("prompt")
+	if err != nil {
+		return nil, err
+	}
+	pr.Items = items
+	t, err = p.nextNonBlank()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokEOF {
+		return nil, errAt(t.line, t.col, "content after </prompt>")
+	}
+	return pr, nil
+}
+
+func (p *parser) parsePromptBody(until string) ([]PromptItem, error) {
+	var items []PromptItem
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokEOF:
+			return nil, errAt(t.line, t.col, "missing </%s>", until)
+		case tokCloseTag:
+			if t.name != until {
+				return nil, errAt(t.line, t.col, "unexpected </%s>, want </%s>", t.name, until)
+			}
+			return items, nil
+		case tokText:
+			if txt := strings.TrimSpace(t.text); txt != "" {
+				items = append(items, &PromptText{Content: txt})
+			}
+		case tokOpenTag, tokSelfTag:
+			if role, ok := roleForTag(t.name); ok {
+				if t.kind == tokSelfTag {
+					items = append(items, &PromptText{Role: role})
+					continue
+				}
+				content, err := p.parseTextOnlyBody(t.name)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, &PromptText{Content: content, Role: role})
+				continue
+			}
+			if reservedTags[t.name] {
+				return nil, errAt(t.line, t.col, "<%s> not allowed inside a prompt", t.name)
+			}
+			imp := &Import{Name: t.name, Args: t.attrs}
+			if t.kind == tokOpenTag {
+				children, err := p.parsePromptBody(t.name)
+				if err != nil {
+					return nil, err
+				}
+				imp.Children = children
+			}
+			items = append(items, imp)
+		}
+	}
+}
+
+// validateSchema enforces structural rules that the grammar alone cannot:
+// globally unique module names (imports reference modules by bare name),
+// unique parameter names per module, and scaffold references resolving to
+// declared modules.
+func validateSchema(s *Schema) error {
+	names := map[string]bool{}
+	var walk func(nodes []Node, owner string) error
+	walk = func(nodes []Node, owner string) error {
+		params := map[string]bool{}
+		for _, n := range nodes {
+			switch v := n.(type) {
+			case *Module:
+				if names[v.Name] {
+					return errAt(0, 0, "duplicate module name %q", v.Name)
+				}
+				names[v.Name] = true
+				if err := walk(v.Nodes, v.Name); err != nil {
+					return err
+				}
+			case *Union:
+				for _, m := range v.Members {
+					if names[m.Name] {
+						return errAt(0, 0, "duplicate module name %q", m.Name)
+					}
+					names[m.Name] = true
+					if err := walk(m.Nodes, m.Name); err != nil {
+						return err
+					}
+				}
+			case *Param:
+				if owner == "" {
+					return errAt(0, 0, "<param name=%q> outside a module", v.Name)
+				}
+				if params[v.Name] {
+					return errAt(0, 0, "duplicate param %q in module %q", v.Name, owner)
+				}
+				params[v.Name] = true
+			}
+		}
+		return nil
+	}
+	if err := walk(s.Nodes, ""); err != nil {
+		return err
+	}
+	seenScaffold := map[string]bool{}
+	for _, sc := range s.Scaffolds {
+		if seenScaffold[sc.Name] {
+			return errAt(0, 0, "duplicate scaffold %q", sc.Name)
+		}
+		seenScaffold[sc.Name] = true
+		for _, m := range sc.Modules {
+			if !names[m] {
+				return errAt(0, 0, "scaffold %q references unknown module %q", sc.Name, m)
+			}
+		}
+	}
+	return nil
+}

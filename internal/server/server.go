@@ -1,0 +1,302 @@
+// Package server exposes Prompt Cache over HTTP, the shape a serving
+// system would embed it in (§6 positions Prompt Cache as a building block
+// for LLM serving): schemas are uploaded once, then prompts derived from
+// them are completed with cached attention states.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Server is an http.Handler serving a Prompt Cache.
+type Server struct {
+	cache *core.Cache
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	schemas []string
+}
+
+// New builds a server around a prompt cache.
+func New(cache *core.Cache) *Server {
+	s := &Server{cache: cache, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/schemas", s.handleSchemas)
+	s.mux.HandleFunc("/v1/complete", s.handleComplete)
+	s.mux.HandleFunc("/v1/complete_batch", s.handleCompleteBatch)
+	s.mux.HandleFunc("/v1/stream", s.handleStream)
+	s.mux.HandleFunc("/vocab", s.handleVocab)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "model": s.cache.Model().Cfg.Name})
+}
+
+// SchemaRequest uploads a PML schema.
+type SchemaRequest struct {
+	PML string `json:"pml"`
+}
+
+// SchemaResponse reports the registered schema's layout.
+type SchemaResponse struct {
+	Name      string `json:"name"`
+	Modules   int    `json:"modules"`
+	Positions int    `json:"positions"`
+}
+
+func (s *Server) handleSchemas(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		names := append([]string{}, s.schemas...)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"schemas": names})
+	case http.MethodPost:
+		var req SchemaRequest
+		if err := readJSON(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		layout, err := s.cache.RegisterSchema(req.PML)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		s.mu.Lock()
+		if !containsStr(s.schemas, layout.Schema.Name) {
+			s.schemas = append(s.schemas, layout.Schema.Name)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, SchemaResponse{
+			Name: layout.Schema.Name, Modules: len(layout.Order), Positions: layout.TotalLen,
+		})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+// CompleteRequest asks for a completion of a PML prompt.
+type CompleteRequest struct {
+	Prompt    string `json:"prompt"`
+	MaxTokens int    `json:"max_tokens"`
+	// Baseline disables attention reuse (full prefill), for comparisons.
+	Baseline bool `json:"baseline"`
+}
+
+// CompleteResponse carries the generation and reuse statistics.
+type CompleteResponse struct {
+	Text         string   `json:"text"`
+	CachedTokens int      `json:"cached_tokens"`
+	NewTokens    int      `json:"new_tokens"`
+	Modules      []string `json:"modules"`
+	Scaffolds    []string `json:"scaffolds,omitempty"`
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req CompleteRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		res *core.ServeResult
+		err error
+	)
+	if req.Baseline {
+		res, err = s.cache.BaselineServe(req.Prompt)
+	} else {
+		res, err = s.cache.Serve(req.Prompt, core.ServeOpts{})
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	text, err := s.cache.GenerateText(res, model.GenerateOpts{MaxTokens: req.MaxTokens})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{
+		Text:         text,
+		CachedTokens: res.CachedTokens,
+		NewTokens:    res.NewTokens,
+		Modules:      res.Modules,
+		Scaffolds:    res.Scaffolds,
+	})
+}
+
+// handleStream serves a completion as server-sent events: one
+// `data: {"token": "..."}` event per generated token, then a final
+// `data: {"done": true, ...}` event with the reuse statistics. TTFT is
+// visible to clients as the delay before the first event — the quantity
+// Prompt Cache improves.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req CompleteRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.cache.Serve(req.Prompt, core.ServeOpts{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	send := func(v any) {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(w, "data: %s\n\n", b)
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	_, err = s.cache.GenerateStream(res, model.GenerateOpts{MaxTokens: req.MaxTokens}, func(text string) bool {
+		send(map[string]string{"token": text})
+		return r.Context().Err() == nil
+	})
+	if err != nil {
+		send(map[string]string{"error": err.Error()})
+		return
+	}
+	send(map[string]any{"done": true, "cached_tokens": res.CachedTokens, "new_tokens": res.NewTokens})
+}
+
+// BatchRequest completes several prompts in one call with module states
+// shared across the batch (§3.4).
+type BatchRequest struct {
+	Prompts   []string `json:"prompts"`
+	MaxTokens int      `json:"max_tokens"`
+}
+
+// BatchResponse returns per-prompt completions plus the sharing effect.
+type BatchResponse struct {
+	Results       []CompleteResponse `json:"results"`
+	SharedModules int                `json:"shared_modules"`
+	LogicalBytes  int64              `json:"logical_bytes"`
+	PhysicalBytes int64              `json:"physical_bytes"`
+	SavingsPct    float64            `json:"savings_pct"`
+}
+
+func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req BatchRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	results, stats, err := s.cache.ServeBatch(req.Prompts, core.ServeOpts{})
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := BatchResponse{
+		SharedModules: stats.SharedModules,
+		LogicalBytes:  stats.LogicalBytes,
+		PhysicalBytes: stats.PhysicalBytes,
+		SavingsPct:    100 * stats.Savings(),
+	}
+	for _, res := range results {
+		text, err := s.cache.GenerateText(res, model.GenerateOpts{MaxTokens: req.MaxTokens})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Results = append(resp.Results, CompleteResponse{
+			Text:         text,
+			CachedTokens: res.CachedTokens,
+			NewTokens:    res.NewTokens,
+			Modules:      res.Modules,
+			Scaffolds:    res.Scaffolds,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleVocab exports (GET) or merges (PUT) the tokenizer's learned
+// id→word table, keeping decodes human-readable across restarts — the
+// companion to schema-state snapshots (a restored server has never
+// Encoded its schema text).
+func (s *Server) handleVocab(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		if err := s.cache.Tokenizer().SaveVocab(w); err != nil {
+			// Headers are out; best effort.
+			fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		}
+	case http.MethodPut, http.MethodPost:
+		if err := s.cache.Tokenizer().LoadVocab(io.LimitReader(r.Body, 16<<20)); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "merged"})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or PUT"))
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"modules_encoded":  st.ModulesEncoded,
+		"modules_reused":   st.ModulesReused,
+		"modules_evicted":  st.ModulesEvicted,
+		"modules_reloaded": st.ModulesReloaded,
+		"tokens_encoded":   st.TokensEncoded,
+		"tokens_reused":    st.TokensReused,
+		"pool_bytes":       s.cache.PoolUsed(),
+	})
+}
+
+func readJSON(r *http.Request, dst any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, dst)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(core.NewCache(m))
+}
+
+func doJSON(t *testing.T, s *Server, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad JSON response %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, out
+}
+
+const testSchema = `<schema name="docs">
+  <module name="contract">The tenant pays rent monthly and waters the plants weekly.</module>
+  <module name="rider">The rider adds parking rights for one vehicle.</module>
+</schema>`
+
+func TestHealth(t *testing.T) {
+	s := newServer(t)
+	rec, out := doJSON(t, s, http.MethodGet, "/healthz", nil)
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("health = %d %v", rec.Code, out)
+	}
+}
+
+func TestRegisterAndListSchemas(t *testing.T) {
+	s := newServer(t)
+	rec, out := doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register = %d %v", rec.Code, out)
+	}
+	if out["name"] != "docs" || out["modules"].(float64) != 2 {
+		t.Fatalf("register response %v", out)
+	}
+	_, list := doJSON(t, s, http.MethodGet, "/schemas", nil)
+	schemas := list["schemas"].([]any)
+	if len(schemas) != 1 || schemas[0] != "docs" {
+		t.Fatalf("list = %v", list)
+	}
+	// Re-register same schema: no duplicate in list.
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	_, list2 := doJSON(t, s, http.MethodGet, "/schemas", nil)
+	if len(list2["schemas"].([]any)) != 1 {
+		t.Fatalf("duplicate schema listed: %v", list2)
+	}
+}
+
+func TestRegisterInvalidSchema(t *testing.T) {
+	s := newServer(t)
+	rec, out := doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: "<bogus/>"})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid schema = %d %v", rec.Code, out)
+	}
+	if out["error"] == "" {
+		t.Fatal("missing error message")
+	}
+}
+
+func TestRegisterBadJSON(t *testing.T) {
+	s := newServer(t)
+	req := httptest.NewRequest(http.MethodPost, "/schemas", bytes.NewBufferString("{nope"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", rec.Code)
+	}
+}
+
+func TestCompleteCachedAndBaseline(t *testing.T) {
+	s := newServer(t)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+
+	prompt := `<prompt schema="docs"><contract/>Summarize the duties.</prompt>`
+	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("complete = %d %v", rec.Code, out)
+	}
+	if out["cached_tokens"].(float64) <= 0 {
+		t.Fatalf("no reuse reported: %v", out)
+	}
+	mods := out["modules"].([]any)
+	if len(mods) != 1 || mods[0] != "contract" {
+		t.Fatalf("modules = %v", mods)
+	}
+
+	rec2, out2 := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8, Baseline: true})
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("baseline = %d %v", rec2.Code, out2)
+	}
+	if out2["cached_tokens"].(float64) != 0 {
+		t.Fatalf("baseline should not reuse: %v", out2)
+	}
+	// Single-module prompt: cached output must equal baseline output.
+	if out["text"] != out2["text"] {
+		t.Fatalf("cached %q != baseline %q", out["text"], out2["text"])
+	}
+}
+
+func TestCompleteUnknownSchema(t *testing.T) {
+	s := newServer(t)
+	rec, _ := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: `<prompt schema="ghost">x</prompt>`})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown schema = %d", rec.Code)
+	}
+}
+
+func TestCompleteMethodNotAllowed(t *testing.T) {
+	s := newServer(t)
+	rec, _ := doJSON(t, s, http.MethodGet, "/v1/complete", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET complete = %d", rec.Code)
+	}
+}
+
+func TestCompleteBatch(t *testing.T) {
+	s := newServer(t)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	req := BatchRequest{
+		Prompts: []string{
+			`<prompt schema="docs"><contract/>Summarize the duties.</prompt>`,
+			`<prompt schema="docs"><contract/><rider/>What about parking?</prompt>`,
+			`<prompt schema="docs"><contract/>List weekly chores.</prompt>`,
+		},
+		MaxTokens: 6,
+	}
+	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete_batch", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch = %d %v", rec.Code, out)
+	}
+	results := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if out["shared_modules"].(float64) == 0 {
+		t.Fatalf("no sharing: %v", out)
+	}
+	if out["physical_bytes"].(float64) >= out["logical_bytes"].(float64) {
+		t.Fatalf("sharing should shrink physical bytes: %v", out)
+	}
+	if out["savings_pct"].(float64) <= 0 {
+		t.Fatalf("savings = %v", out["savings_pct"])
+	}
+}
+
+func TestCompleteBatchErrors(t *testing.T) {
+	s := newServer(t)
+	rec, _ := doJSON(t, s, http.MethodPost, "/v1/complete_batch", BatchRequest{})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("empty batch = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/v1/complete_batch", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch = %d", rec.Code)
+	}
+}
+
+func TestVocabEndpoint(t *testing.T) {
+	// Server A learns words by registering a schema; its vocab dump makes
+	// server B (same weights, fresh tokenizer) decode identically.
+	a := newServer(t)
+	doJSON(t, a, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	prompt := `<prompt schema="docs"><contract/>Summarize the duties.</prompt>`
+	_, outA := doJSON(t, a, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8})
+
+	recDump := httptest.NewRecorder()
+	a.ServeHTTP(recDump, httptest.NewRequest(http.MethodGet, "/vocab", nil))
+	if recDump.Code != http.StatusOK {
+		t.Fatalf("vocab GET = %d", recDump.Code)
+	}
+
+	b := newServer(t)
+	recPut := httptest.NewRecorder()
+	b.ServeHTTP(recPut, httptest.NewRequest(http.MethodPut, "/vocab", bytes.NewReader(recDump.Body.Bytes())))
+	if recPut.Code != http.StatusOK {
+		t.Fatalf("vocab PUT = %d %s", recPut.Code, recPut.Body.String())
+	}
+	doJSON(t, b, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	_, outB := doJSON(t, b, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8})
+	if outA["text"] != outB["text"] {
+		t.Fatalf("decodes differ after vocab transfer: %q vs %q", outA["text"], outB["text"])
+	}
+	// Bad payload rejected.
+	recBad := httptest.NewRecorder()
+	b.ServeHTTP(recBad, httptest.NewRequest(http.MethodPut, "/vocab", bytes.NewBufferString("{broken")))
+	if recBad.Code != http.StatusBadRequest {
+		t.Fatalf("bad vocab = %d", recBad.Code)
+	}
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	s := newServer(t)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	var buf bytes.Buffer
+	_ = json.NewEncoder(&buf).Encode(CompleteRequest{
+		Prompt:    `<prompt schema="docs"><contract/>Summarize.</prompt>`,
+		MaxTokens: 5,
+	})
+	req := httptest.NewRequest(http.MethodPost, "/v1/stream", &buf)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream = %d %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	events := 0
+	sawDone := false
+	for _, line := range splitLines(body) {
+		if len(line) > 6 && line[:6] == "data: " {
+			events++
+			var m map[string]any
+			if err := json.Unmarshal([]byte(line[6:]), &m); err != nil {
+				t.Fatalf("bad event %q: %v", line, err)
+			}
+			if m["done"] == true {
+				sawDone = true
+				if m["cached_tokens"].(float64) <= 0 {
+					t.Fatalf("done event lacks reuse stats: %v", m)
+				}
+			}
+		}
+	}
+	if events < 2 || !sawDone {
+		t.Fatalf("events=%d done=%v body=%q", events, sawDone, body)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestStreamErrors(t *testing.T) {
+	s := newServer(t)
+	rec, _ := doJSON(t, s, http.MethodPost, "/v1/stream", CompleteRequest{Prompt: `<prompt schema="ghost">x</prompt>`})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown schema stream = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodGet, "/v1/stream", nil)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET stream = %d", rec.Code)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := newServer(t)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	prompt := `<prompt schema="docs"><contract/>Summarize.</prompt>`
+	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+	_, out := doJSON(t, s, http.MethodGet, "/stats", nil)
+	if out["modules_encoded"].(float64) < 2 {
+		t.Fatalf("stats = %v", out)
+	}
+	if out["modules_reused"].(float64) == 0 {
+		t.Fatalf("no reuse counted: %v", out)
+	}
+	if out["tokens_reused"].(float64) <= 0 {
+		t.Fatalf("no token reuse counted: %v", out)
+	}
+}

@@ -1,0 +1,268 @@
+// Package serving simulates the LLM serving system the paper sketches as
+// future work (§6): Prompt Cache as a building block under a two-tier
+// memory hierarchy — scarce GPU HBM in front of abundant host DRAM — with
+// pluggable cache-replacement policies deciding which prompt modules stay
+// device-resident.
+//
+// The simulator replays a skewed (Zipf) request stream over a module
+// universe. Every request imports k modules and adds an uncached suffix;
+// its TTFT is assembled from the calibrated hardware model
+// (internal/hw): device-to-device copies for HBM-resident modules,
+// host-to-device uploads (plus promotion and possible evictions) for the
+// rest, and suffix attention compute. Comparing policies and capacities
+// against the no-reuse baseline quantifies how far a replacement policy
+// gets toward the "latency lower bound made possible by Prompt Cache".
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/evict"
+	"repro/internal/hw"
+	"repro/internal/rng"
+)
+
+// ModuleSpec is one cacheable prompt module in the universe.
+type ModuleSpec struct {
+	Name   string
+	Tokens int
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Device *hw.Device
+	Model  hw.Model
+
+	Modules []ModuleSpec
+	// Requests is the stream length; each request imports
+	// ModulesPerRequest distinct modules chosen by Zipf(ZipfS) popularity
+	// and appends SuffixTokens of uncached text.
+	Requests          int
+	ModulesPerRequest int
+	SuffixTokens      int
+	ZipfS             float64
+	Seed              uint64
+
+	// GPUCapacity bounds the HBM tier in bytes (0 = no GPU tier: every
+	// module ships from host DRAM, the paper's "CPU memory" setup).
+	GPUCapacity int64
+	// Policy governs HBM replacement; nil defaults to LRU.
+	Policy evict.Policy
+	// OverlapTransfers pipelines module copies with the uncached-suffix
+	// computation (the prefetch direction §3.2.3 hints at): per request,
+	// TTFT pays max(copy, compute) instead of copy + compute.
+	OverlapTransfers bool
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Requests      int
+	ModuleLookups int
+	HBMHits       int
+	Evictions     int
+	BytesUploaded int64
+
+	MeanTTFT, P50TTFT, P99TTFT time.Duration
+	// BaselineMeanTTFT is the same stream served with no attention reuse
+	// (full prefill per request).
+	BaselineMeanTTFT time.Duration
+}
+
+// HitRate returns the HBM hit fraction over module lookups.
+func (s Stats) HitRate() float64 {
+	if s.ModuleLookups == 0 {
+		return 0
+	}
+	return float64(s.HBMHits) / float64(s.ModuleLookups)
+}
+
+// Speedup returns baseline mean TTFT / cached mean TTFT.
+func (s Stats) Speedup() float64 {
+	if s.MeanTTFT == 0 {
+		return 0
+	}
+	return float64(s.BaselineMeanTTFT) / float64(s.MeanTTFT)
+}
+
+// DefaultUniverse builds a module universe of n documents whose sizes are
+// drawn log-uniformly between minTok and maxTok — spanning the system
+// message / template / long-document range real schemas mix.
+func DefaultUniverse(n, minTok, maxTok int, seed uint64) []ModuleSpec {
+	r := rng.New(seed)
+	out := make([]ModuleSpec, n)
+	lnMin, lnMax := math.Log(float64(minTok)), math.Log(float64(maxTok))
+	for i := range out {
+		t := int(math.Exp(lnMin + r.Float64()*(lnMax-lnMin)))
+		out[i] = ModuleSpec{Name: fmt.Sprintf("mod%03d", i), Tokens: t}
+	}
+	return out
+}
+
+// Run replays the stream and returns aggregate statistics.
+func Run(cfg Config) (Stats, error) {
+	if cfg.Device == nil || len(cfg.Modules) == 0 {
+		return Stats{}, fmt.Errorf("serving: device and modules required")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1000
+	}
+	if cfg.ModulesPerRequest <= 0 {
+		cfg.ModulesPerRequest = 2
+	}
+	if cfg.ModulesPerRequest > len(cfg.Modules) {
+		cfg.ModulesPerRequest = len(cfg.Modules)
+	}
+	if cfg.SuffixTokens <= 0 {
+		cfg.SuffixTokens = 120
+	}
+	if cfg.ZipfS <= 0 {
+		cfg.ZipfS = 1.0
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = evict.NewLRU()
+	}
+
+	r := rng.New(cfg.Seed)
+	weights := make([]float64, len(cfg.Modules))
+	var totalW float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		totalW += weights[i]
+	}
+	pick := func() int {
+		u := r.Float64() * totalW
+		acc := 0.0
+		for i, w := range weights {
+			acc += w
+			if u < acc {
+				return i
+			}
+		}
+		return len(weights) - 1
+	}
+
+	bytesOf := func(m ModuleSpec) int64 {
+		return int64(m.Tokens) * cfg.Model.BytesPerToken()
+	}
+
+	resident := map[string]int64{}
+	var hbmUsed int64
+	var st Stats
+	ttfts := make([]time.Duration, 0, cfg.Requests)
+	var baselineSum time.Duration
+
+	for q := 0; q < cfg.Requests; q++ {
+		// Distinct module picks, processed in a deterministic order.
+		chosenSet := map[int]bool{}
+		for len(chosenSet) < cfg.ModulesPerRequest {
+			chosenSet[pick()] = true
+		}
+		chosen := make([]int, 0, len(chosenSet))
+		for idx := range chosenSet {
+			chosen = append(chosen, idx)
+		}
+		sort.Ints(chosen)
+		var copyTime time.Duration
+		totalTokens := cfg.SuffixTokens
+		for _, idx := range chosen {
+			m := cfg.Modules[idx]
+			totalTokens += m.Tokens
+			b := bytesOf(m)
+			st.ModuleLookups++
+			if _, hit := resident[m.Name]; hit && cfg.GPUCapacity > 0 {
+				st.HBMHits++
+				copyTime += cfg.Device.Local.TransferTime(b)
+				policy.Touch(m.Name, b)
+				continue
+			}
+			// Miss: ship from host DRAM...
+			copyTime += cfg.Device.Upload.TransferTime(b)
+			st.BytesUploaded += b
+			// ...and promote into HBM if it can ever fit.
+			if cfg.GPUCapacity <= 0 || b > cfg.GPUCapacity {
+				continue
+			}
+			for hbmUsed+b > cfg.GPUCapacity {
+				victim, ok := policy.Victim()
+				if !ok {
+					break
+				}
+				policy.Remove(victim)
+				hbmUsed -= resident[victim]
+				delete(resident, victim)
+				st.Evictions++
+			}
+			resident[m.Name] = b
+			hbmUsed += b
+			policy.Touch(m.Name, b)
+		}
+		compute := time.Duration(cfg.Model.SuffixFLOPs(cfg.SuffixTokens, totalTokens) / cfg.Device.EffFLOPs() * float64(time.Second))
+		ttft := cfg.Device.Overhead
+		if cfg.OverlapTransfers {
+			// Copies ride alongside the suffix computation; the longer
+			// of the two gates the first token.
+			if copyTime > compute {
+				ttft += copyTime
+			} else {
+				ttft += compute
+			}
+		} else {
+			ttft += copyTime + compute
+		}
+		ttfts = append(ttfts, ttft)
+		baselineSum += hw.BaselineTTFT(cfg.Device, cfg.Model, totalTokens)
+	}
+
+	st.Requests = cfg.Requests
+	sort.Slice(ttfts, func(i, j int) bool { return ttfts[i] < ttfts[j] })
+	var sum time.Duration
+	for _, t := range ttfts {
+		sum += t
+	}
+	st.MeanTTFT = sum / time.Duration(len(ttfts))
+	st.P50TTFT = ttfts[len(ttfts)/2]
+	st.P99TTFT = ttfts[len(ttfts)*99/100]
+	st.BaselineMeanTTFT = baselineSum / time.Duration(cfg.Requests)
+	return st, nil
+}
+
+// ComparePolicies runs the same stream under each named policy at the
+// given HBM capacity and returns stats per policy name, plus the
+// host-only ("CPU memory") and unbounded-HBM reference points.
+func ComparePolicies(base Config, capacity int64) (map[string]Stats, error) {
+	out := map[string]Stats{}
+	for _, name := range evict.Names() {
+		p, err := evict.New(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.GPUCapacity = capacity
+		cfg.Policy = p
+		st, err := Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = st
+	}
+	hostOnly := base
+	hostOnly.GPUCapacity = 0
+	st, err := Run(hostOnly)
+	if err != nil {
+		return nil, err
+	}
+	out["host-only"] = st
+
+	unbounded := base
+	unbounded.GPUCapacity = 1 << 60
+	st, err = Run(unbounded)
+	if err != nil {
+		return nil, err
+	}
+	out["unbounded-hbm"] = st
+	return out, nil
+}

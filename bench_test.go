@@ -10,14 +10,15 @@ package repro
 // Run: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 // report runs a bench-package experiment once per iteration, discarding
@@ -64,20 +65,21 @@ func useCaseBench(b *testing.B, schema, prompt string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cache := core.NewCache(m)
-	if _, err := cache.RegisterSchema(schema); err != nil {
+	client := promptcache.New(m)
+	if _, err := client.RegisterSchema(schema); err != nil {
 		b.Fatal(err)
 	}
+	ctx := context.Background()
 	b.Run("baseline", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cache.BaselineServe(prompt); err != nil {
+			if _, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, Baseline: true, PrefillOnly: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("cached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cache.Serve(prompt, core.ServeOpts{}); err != nil {
+			if _, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, PrefillOnly: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -109,23 +111,24 @@ func BenchmarkEngineTTFT(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cache := core.NewCache(m)
+	client := promptcache.New(m)
+	ctx := context.Background()
 	for _, n := range []int{128, 256, 512} {
 		name := fmt.Sprintf("bench-%d", n)
-		if _, err := cache.RegisterSchema(bench.EngineSchema(name, n, uint64(n))); err != nil {
+		if _, err := client.RegisterSchema(bench.EngineSchema(name, n, uint64(n))); err != nil {
 			b.Fatal(err)
 		}
 		prompt := fmt.Sprintf("<prompt schema=%q><doc/><user>summarize the document</user></prompt>", name)
 		b.Run(fmt.Sprintf("baseline-%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := cache.BaselineServe(prompt); err != nil {
+				if _, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, Baseline: true, PrefillOnly: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("cached-%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := cache.Serve(prompt, core.ServeOpts{}); err != nil {
+				if _, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, PrefillOnly: true}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -143,8 +146,8 @@ func BenchmarkSchemaEncoding(b *testing.B) {
 	schema := bench.EngineSchema("enc", 256, 99)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cache := core.NewCache(m)
-		if _, err := cache.RegisterSchema(schema); err != nil {
+		client := promptcache.New(m)
+		if _, err := client.RegisterSchema(schema); err != nil {
 			b.Fatal(err)
 		}
 	}

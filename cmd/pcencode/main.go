@@ -14,9 +14,9 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 func main() {
@@ -57,10 +57,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("pcencode: %v", err)
 	}
-	cache := core.NewCache(m)
+	client := promptcache.New(m)
 
 	if *outPath != "" {
-		layout, err := cache.RegisterSchema(string(src))
+		layout, err := client.RegisterSchema(string(src))
 		if err != nil {
 			log.Fatalf("pcencode: %v", err)
 		}
@@ -69,7 +69,7 @@ func main() {
 			log.Fatalf("pcencode: %v", err)
 		}
 		defer f.Close()
-		if err := cache.SaveSchemaStates(layout.Schema.Name, f); err != nil {
+		if err := client.Engine().SaveSchemaStates(layout.Schema.Name, f); err != nil {
 			log.Fatalf("pcencode: %v", err)
 		}
 		st, _ := f.Stat()
@@ -83,13 +83,13 @@ func main() {
 		log.Fatalf("pcencode: %v", err)
 	}
 	defer f.Close()
-	layout, err := cache.RegisterSchemaFromSnapshot(string(src), f)
+	layout, err := client.Engine().RegisterSchemaFromSnapshot(string(src), f)
 	if err != nil {
 		log.Fatalf("pcencode: restore failed: %v", err)
 	}
 	fmt.Printf("restored schema %q: %d modules without re-encoding\n", layout.Schema.Name, len(layout.Order))
 	if *verify {
-		stats := cache.Stats()
+		stats := client.Stats()
 		if stats.ModulesEncoded > len(layout.Schema.Scaffolds) {
 			log.Fatalf("pcencode: verify failed: %d modules were re-encoded", stats.ModulesEncoded)
 		}

@@ -2,17 +2,24 @@
 //
 // Endpoints:
 //
-//	POST /schemas      {"pml": "<schema ...>"}          register a schema
-//	GET  /schemas                                       list schemas
-//	POST /v1/complete  {"prompt": "<prompt ...>", ...}  cached completion
-//	GET  /stats                                         cache statistics
-//	GET  /healthz                                       liveness
+//	POST   /schemas                 {"pml": "<schema ...>"}          register a schema
+//	GET    /schemas                                                  list schemas
+//	POST   /v1/complete             {"prompt": "<prompt ...>", ...}  cached completion
+//	POST   /v1/complete_batch       {"prompts": [...], ...}          batch with shared modules
+//	POST   /v1/stream               {"prompt": ...}                  SSE token stream
+//	POST   /v1/sessions             {"prompt": ..., "max_tokens":N}  open a multi-turn session
+//	POST   /v1/sessions/{id}/send   {"text": "..."}                  advance a session one turn
+//	DELETE /v1/sessions/{id}                                         close a session
+//	GET    /stats                                                    cache statistics
+//	GET    /healthz                                                  liveness
 //
 // Example:
 //
 //	pcserve -addr :8080 -arch llama &
 //	curl -d '{"pml":"<schema name=\"s\"><module name=\"m\">hi</module></schema>"}' localhost:8080/schemas
 //	curl -d '{"prompt":"<prompt schema=\"s\"><m/>go</prompt>","max_tokens":16}' localhost:8080/v1/complete
+//	curl -d '{"prompt":"<prompt schema=\"s\"><m/><user>hi</user></prompt>"}' localhost:8080/v1/sessions
+//	curl -d '{"text":"tell me more"}' localhost:8080/v1/sessions/s1/send
 package main
 
 import (
@@ -21,10 +28,10 @@ import (
 	"log"
 	"net/http"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/server"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 func main() {
@@ -32,6 +39,8 @@ func main() {
 	arch := flag.String("arch", "llama", "architecture family: llama, llama-large, mpt, falcon, gpt2")
 	seed := flag.Uint64("seed", 1, "weight seed")
 	vocab := flag.Int("vocab", tokenizer.WordBase+8192, "vocabulary size")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrently open sessions")
+	sessionIdle := flag.Duration("session-idle", server.DefaultSessionIdleTimeout, "idle age after which abandoned sessions are reaped")
 	flag.Parse()
 
 	var cfg model.Config
@@ -53,7 +62,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("pcserve: %v", err)
 	}
-	srv := server.New(core.NewCache(m))
+	srv := server.New(promptcache.New(m))
+	srv.MaxSessions = *maxSessions
+	srv.SessionIdleTimeout = *sessionIdle
 	fmt.Printf("pcserve: %s model on %s\n", cfg.Name, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -2,6 +2,11 @@
 // Modular Attention Reuse for Low-Latency Inference" (Gim et al., MLSys
 // 2024).
 //
+// The public serving API is the promptcache package: a context-aware
+// Client with one inference entrypoint (Infer), multi-turn Sessions,
+// batching, streaming, and a typed error taxonomy. Everything else is
+// internal machinery behind it.
+//
 // The library implements the paper's full stack: a transformer inference
 // engine with explicit position IDs (internal/model, internal/tensor,
 // internal/kvcache), the Prompt Markup Language and its position-layout
@@ -10,9 +15,9 @@
 // cached inference, LRU eviction (internal/core) — simulated GPU/CPU
 // memory tiers (internal/memory), calibrated hardware latency models
 // (internal/hw), synthetic LongBench workloads (internal/longbench),
-// evaluation metrics (internal/metrics), an HTTP serving layer
-// (internal/server) and the experiment harness that regenerates every
-// table and figure in the paper (internal/bench).
+// evaluation metrics (internal/metrics), an HTTP serving layer over the
+// public API (internal/server) and the experiment harness that
+// regenerates every table and figure in the paper (internal/bench).
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

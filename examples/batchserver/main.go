@@ -1,19 +1,20 @@
 // Batchserver demonstrates §3.4's batch optimization on the real engine:
-// a burst of prompts importing the same documents is served as one batch,
-// with each distinct module's attention states stored once in a shared
-// paged pool instead of per prompt.
+// a burst of prompts importing the same documents is served as one
+// InferBatch call, with each distinct module's attention states stored
+// once in a shared paged pool instead of per prompt.
 //
 //	go run ./examples/batchserver
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/longbench"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 func main() {
@@ -21,14 +22,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache := core.NewCache(m)
+	client := promptcache.New(m)
 
 	// A multi-doc QA workload whose samples draw from a shared pool.
 	d, _ := longbench.ByName("HotpotQA")
 	w := longbench.Generate(d, longbench.GenConfig{
 		Seed: 9, PoolDocs: 3, DocsPerSample: 2, NumSamples: 8, DocSentences: 8,
 	})
-	if _, err := cache.RegisterSchema(w.Schema); err != nil {
+	if _, err := client.RegisterSchema(w.Schema); err != nil {
 		log.Fatal(err)
 	}
 	prompts := make([]string, len(w.Samples))
@@ -36,19 +37,18 @@ func main() {
 		prompts[i] = s.Prompt
 	}
 
-	results, stats, err := cache.ServeBatch(prompts, core.ServeOpts{})
+	resp, err := client.InferBatch(context.Background(), promptcache.BatchRequest{
+		Prompts:   prompts,
+		MaxTokens: 10,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	gens, err := cache.GenerateBatch(results, model.GenerateOpts{MaxTokens: 10})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for i, res := range results {
+	for i, r := range resp.Results {
 		fmt.Printf("prompt %d: docs %v, %3d reused + %2d new -> %s\n",
-			i, w.Samples[i].Docs, res.CachedTokens, res.NewTokens,
-			cache.Tokenizer().Decode(gens[i]))
+			i, w.Samples[i].Docs, r.CachedTokens, r.NewTokens, r.Text)
 	}
+	stats := resp.Stats
 	fmt.Printf("\nbatch of %d: %d module references shared\n", stats.Prompts, stats.SharedModules)
 	fmt.Printf("logical KV bytes %8d (if every prompt duplicated modules)\n", stats.LogicalBytes)
 	fmt.Printf("physical KV bytes %7d (shared paged pool)\n", stats.PhysicalBytes)

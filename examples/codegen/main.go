@@ -6,23 +6,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 func main() {
+	ctx := context.Background()
 	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+4096, 7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache := core.NewCache(m)
-	if _, err := cache.RegisterSchema(bench.CodeGenSchema); err != nil {
+	client := promptcache.New(m)
+	if _, err := client.RegisterSchema(bench.CodeGenSchema); err != nil {
 		log.Fatal(err)
 	}
 
@@ -44,20 +46,15 @@ func main() {
 
 	for _, r := range requests {
 		t0 := time.Now()
-		res, err := cache.Serve(r.prompt, core.ServeOpts{})
+		resp, err := client.Infer(ctx, promptcache.Request{Prompt: r.prompt, MaxTokens: 20})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ttft := time.Since(t0)
-		text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 20})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-32s reused %3d tokens, computed %2d, TTFT %v\n",
-			r.label, res.CachedTokens, res.NewTokens, ttft)
-		fmt.Printf("  -> %s\n", text)
+		fmt.Printf("%-32s reused %3d tokens, computed %2d, total %v\n",
+			r.label, resp.CachedTokens, resp.NewTokens, time.Since(t0))
+		fmt.Printf("  -> %s\n", resp.Text)
 	}
-	st := cache.Stats()
+	st := client.Stats()
 	fmt.Printf("\ncache: %d modules encoded once, %d reuses across requests\n",
 		st.ModulesEncoded, st.ModulesReused)
 }

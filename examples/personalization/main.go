@@ -6,23 +6,26 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 func main() {
+	ctx := context.Background()
 	m, err := model.New(model.MPTStyle(tokenizer.WordBase+4096, 9))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache := core.NewCache(m)
-	if _, err := cache.RegisterSchema(bench.PersonalizationSchema); err != nil {
+	client := promptcache.New(m)
+	if _, err := client.RegisterSchema(bench.PersonalizationSchema); err != nil {
 		log.Fatal(err)
 	}
 
@@ -37,19 +40,17 @@ func main() {
 	for _, p := range profiles {
 		prompt := fmt.Sprintf(`<prompt schema="learner-profile">%s<user>Concisely describe the learner's profile.</user></prompt>`, p.traits)
 		t0 := time.Now()
-		res, err := cache.Serve(prompt, core.ServeOpts{})
+		resp, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, MaxTokens: 18})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ttft := time.Since(t0)
-		text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 18})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-26s reused %3d tokens, TTFT %v\n  -> %s\n", p.label, res.CachedTokens, ttft, text)
+		fmt.Printf("%-26s reused %3d tokens, total %v\n  -> %s\n", p.label, resp.CachedTokens, time.Since(t0), resp.Text)
 	}
 
-	// Union exclusivity is enforced: two grades cannot coexist.
-	_, err = cache.Serve(`<prompt schema="learner-profile"><middle-school/><high-school/><user>x</user></prompt>`, core.ServeOpts{})
-	fmt.Printf("\nimporting two grade traits fails as expected: %v\n", err)
+	// Union exclusivity is enforced and surfaces as a typed error.
+	_, err = client.Infer(ctx, promptcache.Request{
+		Prompt: `<prompt schema="learner-profile"><middle-school/><high-school/><user>x</user></prompt>`,
+	})
+	fmt.Printf("\nimporting two grade traits fails as expected (ErrBadPrompt=%v): %v\n",
+		errors.Is(err, promptcache.ErrBadPrompt), err)
 }

@@ -1,18 +1,20 @@
 // Promptprogram demonstrates §3.2.4: writing a Python-like prompt program
 // instead of PML, compiling it, and serving prompts against the compiled
-// schema — including a multi-turn session continuation.
+// schema — including a multi-turn conversation over a promptcache.Session,
+// which owns the growing KV state across turns.
 //
 //	go run ./examples/promptprogram
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/promptlang"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 const program = `
@@ -36,6 +38,7 @@ schema helpdesk:
 `
 
 func main() {
+	ctx := context.Background()
 	pmlSrc, err := promptlang.CompileToPML(program)
 	if err != nil {
 		log.Fatal(err)
@@ -47,34 +50,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache := core.NewCache(m)
-	if _, err := cache.RegisterSchema(pmlSrc); err != nil {
+	client := promptcache.New(m)
+	if _, err := client.RegisterSchema(pmlSrc); err != nil {
 		log.Fatal(err)
 	}
 
-	res, err := cache.Serve(`<prompt schema="helpdesk">
-	  <warranty/>
-	  <ticket product="coffee grinder" issue="burrs jam every morning"/>
-	  <tier_pro/>
-	  <user>Draft a first reply.</user>
-	</prompt>`, core.ServeOpts{})
+	// Multi-turn: the session owns the conversation's KV cache; each Send
+	// pays prefill only for its own text.
+	sess, first, err := client.NewSession(ctx, promptcache.Request{
+		Prompt: `<prompt schema="helpdesk">
+		  <warranty/>
+		  <ticket product="coffee grinder" issue="burrs jam every morning"/>
+		  <tier_pro/>
+		  <user>Draft a first reply.</user>
+		</prompt>`,
+		MaxTokens: 16,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 16})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("turn 1 (%d cached + %d new tokens): %s\n", res.CachedTokens, res.NewTokens, text)
+	fmt.Printf("turn 1 (%d cached + %d new tokens): %s\n", first.CachedTokens, first.NewTokens, first.Text)
 
-	// Multi-turn: continue the same session, reusing its whole KV cache.
-	res2, err := cache.Continue(res, "The customer replies that cleaning did not help.")
+	second, err := sess.Send(ctx, "The customer replies that cleaning did not help.")
 	if err != nil {
 		log.Fatal(err)
 	}
-	text2, err := cache.GenerateText(res2, model.GenerateOpts{MaxTokens: 16})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("turn 2 (session cache %d tokens): %s\n", res2.KV.Len(), text2)
+	fmt.Printf("turn 2 (session cache %d tokens): %s\n", sess.CachedTokens(), second.Text)
 }

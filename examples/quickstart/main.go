@@ -1,17 +1,19 @@
 // Quickstart: register a PML schema, serve a prompt with cached attention
-// states, and compare against the full-prefill baseline.
+// states through the promptcache API, and compare against the
+// full-prefill baseline.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 const schema = `
@@ -35,26 +37,28 @@ const prompt = `
 </prompt>`
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Build a model (seeded weights; any architecture family works).
 	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+4096, 42))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Wrap it in a Prompt Cache and register the schema. Registration
-	//    precomputes attention states for every module (§3.3).
-	cache := core.NewCache(m)
-	layout, err := cache.RegisterSchema(schema)
+	// 2. Wrap it in a prompt-cache client and register the schema.
+	//    Registration precomputes attention states for every module (§3.3).
+	client := promptcache.New(m)
+	layout, err := client.RegisterSchema(schema)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("schema %q registered: %d modules, %d position IDs\n",
 		layout.Schema.Name, len(layout.Order), layout.TotalLen)
 
-	// 3. Serve a prompt: cached modules are spliced in, only new text is
-	//    computed (§3.4).
+	// 3. Serve the prompt with attention reuse: cached modules are spliced
+	//    in, only new text is computed (§3.4). PrefillOnly isolates TTFT.
 	t0 := time.Now()
-	res, err := cache.Serve(prompt, core.ServeOpts{})
+	res, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, PrefillOnly: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +68,7 @@ func main() {
 
 	// 4. The baseline recomputes everything.
 	t0 = time.Now()
-	base, err := cache.BaselineServe(prompt)
+	base, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, Baseline: true, PrefillOnly: true})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,15 +81,14 @@ func main() {
 	//    Prompt Cache applies the paper's §3.3 attention-mask
 	//    approximation, so outputs may differ slightly; declare the
 	//    modules as a <scaffold> to make them match exactly.
-	opts := model.GenerateOpts{MaxTokens: 16}
-	cachedText, err := cache.GenerateText(res, opts)
+	cached, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, MaxTokens: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseText, err := cache.GenerateText(base, opts)
+	baseline, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, Baseline: true, MaxTokens: 16})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cached   output: %s\n", cachedText)
-	fmt.Printf("baseline output: %s\n", baseText)
+	fmt.Printf("cached   output: %s\n", cached.Text)
+	fmt.Printf("baseline output: %s\n", baseline.Text)
 }

@@ -2,7 +2,9 @@
 // storage layer of a retrieval-augmented-generation service. A document
 // pool is registered once as a schema; each query "retrieves" documents
 // (keyword match here), imports only those modules, and completes with
-// cached attention states over an in-process HTTP server.
+// cached attention states over an in-process HTTP server. A final
+// multi-turn exchange rides the /v1/sessions API, whose KV state lives
+// server-side.
 //
 //	go run ./examples/ragserver
 package main
@@ -12,13 +14,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/server"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 // corpus is the retrievable document pool.
@@ -70,13 +73,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(core.NewCache(m)))
+	ts := httptest.NewServer(server.New(promptcache.New(m)))
 	defer ts.Close()
 	fmt.Printf("rag server on %s\n", ts.URL)
 
-	post := func(path string, body any) map[string]any {
+	do := func(method, path string, body any) map[string]any {
 		b, _ := json.Marshal(body)
-		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		req, err := http.NewRequest(method, ts.URL+path, bytes.NewReader(b))
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := ts.Client().Do(req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,10 +94,11 @@ func main() {
 			log.Fatal(err)
 		}
 		if e, ok := out["error"]; ok {
-			log.Fatalf("server error: %v", e)
+			log.Fatalf("server error (%s): %v", resp.Status, e)
 		}
 		return out
 	}
+	post := func(path string, body any) map[string]any { return do(http.MethodPost, path, body) }
 
 	reg := post("/schemas", server.SchemaRequest{PML: buildSchema()})
 	fmt.Printf("registered schema %v with %v modules (encoded once)\n", reg["name"], reg["modules"])
@@ -110,4 +119,17 @@ func main() {
 		fmt.Printf("q: %-38s retrieved %v, reused %v tokens\n  -> %v\n",
 			q, docs, out["cached_tokens"], out["text"])
 	}
+
+	// Multi-turn over /v1/sessions: the server holds the KV state, follow-up
+	// turns pay prefill only for their own text.
+	sess := post("/v1/sessions", server.SessionRequest{
+		Prompt:    `<prompt schema="rag"><doc-harbor/><user>Describe the harbor festival.</user></prompt>`,
+		MaxTokens: 12,
+	})
+	id := sess["session_id"].(string)
+	fmt.Printf("\nsession %s opened, reused %v tokens\n  -> %v\n", id, sess["cached_tokens"], sess["text"])
+	turn := post("/v1/sessions/"+id+"/send", server.SendRequest{Text: "And what cargo arrives by ship?"})
+	fmt.Printf("follow-up (session now %v tokens)\n  -> %v\n", turn["session_tokens"], turn["text"])
+	closed := do(http.MethodDelete, "/v1/sessions/"+id, nil)
+	fmt.Printf("session %v %v\n", closed["session_id"], closed["status"])
 }

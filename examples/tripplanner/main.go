@@ -6,23 +6,26 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 func main() {
+	ctx := context.Background()
 	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+4096, 21))
 	if err != nil {
 		log.Fatal(err)
 	}
-	cache := core.NewCache(m)
-	if _, err := cache.RegisterSchema(bench.TripPlanSchema); err != nil {
+	client := promptcache.New(m)
+	if _, err := client.RegisterSchema(bench.TripPlanSchema); err != nil {
 		log.Fatal(err)
 	}
 
@@ -43,22 +46,19 @@ func main() {
 	}
 	for _, tr := range trips {
 		t0 := time.Now()
-		res, err := cache.Serve(tr.prompt, core.ServeOpts{})
+		resp, err := client.Infer(ctx, promptcache.Request{Prompt: tr.prompt, MaxTokens: 18})
 		if err != nil {
 			log.Fatal(err)
 		}
-		ttft := time.Since(t0)
-		text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 18})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-28s reused %3d + computed %2d tokens, TTFT %v\n  -> %s\n",
-			tr.label, res.CachedTokens, res.NewTokens, ttft, text)
+		fmt.Printf("%-28s reused %3d + computed %2d tokens, total %v\n  -> %s\n",
+			tr.label, resp.CachedTokens, resp.NewTokens, time.Since(t0), resp.Text)
 	}
 
-	// Oversized arguments are rejected against the parameter's len.
-	_, err = cache.Serve(`<prompt schema="travel-planner">
+	// Oversized arguments are rejected against the parameter's len, with a
+	// typed error the caller can branch on.
+	_, err = client.Infer(ctx, promptcache.Request{Prompt: `<prompt schema="travel-planner">
 	  <travel-plan for="an extremely long duration that cannot possibly fit the parameter buffer"/>
-	  <user>plan</user></prompt>`, core.ServeOpts{})
-	fmt.Printf("\noversized argument fails as expected: %v\n", err)
+	  <user>plan</user></prompt>`})
+	fmt.Printf("\noversized argument fails as expected (ErrArgTooLong=%v): %v\n",
+		errors.Is(err, promptcache.ErrArgTooLong), err)
 }

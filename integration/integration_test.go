@@ -2,6 +2,7 @@ package integration
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 const vocab = tokenizer.WordBase + 2048
@@ -54,34 +56,35 @@ schema kiosk:
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache := core.NewCache(newModel(t, 1))
-	layout, err := cache.RegisterSchema(pmlSrc)
+	client := promptcache.New(newModel(t, 1))
+	layout, err := client.RegisterSchema(pmlSrc)
 	if err != nil {
 		t.Fatalf("compiled schema rejected: %v\n%s", err, pmlSrc)
 	}
 	if layout.Schema.Name != "kiosk" {
 		t.Fatalf("schema name %q", layout.Schema.Name)
 	}
-	res, err := cache.Serve(`<prompt schema="kiosk">
+	res, err := client.Infer(context.Background(), promptcache.Request{
+		Prompt: `<prompt schema="kiosk">
 	  <visit_plan hours="two hours"/>
 	  <fossils/>
 	  <user>What should I see first?</user>
-	</prompt>`, core.ServeOpts{})
+	</prompt>`,
+		MaxTokens: 8,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.CachedTokens == 0 || res.NewTokens == 0 {
 		t.Fatalf("reuse accounting: %+v", res)
 	}
-	text, err := cache.GenerateText(res, model.GenerateOpts{MaxTokens: 8})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if strings.TrimSpace(text) == "" {
+	if strings.TrimSpace(res.Text) == "" {
 		t.Fatal("empty generation")
 	}
 	// Union exclusivity holds for compiled schemas too.
-	if _, err := cache.Serve(`<prompt schema="kiosk"><paintings/><fossils/>x</prompt>`, core.ServeOpts{}); err == nil {
+	if _, err := client.Infer(context.Background(), promptcache.Request{
+		Prompt: `<prompt schema="kiosk"><paintings/><fossils/>x</prompt>`,
+	}); err == nil {
 		t.Fatal("union clash should fail")
 	}
 }
@@ -90,7 +93,8 @@ schema kiosk:
 // paired cached/baseline inference → metric scoring, for one dataset of
 // each category.
 func TestLongBenchPipeline(t *testing.T) {
-	cache := core.NewCache(newModel(t, 2))
+	client := promptcache.New(newModel(t, 2))
+	ctx := context.Background()
 	picks := []string{"NarrativeQA", "GovReport", "TriviaQA", "Passage Retrieval", "LCC", "HotpotQA"}
 	for _, name := range picks {
 		d, ok := longbench.ByName(name)
@@ -98,15 +102,15 @@ func TestLongBenchPipeline(t *testing.T) {
 			t.Fatalf("dataset %q missing", name)
 		}
 		w := longbench.Generate(d, longbench.GenConfig{Seed: 3, NumSamples: 2, PoolDocs: 3, DocSentences: 5})
-		if _, err := cache.RegisterSchema(w.Schema); err != nil {
+		if _, err := client.RegisterSchema(w.Schema); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		for _, s := range w.Samples {
-			cres, err := cache.Serve(s.Prompt, core.ServeOpts{})
+			cres, err := client.Infer(ctx, promptcache.Request{Prompt: s.Prompt, MaxTokens: 8})
 			if err != nil {
 				t.Fatalf("%s serve: %v", name, err)
 			}
-			bres, err := cache.BaselineServe(s.Prompt)
+			bres, err := client.Infer(ctx, promptcache.Request{Prompt: s.Prompt, Baseline: true, PrefillOnly: true})
 			if err != nil {
 				t.Fatalf("%s baseline: %v", name, err)
 			}
@@ -116,13 +120,9 @@ func TestLongBenchPipeline(t *testing.T) {
 			if cos := tensor.CosineSimilarity(cres.Logits, bres.Logits); cos < 0.3 {
 				t.Fatalf("%s: cached/baseline cosine %v implausibly low", name, cos)
 			}
-			gen, err := cache.GenerateText(cres, model.GenerateOpts{MaxTokens: 8})
-			if err != nil {
-				t.Fatal(err)
-			}
 			// Metrics accept arbitrary generations.
-			_ = metrics.F1(gen, s.Reference)
-			_ = metrics.RougeL(gen, s.Reference)
+			_ = metrics.F1(cres.Text, s.Reference)
+			_ = metrics.RougeL(cres.Text, s.Reference)
 		}
 	}
 }
@@ -138,7 +138,7 @@ func TestServerWithQuantizedEvictingCache(t *testing.T) {
 	if _, err := probe.RegisterSchema(w.Schema); err != nil {
 		t.Fatal(err)
 	}
-	tight := core.NewCache(m,
+	tight := promptcache.New(m,
 		core.WithInt8Modules(),
 		core.WithEvictionPolicy(evict.NewGDSF()),
 		core.WithPool(memory.NewPool(memory.Device{Name: "hbm", Kind: memory.HBM, Capacity: probe.PoolUsed()/2 + 1})),
@@ -173,7 +173,15 @@ func TestServerWithQuantizedEvictingCache(t *testing.T) {
 			t.Fatalf("no reuse through server: %v", out)
 		}
 	}
-	stats := post("/stats", nil)
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
 	if stats["modules_evicted"].(float64) == 0 {
 		t.Fatalf("tight pool should evict: %v", stats)
 	}
@@ -194,8 +202,7 @@ func mustDataset(t *testing.T, name string) longbench.Dataset {
 // TestBatchEndpointSharing: HTTP batch completion over a LongBench
 // workload where samples share pool documents.
 func TestBatchEndpointSharing(t *testing.T) {
-	cache := core.NewCache(newModel(t, 5))
-	srv := httptest.NewServer(server.New(cache))
+	srv := httptest.NewServer(server.New(promptcache.New(newModel(t, 5))))
 	defer srv.Close()
 
 	d := mustDataset(t, "HotpotQA")
@@ -233,23 +240,92 @@ func TestBatchEndpointSharing(t *testing.T) {
 // TestCrossSchemaIsolation: same module name in two schemas must resolve
 // independently.
 func TestCrossSchemaIsolation(t *testing.T) {
-	cache := core.NewCache(newModel(t, 6))
+	client := promptcache.New(newModel(t, 6))
+	ctx := context.Background()
 	for i, body := range []string{"first corpus of words here", "totally different other corpus"} {
 		src := fmt.Sprintf(`<schema name="s%d"><module name="doc">%s</module></schema>`, i, body)
-		if _, err := cache.RegisterSchema(src); err != nil {
+		if _, err := client.RegisterSchema(src); err != nil {
 			t.Fatal(err)
 		}
 	}
-	a, err := cache.Serve(`<prompt schema="s0"><doc/>question</prompt>`, core.ServeOpts{})
+	a, err := client.Infer(ctx, promptcache.Request{Prompt: `<prompt schema="s0"><doc/>question</prompt>`, PrefillOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cache.Serve(`<prompt schema="s1"><doc/>question</prompt>`, core.ServeOpts{})
+	b, err := client.Infer(ctx, promptcache.Request{Prompt: `<prompt schema="s1"><doc/>question</prompt>`, PrefillOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tensor.MaxAbsDiff(a.Logits, b.Logits) < 1e-6 {
 		t.Fatal("different schemas' docs produced identical logits — cross-schema leakage")
+	}
+}
+
+// TestSessionsOverHTTP drives the full multi-turn path end to end:
+// create a session over /v1/sessions, advance it two turns, verify the
+// server-held KV state grows, then delete it.
+func TestSessionsOverHTTP(t *testing.T) {
+	srv := httptest.NewServer(server.New(promptcache.New(newModel(t, 7))))
+	defer srv.Close()
+
+	schema := `<schema name="chat"><module name="doc">The lighthouse keeper logs every passing ship and storm in a leather journal.</module></schema>`
+	body, _ := json.Marshal(server.SchemaRequest{PML: schema})
+	if _, err := srv.Client().Post(srv.URL+"/schemas", "application/json", bytes.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(path string, payload any) (int, map[string]any) {
+		t.Helper()
+		b, _ := json.Marshal(payload)
+		resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	code, created := post("/v1/sessions", server.SessionRequest{
+		Prompt:    `<prompt schema="chat"><doc/><user>What does the keeper log?</user></prompt>`,
+		MaxTokens: 6,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d %v", code, created)
+	}
+	id := created["session_id"].(string)
+	if created["text"] == "" || created["cached_tokens"].(float64) <= 0 {
+		t.Fatalf("create response %v", created)
+	}
+
+	var prev float64
+	for i, text := range []string{"How often do storms pass?", "And the ships?"} {
+		code, out := post("/v1/sessions/"+id+"/send", server.SendRequest{Text: text})
+		if code != http.StatusOK {
+			t.Fatalf("send %d = %d %v", i, code, out)
+		}
+		st := out["session_tokens"].(float64)
+		if st <= prev {
+			t.Fatalf("session KV should grow across turns: %v -> %v", prev, st)
+		}
+		prev = st
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/"+id, nil)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	code, _ = post("/v1/sessions/"+id+"/send", server.SendRequest{Text: "still there?"})
+	if code != http.StatusNotFound {
+		t.Fatalf("send after delete = %d", code)
 	}
 }
 

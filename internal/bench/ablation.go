@@ -1,10 +1,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/kvcache"
 	"repro/internal/metrics"
@@ -12,6 +12,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 // AblationScaffold quantifies the §3.3 attention-masking approximation and
@@ -42,16 +43,12 @@ func AblationScaffold() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cache := core.NewCache(m)
-		if _, err := cache.RegisterSchema(schema); err != nil {
+		client := promptcache.New(m)
+		if _, err := client.RegisterSchema(schema); err != nil {
 			return nil, err
 		}
-		base, err := cache.BaselineServe(prompt)
-		if err != nil {
-			return nil, err
-		}
-		opts := model.GenerateOpts{MaxTokens: 16}
-		bGen, err := cache.Generate(base, opts)
+		ctx := context.Background()
+		base, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, Baseline: true, MaxTokens: 16})
 		if err != nil {
 			return nil, err
 		}
@@ -59,18 +56,16 @@ func AblationScaffold() (*Report, error) {
 			label    string
 			disabled bool
 		}{{"scaffold", false}, {"independent", true}} {
-			res, err := cache.Serve(prompt, core.ServeOpts{DisableScaffolds: mode.disabled})
-			if err != nil {
-				return nil, err
-			}
-			gen, err := cache.Generate(res, opts)
+			res, err := client.Infer(ctx, promptcache.Request{
+				Prompt: prompt, DisableScaffolds: mode.disabled, MaxTokens: 16,
+			})
 			if err != nil {
 				return nil, err
 			}
 			rep.Rows = append(rep.Rows, []string{
 				cfg.Name, mode.label,
 				f3(tensor.CosineSimilarity(res.Logits, base.Logits)),
-				f3(metrics.TokenOverlap(gen, bGen)),
+				f3(metrics.TokenOverlap(res.Tokens, base.Tokens)),
 			})
 		}
 	}
@@ -105,7 +100,7 @@ func AblationMasking() (*Report, error) {
 	}
 	prevCos := 2.0
 	for _, parts := range []int{1, 2, 4, 8} {
-		cache := core.NewCache(m)
+		client := promptcache.New(m)
 		var sb strings.Builder
 		fmt.Fprintf(&sb, `<schema name="mask%d">`, parts)
 		per := totalWords / parts
@@ -116,15 +111,16 @@ func AblationMasking() (*Report, error) {
 			fmt.Fprintf(&imports, "<part%d/>", p)
 		}
 		sb.WriteString(`</schema>`)
-		if _, err := cache.RegisterSchema(sb.String()); err != nil {
+		if _, err := client.RegisterSchema(sb.String()); err != nil {
 			return nil, err
 		}
 		prompt := fmt.Sprintf(`<prompt schema="mask%d">%s summarize everything</prompt>`, parts, imports.String())
-		cres, err := cache.Serve(prompt, core.ServeOpts{})
+		ctx := context.Background()
+		cres, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, PrefillOnly: true})
 		if err != nil {
 			return nil, err
 		}
-		bres, err := cache.BaselineServe(prompt)
+		bres, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, Baseline: true, PrefillOnly: true})
 		if err != nil {
 			return nil, err
 		}

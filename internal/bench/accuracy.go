@@ -1,14 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/longbench"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 // AccuracyConfig scales the Table-1 run. Defaults keep the full 4-model ×
@@ -74,37 +75,28 @@ func Table1Appendix(cfg AccuracyConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache := core.NewCache(m)
+	client := promptcache.New(m)
+	ctx := context.Background()
 	for _, d := range longbench.All21() {
 		w := longbench.Generate(d, longbench.GenConfig{
 			Seed: cfg.Seed, NumSamples: cfg.Samples,
 			PoolDocs: 3, DocsPerSample: 2, DocSentences: cfg.DocSentences,
 		})
-		if _, err := cache.RegisterSchema(w.Schema); err != nil {
+		if _, err := client.RegisterSchema(w.Schema); err != nil {
 			return nil, fmt.Errorf("appendix %s: %w", d.Name, err)
 		}
 		var baseScores, cachedScores, cosines []float64
 		for _, s := range w.Samples {
-			cres, err := cache.Serve(s.Prompt, core.ServeOpts{})
+			cres, err := client.Infer(ctx, promptcache.Request{Prompt: s.Prompt, MaxTokens: cfg.MaxNewTokens})
 			if err != nil {
 				return nil, err
 			}
-			bres, err := cache.BaselineServe(s.Prompt)
+			bres, err := client.Infer(ctx, promptcache.Request{Prompt: s.Prompt, Baseline: true, MaxTokens: cfg.MaxNewTokens})
 			if err != nil {
 				return nil, err
 			}
-			opts := model.GenerateOpts{MaxTokens: cfg.MaxNewTokens}
-			cGen, err := cache.Generate(cres, opts)
-			if err != nil {
-				return nil, err
-			}
-			bGen, err := cache.Generate(bres, opts)
-			if err != nil {
-				return nil, err
-			}
-			tok := cache.Tokenizer()
-			cachedScores = append(cachedScores, scoreFor(d, tok.Decode(cGen), s.Reference))
-			baseScores = append(baseScores, scoreFor(d, tok.Decode(bGen), s.Reference))
+			cachedScores = append(cachedScores, scoreFor(d, cres.Text, s.Reference))
+			baseScores = append(baseScores, scoreFor(d, bres.Text, s.Reference))
 			cosines = append(cosines, tensor.CosineSimilarity(cres.Logits, bres.Logits))
 		}
 		rep.Rows = append(rep.Rows, []string{
@@ -137,7 +129,8 @@ func Table1(cfg AccuracyConfig) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		cache := core.NewCache(m)
+		client := promptcache.New(m)
+		ctx := context.Background()
 		for _, d := range longbench.Figure8() {
 			w := longbench.Generate(d, longbench.GenConfig{
 				Seed:          cfg.Seed,
@@ -146,32 +139,22 @@ func Table1(cfg AccuracyConfig) (*Report, error) {
 				DocsPerSample: 2,
 				DocSentences:  cfg.DocSentences,
 			})
-			if _, err := cache.RegisterSchema(w.Schema); err != nil {
+			if _, err := client.RegisterSchema(w.Schema); err != nil {
 				return nil, fmt.Errorf("table1 %s/%s: %w", mcfg.Name, d.Name, err)
 			}
 			var baseScores, cachedScores, fidelities, cosines []float64
 			for _, s := range w.Samples {
-				cres, err := cache.Serve(s.Prompt, core.ServeOpts{})
+				cres, err := client.Infer(ctx, promptcache.Request{Prompt: s.Prompt, MaxTokens: cfg.MaxNewTokens})
 				if err != nil {
 					return nil, fmt.Errorf("table1 serve %s/%s: %w", mcfg.Name, d.Name, err)
 				}
-				bres, err := cache.BaselineServe(s.Prompt)
+				bres, err := client.Infer(ctx, promptcache.Request{Prompt: s.Prompt, Baseline: true, MaxTokens: cfg.MaxNewTokens})
 				if err != nil {
 					return nil, err
 				}
-				opts := model.GenerateOpts{MaxTokens: cfg.MaxNewTokens}
-				cGen, err := cache.Generate(cres, opts)
-				if err != nil {
-					return nil, err
-				}
-				bGen, err := cache.Generate(bres, opts)
-				if err != nil {
-					return nil, err
-				}
-				tok := cache.Tokenizer()
-				cachedScores = append(cachedScores, scoreFor(d, tok.Decode(cGen), s.Reference))
-				baseScores = append(baseScores, scoreFor(d, tok.Decode(bGen), s.Reference))
-				fidelities = append(fidelities, metrics.TokenOverlap(cGen, bGen))
+				cachedScores = append(cachedScores, scoreFor(d, cres.Text, s.Reference))
+				baseScores = append(baseScores, scoreFor(d, bres.Text, s.Reference))
+				fidelities = append(fidelities, metrics.TokenOverlap(cres.Tokens, bres.Tokens))
 				cosines = append(cosines, tensor.CosineSimilarity(cres.Logits, bres.Logits))
 			}
 			rep.Rows = append(rep.Rows, []string{

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/serving"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 // EngineSchema builds a schema whose single document module is roughly
@@ -38,7 +40,8 @@ func EngineLatency() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache := core.NewCache(m)
+	client := promptcache.New(m)
+	ctx := context.Background()
 	rep := &Report{
 		ID:     "engine",
 		Title:  "Measured TTFT on the Go engine (llama-style test model)",
@@ -49,19 +52,19 @@ func EngineLatency() (*Report, error) {
 	}
 	for _, n := range []int{128, 256, 512, 1024} {
 		name := fmt.Sprintf("engine-%d", n)
-		if _, err := cache.RegisterSchema(EngineSchema(name, n, uint64(n))); err != nil {
+		if _, err := client.RegisterSchema(EngineSchema(name, n, uint64(n))); err != nil {
 			return nil, err
 		}
 		prompt := fmt.Sprintf("<prompt schema=%q><doc/><user>summarize the document</user></prompt>", name)
 		baseMs, err := medianServe(3, func() error {
-			_, e := cache.BaselineServe(prompt)
+			_, e := client.Infer(ctx, promptcache.Request{Prompt: prompt, Baseline: true, PrefillOnly: true})
 			return e
 		})
 		if err != nil {
 			return nil, err
 		}
 		cachedMs, err := medianServe(3, func() error {
-			_, e := cache.Serve(prompt, core.ServeOpts{})
+			_, e := client.Infer(ctx, promptcache.Request{Prompt: prompt, PrefillOnly: true})
 			return e
 		})
 		if err != nil {
@@ -120,16 +123,13 @@ func EngineServing() (*Report, error) {
 		return b.String()
 	}
 
-	run := func(c *core.Cache, baseline bool) (float64, error) {
+	run := func(c *promptcache.Client, baseline bool) (float64, error) {
+		ctx := context.Background()
 		var total time.Duration
 		for _, req := range trace {
 			p := promptFor(req)
 			t0 := time.Now()
-			if baseline {
-				_, err = c.BaselineServe(p)
-			} else {
-				_, err = c.Serve(p, core.ServeOpts{})
-			}
+			_, err = c.Infer(ctx, promptcache.Request{Prompt: p, Baseline: baseline, PrefillOnly: true})
 			if err != nil {
 				return 0, err
 			}
@@ -138,12 +138,12 @@ func EngineServing() (*Report, error) {
 		return total.Seconds() * 1e3 / float64(len(trace)), nil
 	}
 
-	unconstrained := core.NewCache(m)
+	unconstrained := promptcache.New(m)
 	if _, err := unconstrained.RegisterSchema(schema); err != nil {
 		return nil, err
 	}
-	need := unconstrained.PoolUsed()
-	tiered := core.NewCache(m,
+	need := unconstrained.Engine().PoolUsed()
+	tiered := promptcache.New(m,
 		core.WithPool(memory.NewPool(memory.Device{Name: "hbm", Kind: memory.HBM, Capacity: need/3 + 1})),
 		core.WithHostPool(memory.NewPool(memory.Device{Name: "dram", Kind: memory.DRAM})),
 	)

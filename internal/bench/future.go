@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/serving"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 // Serving runs the §6 serving-system experiment: a Zipf request stream
@@ -91,8 +93,8 @@ func Quant() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	full := core.NewCache(m)
-	int8c := core.NewCache(m, core.WithInt8Modules())
+	full := promptcache.New(m)
+	int8c := promptcache.New(m, core.WithInt8Modules())
 	schema := EngineSchema("quant-doc", 384, 31)
 	if _, err := full.RegisterSchema(schema); err != nil {
 		return nil, err
@@ -101,30 +103,23 @@ func Quant() (*Report, error) {
 		return nil, err
 	}
 	prompt := `<prompt schema="quant-doc"><doc/><user>summarize the document briefly</user></prompt>`
-	fres, err := full.Serve(prompt, core.ServeOpts{})
+	ctx := context.Background()
+	fres, err := full.Infer(ctx, promptcache.Request{Prompt: prompt, MaxTokens: 24})
 	if err != nil {
 		return nil, err
 	}
-	qres, err := int8c.Serve(prompt, core.ServeOpts{})
+	qres, err := int8c.Infer(ctx, promptcache.Request{Prompt: prompt, MaxTokens: 24})
 	if err != nil {
 		return nil, err
 	}
-	opts := model.GenerateOpts{MaxTokens: 24}
-	fGen, err := full.Generate(fres, opts)
-	if err != nil {
-		return nil, err
-	}
-	qGen, err := int8c.Generate(qres, opts)
-	if err != nil {
-		return nil, err
-	}
+	fGen, qGen := fres.Tokens, qres.Tokens
 	rep := &Report{
 		ID:     "quant",
 		Title:  "int8 module storage vs fp32 (§6 compression direction, real engine)",
 		Header: []string{"Quantity", "Value"},
 	}
 	// int4 point on the same module states, via the library API.
-	layout, err := full.Layout("quant-doc")
+	layout, err := full.Engine().Layout("quant-doc")
 	if err != nil {
 		return nil, err
 	}
@@ -139,9 +134,9 @@ func Quant() (*Report, error) {
 		return nil, err
 	}
 	rep.Rows = append(rep.Rows,
-		[]string{"Module pool bytes (fp32)", fmt.Sprintf("%d", full.PoolUsed())},
-		[]string{"Module pool bytes (int8)", fmt.Sprintf("%d", int8c.PoolUsed())},
-		[]string{"Compression ratio int8", fmt.Sprintf("%.2fx", float64(full.PoolUsed())/float64(int8c.PoolUsed()))},
+		[]string{"Module pool bytes (fp32)", fmt.Sprintf("%d", full.Engine().PoolUsed())},
+		[]string{"Module pool bytes (int8)", fmt.Sprintf("%d", int8c.Engine().PoolUsed())},
+		[]string{"Compression ratio int8", fmt.Sprintf("%.2fx", float64(full.Engine().PoolUsed())/float64(int8c.Engine().PoolUsed()))},
 		[]string{"Compression ratio int4", fmt.Sprintf("%.2fx", quant.RatioInt4(probe))},
 		[]string{"Logit cosine int8 vs fp32", f3(tensor.CosineSimilarity(fres.Logits, qres.Logits))},
 		[]string{"Generation overlap int8 vs fp32", f3(metrics.TokenOverlap(fGen, qGen))},

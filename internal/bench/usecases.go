@@ -1,14 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/tensor"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 // The §5.6 use-case schemas, shared by the benches and the runnable
@@ -167,24 +168,16 @@ func runUseCase(uc useCase) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache := core.NewCache(m)
-	if _, err := cache.RegisterSchema(uc.schema); err != nil {
+	client := promptcache.New(m)
+	if _, err := client.RegisterSchema(uc.schema); err != nil {
 		return nil, fmt.Errorf("%s schema: %w", uc.id, err)
 	}
-	cres, err := cache.Serve(uc.prompt, core.ServeOpts{})
+	ctx := context.Background()
+	cres, err := client.Infer(ctx, promptcache.Request{Prompt: uc.prompt, MaxTokens: 24})
 	if err != nil {
 		return nil, fmt.Errorf("%s serve: %w", uc.id, err)
 	}
-	bres, err := cache.BaselineServe(uc.prompt)
-	if err != nil {
-		return nil, err
-	}
-	opts := model.GenerateOpts{MaxTokens: 24}
-	cGen, err := cache.Generate(cres, opts)
-	if err != nil {
-		return nil, err
-	}
-	bGen, err := cache.Generate(bres, opts)
+	bres, err := client.Infer(ctx, promptcache.Request{Prompt: uc.prompt, Baseline: true, MaxTokens: 24})
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +185,7 @@ func runUseCase(uc useCase) (*Report, error) {
 		fmt.Sprintf("engine demo: %d cached + %d new tokens; cached/baseline logit cosine %.2f, generation overlap %.2f",
 			cres.CachedTokens, cres.NewTokens,
 			tensor.CosineSimilarity(cres.Logits, bres.Logits),
-			metrics.TokenOverlap(cGen, bGen)),
+			metrics.TokenOverlap(cres.Tokens, bres.Tokens)),
 	)
 	return rep, nil
 }

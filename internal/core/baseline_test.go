@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/tensor"
@@ -13,11 +14,11 @@ func TestBaselineUnsuppliedParamMatchesEncoding(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
 	prompt := `<prompt schema="travel"><trip-plan/><miami/>Go.</prompt>`
-	base, err := c.BaselineServe(prompt)
+	base, err := c.BaselineServe(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached, err := c.Serve(prompt, ServeOpts{})
+	cached, err := c.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,10 +51,10 @@ func TestBaselineErrorsMirrorServe(t *testing.T) {
 		`<prompt schema="travel"><trip-plan speed="x"/>ok</prompt>`,
 		`<prompt schema="travel"><trip-plan duration="one two three four five six seven"/>ok</prompt>`,
 	} {
-		if _, err := c.BaselineServe(p); err == nil {
+		if _, err := c.BaselineServe(context.Background(), p); err == nil {
 			t.Fatalf("baseline accepted invalid prompt %q", p)
 		}
-		if _, err := c.Serve(p, ServeOpts{}); err == nil {
+		if _, err := c.Serve(context.Background(), p, ServeOpts{}); err == nil {
 			t.Fatalf("serve accepted invalid prompt %q", p)
 		}
 	}
@@ -64,11 +65,11 @@ func TestBaselineDeterministic(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
 	prompt := `<prompt schema="travel"><tokyo/>What to eat?</prompt>`
-	a, err := c.BaselineServe(prompt)
+	a, err := c.BaselineServe(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.BaselineServe(prompt)
+	b, err := c.BaselineServe(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,14 +83,14 @@ func TestBaselineDeterministic(t *testing.T) {
 func TestBaselineOnlyAnonymous(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	res, err := c.BaselineServe(`<prompt schema="travel">Just a question with no imports.</prompt>`)
+	res, err := c.BaselineServe(context.Background(), `<prompt schema="travel">Just a question with no imports.</prompt>`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Modules) != 1 || res.Modules[0] != "_anon0" {
 		t.Fatalf("modules = %v", res.Modules)
 	}
-	cached, err := c.Serve(`<prompt schema="travel">Just a question with no imports.</prompt>`, ServeOpts{})
+	cached, err := c.Serve(context.Background(), `<prompt schema="travel">Just a question with no imports.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

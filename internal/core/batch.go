@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kvcache"
@@ -35,9 +36,9 @@ func (b BatchStats) Savings() float64 {
 // sharing each distinct module's attention states across the batch
 // through a reference-counted paged pool instead of duplicating them per
 // prompt. Results are positionally parallel to prompts.
-func (c *Cache) ServeBatch(prompts []string, opts ServeOpts) ([]*ServeResult, BatchStats, error) {
+func (c *Cache) ServeBatch(ctx context.Context, prompts []string, opts ServeOpts) ([]*ServeResult, BatchStats, error) {
 	if len(prompts) == 0 {
-		return nil, BatchStats{}, fmt.Errorf("core: empty batch")
+		return nil, BatchStats{}, fmt.Errorf("%w: empty batch", ErrBadPrompt)
 	}
 	pool := kvcache.NewPagedPool(16, int64(c.m.Cfg.KVDim())*int64(c.m.Cfg.NLayers)*2*4)
 	blocks := map[string][]kvcache.BlockID{} // "schema/module" -> stored blocks
@@ -48,11 +49,11 @@ func (c *Cache) ServeBatch(prompts []string, opts ServeOpts) ([]*ServeResult, Ba
 	for i, src := range prompts {
 		prompt, err := pml.ParsePrompt(src)
 		if err != nil {
-			return nil, stats, fmt.Errorf("core: batch[%d]: %w", i, err)
+			return nil, stats, fmt.Errorf("batch[%d]: %w: %v", i, ErrBadPrompt, err)
 		}
-		res, err := c.serveShared(prompt, opts, pool, blocks, &stats)
+		res, err := c.serveShared(ctx, prompt, opts, pool, blocks, &stats)
 		if err != nil {
-			return nil, stats, fmt.Errorf("core: batch[%d]: %w", i, err)
+			return nil, stats, fmt.Errorf("batch[%d]: %w", i, err)
 		}
 		results[i] = res
 	}
@@ -65,7 +66,7 @@ func (c *Cache) ServeBatch(prompts []string, opts ServeOpts) ([]*ServeResult, Ba
 // paged pool. Parameter-supplied slots still require per-prompt
 // filtering, so sharing happens at block granularity and exclusion during
 // gather.
-func (c *Cache) serveShared(prompt *pml.Prompt, opts ServeOpts, pool *kvcache.PagedPool, blocks map[string][]kvcache.BlockID, stats *BatchStats) (*ServeResult, error) {
+func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeOpts, pool *kvcache.PagedPool, blocks map[string][]kvcache.BlockID, stats *BatchStats) (*ServeResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.schemas[prompt.SchemaName]
@@ -82,7 +83,7 @@ func (c *Cache) serveShared(prompt *pml.Prompt, opts ServeOpts, pool *kvcache.Pa
 		ml := e.layout.Modules[name]
 		if ml.UnionID >= 0 {
 			if prev, clash := seenUnion[ml.UnionID]; clash {
-				return nil, fmt.Errorf("core: modules %q and %q are exclusive union members", prev, name)
+				return nil, fmt.Errorf("%w: modules %q and %q are exclusive union members", ErrBadPrompt, prev, name)
 			}
 			seenUnion[ml.UnionID] = name
 		}
@@ -138,9 +139,9 @@ func (c *Cache) serveShared(prompt *pml.Prompt, opts ServeOpts, pool *kvcache.Pa
 	}
 	res.NewTokens = len(newToks)
 	if len(newToks) == 0 {
-		return nil, fmt.Errorf("core: prompt adds no new tokens; add instruction text or parameter arguments")
+		return nil, fmt.Errorf("%w: prompt adds no new tokens; add instruction text or parameter arguments", ErrBadPrompt)
 	}
-	logits, err := c.m.Prefill(newToks, newPos, kv)
+	logits, err := c.m.PrefillCtx(ctx, newToks, newPos, kv)
 	if err != nil {
 		return nil, err
 	}
@@ -151,10 +152,10 @@ func (c *Cache) serveShared(prompt *pml.Prompt, opts ServeOpts, pool *kvcache.Pa
 
 // GenerateBatch continues every result greedily, returning the generated
 // token ids per prompt.
-func (c *Cache) GenerateBatch(results []*ServeResult, opts model.GenerateOpts) ([][]int, error) {
+func (c *Cache) GenerateBatch(ctx context.Context, results []*ServeResult, opts model.GenerateOpts) ([][]int, error) {
 	out := make([][]int, len(results))
 	for i, res := range results {
-		gen, err := c.Generate(res, opts)
+		gen, err := c.Generate(ctx, res, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch generate[%d]: %w", i, err)
 		}

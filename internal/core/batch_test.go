@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestServeBatchMatchesIndividualServes(t *testing.T) {
 		`<prompt schema="travel"><trip-plan duration="one week"/><tokyo/>Plan it.</prompt>`,
 		`<prompt schema="travel"><miami/>Just the beaches please.</prompt>`,
 	}
-	batch, stats, err := c.ServeBatch(prompts, ServeOpts{})
+	batch, stats, err := c.ServeBatch(context.Background(), prompts, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestServeBatchMatchesIndividualServes(t *testing.T) {
 		t.Fatalf("batch size %d stats %+v", len(batch), stats)
 	}
 	for i, p := range prompts {
-		solo, err := c.Serve(p, ServeOpts{})
+		solo, err := c.Serve(context.Background(), p, ServeOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func TestServeBatchSharesModules(t *testing.T) {
 		prompts = append(prompts, fmt.Sprintf(
 			`<prompt schema="travel"><miami/>Question number %d about surfing.</prompt>`, i))
 	}
-	_, stats, err := c.ServeBatch(prompts, ServeOpts{})
+	_, stats, err := c.ServeBatch(context.Background(), prompts, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestServeBatchHalvesPaperScenario(t *testing.T) {
 		`<prompt schema="b"><shared/><u1/>go</prompt>`,
 		`<prompt schema="b"><shared/><u2/>go</prompt>`,
 	}
-	_, stats, err := c.ServeBatch(prompts, ServeOpts{})
+	_, stats, err := c.ServeBatch(context.Background(), prompts, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +102,14 @@ func repeatWords(s string, n int) string {
 func TestServeBatchErrors(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	if _, _, err := c.ServeBatch(nil, ServeOpts{}); err == nil {
+	if _, _, err := c.ServeBatch(context.Background(), nil, ServeOpts{}); err == nil {
 		t.Fatal("empty batch should error")
 	}
-	_, _, err := c.ServeBatch([]string{`<prompt schema="travel"><ghost/>x</prompt>`}, ServeOpts{})
+	_, _, err := c.ServeBatch(context.Background(), []string{`<prompt schema="travel"><ghost/>x</prompt>`}, ServeOpts{})
 	if err == nil {
 		t.Fatal("bad prompt should error")
 	}
-	_, _, err = c.ServeBatch([]string{`<prompt schema="travel"><tokyo/><miami/>x</prompt>`}, ServeOpts{})
+	_, _, err = c.ServeBatch(context.Background(), []string{`<prompt schema="travel"><tokyo/><miami/>x</prompt>`}, ServeOpts{})
 	if err == nil {
 		t.Fatal("union clash should error in batch too")
 	}
@@ -121,11 +122,11 @@ func TestGenerateBatch(t *testing.T) {
 		`<prompt schema="travel"><miami/>Ask one.</prompt>`,
 		`<prompt schema="travel"><tokyo/>Ask two.</prompt>`,
 	}
-	batch, _, err := c.ServeBatch(prompts, ServeOpts{})
+	batch, _, err := c.ServeBatch(context.Background(), prompts, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gens, err := c.GenerateBatch(batch, model.GenerateOpts{MaxTokens: 5})
+	gens, err := c.GenerateBatch(context.Background(), batch, model.GenerateOpts{MaxTokens: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestGenerateBatch(t *testing.T) {
 	}
 	// Batch generation must match solo generation per prompt.
 	for i, p := range prompts {
-		solo, err := c.Serve(p, ServeOpts{})
+		solo, err := c.Serve(context.Background(), p, ServeOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		soloGen, err := c.Generate(solo, model.GenerateOpts{MaxTokens: 5})
+		soloGen, err := c.Generate(context.Background(), solo, model.GenerateOpts{MaxTokens: 5})
 		if err != nil {
 			t.Fatal(err)
 		}

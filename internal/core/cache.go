@@ -8,6 +8,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 
 	"repro/internal/evict"
@@ -18,9 +20,6 @@ import (
 	"repro/internal/quant"
 	"repro/internal/tokenizer"
 )
-
-// ErrUnknownSchema is returned when a prompt names an unregistered schema.
-var ErrUnknownSchema = errors.New("core: unknown schema")
 
 // EncodedModule is one prompt module's precomputed attention states.
 type EncodedModule struct {
@@ -188,6 +187,20 @@ func (c *Cache) Stats() Stats {
 // PoolUsed returns the bytes of module states currently resident.
 func (c *Cache) PoolUsed() int64 { return c.pool.Used() }
 
+// SchemaNames returns the registered schema names, sorted. It is the
+// authoritative registry; transports list schemas by querying it rather
+// than tracking their own copy.
+func (c *Cache) SchemaNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.schemas))
+	for name := range c.schemas {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RegisterSchema parses a PML schema, compiles its position layout, and
 // eagerly encodes every prompt module and scaffold (§3.3: "Prompt Cache
 // populates its cache when a schema is loaded"). Re-registering a schema
@@ -195,15 +208,15 @@ func (c *Cache) PoolUsed() int64 { return c.pool.Used() }
 func (c *Cache) RegisterSchema(src string) (*pml.Layout, error) {
 	schema, err := pml.ParseSchema(src)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadSchema, err)
 	}
 	layout, err := pml.Compile(schema, c.tok, c.tmpl)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadSchema, err)
 	}
 	if layout.TotalLen > c.m.Cfg.MaxSeq {
-		return nil, fmt.Errorf("core: schema %q needs %d positions, model max is %d",
-			schema.Name, layout.TotalLen, c.m.Cfg.MaxSeq)
+		return nil, fmt.Errorf("%w: schema %q needs %d positions, model max is %d",
+			ErrPromptTooLong, schema.Name, layout.TotalLen, c.m.Cfg.MaxSeq)
 	}
 	entry := &schemaEntry{
 		schema:    schema,
@@ -303,7 +316,7 @@ func (c *Cache) encodeModuleLocked(schema string, e *schemaEntry, name string) (
 func (c *Cache) encodeScaffoldLocked(schema string, e *schemaEntry, sc pml.Scaffold) error {
 	var toks, pos []int
 	for _, name := range e.layout.Order { // schema order
-		if !contains(sc.Modules, name) {
+		if !slices.Contains(sc.Modules, name) {
 			continue
 		}
 		t, p := moduleTokens(e.layout.Modules[name])
@@ -341,7 +354,7 @@ func (c *Cache) reserveLocked(key string, size int64) error {
 			return err
 		}
 		if !c.evictOneLocked(key) {
-			return fmt.Errorf("core: module %s (%d bytes) cannot fit even after eviction: %w", key, size, err)
+			return fmt.Errorf("%w: module %s (%d bytes) cannot fit even after eviction: %v", ErrCapacity, key, size, err)
 		}
 	}
 }
@@ -468,13 +481,4 @@ func (c *Cache) Layout(schema string) (*pml.Layout, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, schema)
 	}
 	return e.layout, nil
-}
-
-func contains(xs []string, s string) bool {
-	for _, x := range xs {
-		if x == s {
-			return true
-		}
-	}
-	return false
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -21,7 +22,7 @@ func TestConcurrentServes(t *testing.T) {
 	}
 	want := make([][]float32, len(prompts))
 	for i, p := range prompts {
-		res, err := c.Serve(p, ServeOpts{})
+		res, err := c.Serve(context.Background(), p, ServeOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -37,7 +38,7 @@ func TestConcurrentServes(t *testing.T) {
 			defer wg.Done()
 			for round := 0; round < 5; round++ {
 				i := (w + round) % len(prompts)
-				res, err := c.Serve(prompts[i], ServeOpts{})
+				res, err := c.Serve(context.Background(), prompts[i], ServeOpts{})
 				if err != nil {
 					errs <- err
 					return
@@ -75,7 +76,7 @@ func TestConcurrentRegisterAndServe(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 5; i++ {
-				if _, err := c.Serve(`<prompt schema="travel"><miami/>Go.</prompt>`, ServeOpts{}); err != nil {
+				if _, err := c.Serve(context.Background(), `<prompt schema="travel"><miami/>Go.</prompt>`, ServeOpts{}); err != nil {
 					errs <- err
 					return
 				}
@@ -90,7 +91,7 @@ func TestConcurrentRegisterAndServe(t *testing.T) {
 	// All aux schemas usable afterwards.
 	for w := 0; w < 4; w++ {
 		p := fmt.Sprintf(`<prompt schema="aux%d"><doc%d/>ok</prompt>`, w, w)
-		if _, err := c.Serve(p, ServeOpts{}); err != nil {
+		if _, err := c.Serve(context.Background(), p, ServeOpts{}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"slices"
 	"strings"
 	"testing"
 
@@ -70,7 +72,7 @@ func TestServeBasic(t *testing.T) {
 	if _, err := c.RegisterSchema(travelSchema); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Serve(`<prompt schema="travel">
+	res, err := c.Serve(context.Background(), `<prompt schema="travel">
 	  <trip-plan duration="three days"/>
 	  <miami/>
 	  Highlight the surf spots.
@@ -102,7 +104,7 @@ func TestServeBasic(t *testing.T) {
 
 func TestServeSchemaUnknown(t *testing.T) {
 	c := llamaCache(t)
-	if _, err := c.Serve(`<prompt schema="ghost">x</prompt>`, ServeOpts{}); err == nil {
+	if _, err := c.Serve(context.Background(), `<prompt schema="ghost">x</prompt>`, ServeOpts{}); err == nil {
 		t.Fatal("expected unknown schema error")
 	}
 }
@@ -110,7 +112,7 @@ func TestServeSchemaUnknown(t *testing.T) {
 func TestServeUnknownModule(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	if _, err := c.Serve(`<prompt schema="travel"><atlantis/>x</prompt>`, ServeOpts{}); err == nil {
+	if _, err := c.Serve(context.Background(), `<prompt schema="travel"><atlantis/>x</prompt>`, ServeOpts{}); err == nil {
 		t.Fatal("expected unknown module error")
 	}
 }
@@ -118,7 +120,7 @@ func TestServeUnknownModule(t *testing.T) {
 func TestServeUnionExclusivity(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	_, err := c.Serve(`<prompt schema="travel"><tokyo/><miami/>go</prompt>`, ServeOpts{})
+	_, err := c.Serve(context.Background(), `<prompt schema="travel"><tokyo/><miami/>go</prompt>`, ServeOpts{})
 	if err == nil || !strings.Contains(err.Error(), "union") {
 		t.Fatalf("want union error, got %v", err)
 	}
@@ -127,7 +129,7 @@ func TestServeUnionExclusivity(t *testing.T) {
 func TestServeArgTooLong(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	_, err := c.Serve(`<prompt schema="travel">
+	_, err := c.Serve(context.Background(), `<prompt schema="travel">
 	  <trip-plan duration="one two three four five six seven"/>ok</prompt>`, ServeOpts{})
 	if err == nil || !strings.Contains(err.Error(), "exceeding") {
 		t.Fatalf("want length error, got %v", err)
@@ -137,7 +139,7 @@ func TestServeArgTooLong(t *testing.T) {
 func TestServeUnknownParam(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	_, err := c.Serve(`<prompt schema="travel"><trip-plan speed="fast"/>ok</prompt>`, ServeOpts{})
+	_, err := c.Serve(context.Background(), `<prompt schema="travel"><trip-plan speed="fast"/>ok</prompt>`, ServeOpts{})
 	if err == nil || !strings.Contains(err.Error(), "parameter") {
 		t.Fatalf("want param error, got %v", err)
 	}
@@ -146,7 +148,7 @@ func TestServeUnknownParam(t *testing.T) {
 func TestServeNoNewTokensRejected(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	if _, err := c.Serve(`<prompt schema="travel"><miami/></prompt>`, ServeOpts{}); err == nil {
+	if _, err := c.Serve(context.Background(), `<prompt schema="travel"><miami/></prompt>`, ServeOpts{}); err == nil {
 		t.Fatal("expected no-new-tokens error")
 	}
 }
@@ -175,11 +177,11 @@ func TestSingleModuleExactEquivalence(t *testing.T) {
 	} {
 		c := newTestCache(t, cfg)
 		mustRegister(t, c, schema)
-		cached, err := c.Serve(prompt, ServeOpts{})
+		cached, err := c.Serve(context.Background(), prompt, ServeOpts{})
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name, err)
 		}
-		base, err := c.BaselineServe(prompt)
+		base, err := c.BaselineServe(context.Background(), prompt)
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name, err)
 		}
@@ -187,11 +189,11 @@ func TestSingleModuleExactEquivalence(t *testing.T) {
 			t.Fatalf("%s: cached vs baseline logits differ by %v", cfg.Name, d)
 		}
 		// Greedy generations agree token for token.
-		gc, err := c.Generate(cached, model.GenerateOpts{MaxTokens: 8})
+		gc, err := c.Generate(context.Background(), cached, model.GenerateOpts{MaxTokens: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
-		gb, err := c.Generate(base, model.GenerateOpts{MaxTokens: 8})
+		gb, err := c.Generate(context.Background(), base, model.GenerateOpts{MaxTokens: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -214,11 +216,11 @@ func TestMultiModuleOutputsComparable(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
 	prompt := `<prompt schema="travel"><trip-plan duration="two weeks"/><tokyo/>What should we eat?</prompt>`
-	cached, err := c.Serve(prompt, ServeOpts{})
+	cached, err := c.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := c.BaselineServe(prompt)
+	base, err := c.BaselineServe(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +229,7 @@ func TestMultiModuleOutputsComparable(t *testing.T) {
 	// so the §3.3 masking approximation perturbs logits more than it
 	// would for a trained LLM. The meaningful claim: cached output stays
 	// much closer to its own baseline than to an unrelated prompt's.
-	other, err := c.BaselineServe(`<prompt schema="travel"><miami/>Completely different question about surfing gear rentals.</prompt>`)
+	other, err := c.BaselineServe(context.Background(), `<prompt schema="travel"><miami/>Completely different question about surfing gear rentals.</prompt>`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,14 +255,14 @@ func TestScaffoldRestoresBaseline(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, schema)
 
-	withScaffold, err := c.Serve(prompt, ServeOpts{})
+	withScaffold, err := c.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(withScaffold.Scaffolds) != 1 || withScaffold.Scaffolds[0] != "both" {
 		t.Fatalf("scaffolds used = %v", withScaffold.Scaffolds)
 	}
-	base, err := c.BaselineServe(prompt)
+	base, err := c.BaselineServe(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +271,7 @@ func TestScaffoldRestoresBaseline(t *testing.T) {
 	}
 
 	// Ablation: disabling the scaffold reintroduces the approximation.
-	masked, err := c.Serve(prompt, ServeOpts{DisableScaffolds: true})
+	masked, err := c.Serve(context.Background(), prompt, ServeOpts{DisableScaffolds: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +293,7 @@ func TestScaffoldRequiresAllMembers(t *testing.T) {
 	</schema>`
 	c := llamaCache(t)
 	mustRegister(t, c, schema)
-	res, err := c.Serve(`<prompt schema="s"><alpha/>go on</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="s"><alpha/>go on</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +311,7 @@ func TestParameterSubstitution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Serve(`<prompt schema="travel"><trip-plan duration="five days"/><miami/>Go.</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="travel"><trip-plan duration="five days"/><miami/>Go.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +336,7 @@ func TestParameterSubstitution(t *testing.T) {
 func TestUnsuppliedParamKeepsBuffer(t *testing.T) {
 	c := llamaCache(t)
 	ly, _ := c.RegisterSchema(travelSchema)
-	res, err := c.Serve(`<prompt schema="travel"><trip-plan/><miami/>Go.</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="travel"><trip-plan/><miami/>Go.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +368,7 @@ func TestNewTextPositions(t *testing.T) {
 	}
 	// Import only a; text should take positions right after a — i.e. in
 	// the hole left by excluded b ("in place of excluded modules").
-	res, err := c.Serve(`<prompt schema="s"><a/>fresh text</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="s"><a/>fresh text</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +382,7 @@ func TestNewTextPositions(t *testing.T) {
 
 	// With both modules imported, the same text must relocate past the
 	// global end instead of overlapping b.
-	res2, err := c.Serve(`<prompt schema="s"><a/>fresh text<b/></prompt>`, ServeOpts{})
+	res2, err := c.Serve(context.Background(), `<prompt schema="s"><a/>fresh text<b/></prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -402,17 +404,17 @@ func TestNestedImports(t *testing.T) {
 	</schema>`
 	c := llamaCache(t)
 	mustRegister(t, c, schema)
-	res, err := c.Serve(`<prompt schema="s"><outer><inner/></outer>Continue.</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="s"><outer><inner/></outer>Continue.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !contains(res.Modules, "outer") || !contains(res.Modules, "inner") {
+	if !slices.Contains(res.Modules, "outer") || !slices.Contains(res.Modules, "inner") {
 		t.Fatalf("modules = %v", res.Modules)
 	}
-	if _, err := c.Serve(`<prompt schema="s"><inner/>x</prompt>`, ServeOpts{}); err == nil {
+	if _, err := c.Serve(context.Background(), `<prompt schema="s"><inner/>x</prompt>`, ServeOpts{}); err == nil {
 		t.Fatal("top-level import of nested module should fail")
 	}
-	if _, err := c.Serve(`<prompt schema="s"><outer>loose text</outer>x</prompt>`, ServeOpts{}); err == nil {
+	if _, err := c.Serve(context.Background(), `<prompt schema="s"><outer>loose text</outer>x</prompt>`, ServeOpts{}); err == nil {
 		t.Fatal("text inside an import should fail")
 	}
 }
@@ -424,11 +426,11 @@ func TestParentWithoutChild(t *testing.T) {
 	</schema>`
 	c := llamaCache(t)
 	mustRegister(t, c, schema)
-	res, err := c.Serve(`<prompt schema="s"><outer/>Continue.</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="s"><outer/>Continue.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if contains(res.Modules, "inner") {
+	if slices.Contains(res.Modules, "inner") {
 		t.Fatal("child should not be auto-included")
 	}
 }
@@ -456,11 +458,11 @@ func TestEvictionAndReload(t *testing.T) {
 	}
 
 	prompt := `<prompt schema="travel"><trip-plan duration="two days"/><tokyo/>Plan it.</prompt>`
-	want, err := full.Serve(prompt, ServeOpts{})
+	want, err := full.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := small.Serve(prompt, ServeOpts{})
+	got, err := small.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,11 +480,11 @@ func TestServeDeterministic(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
 	prompt := `<prompt schema="travel"><miami/>Surf?</prompt>`
-	a, err := c.Serve(prompt, ServeOpts{})
+	a, err := c.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Serve(prompt, ServeOpts{})
+	b, err := c.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -533,11 +535,11 @@ func TestConcatPermutationInvariance(t *testing.T) {
 func TestGenerateText(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	res, err := c.Serve(`<prompt schema="travel"><tokyo/>Recommend food.</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="travel"><tokyo/>Recommend food.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.GenerateText(res, model.GenerateOpts{MaxTokens: 6}); err != nil {
+	if _, err := c.GenerateText(context.Background(), res, model.GenerateOpts{MaxTokens: 6}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -558,7 +560,7 @@ func TestReRegisterReplacesSchema(t *testing.T) {
 func TestChatTemplateAppliedToPromptText(t *testing.T) {
 	c := llamaCache(t) // llama-style → [INST] wrapping
 	mustRegister(t, c, travelSchema)
-	res, err := c.Serve(`<prompt schema="travel"><miami/><user>plan it</user></prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="travel"><miami/><user>plan it</user></prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

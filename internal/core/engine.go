@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/kvcache"
@@ -42,17 +44,17 @@ type importBinding struct {
 // the prompt against its schema, retrieves cached module states,
 // concatenates them, computes attention states only for uncached tokens
 // (parameter arguments and new text), and returns a cache + logits ready
-// for token generation.
-func (c *Cache) Serve(promptSrc string, opts ServeOpts) (*ServeResult, error) {
+// for token generation. Cancelling ctx aborts the prefill mid-flight.
+func (c *Cache) Serve(ctx context.Context, promptSrc string, opts ServeOpts) (*ServeResult, error) {
 	prompt, err := pml.ParsePrompt(promptSrc)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadPrompt, err)
 	}
-	return c.ServeParsed(prompt, opts)
+	return c.ServeParsed(ctx, prompt, opts)
 }
 
 // ServeParsed is Serve for an already-parsed prompt.
-func (c *Cache) ServeParsed(prompt *pml.Prompt, opts ServeOpts) (*ServeResult, error) {
+func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeOpts) (*ServeResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.schemas[prompt.SchemaName]
@@ -72,7 +74,7 @@ func (c *Cache) ServeParsed(prompt *pml.Prompt, opts ServeOpts) (*ServeResult, e
 		ml := e.layout.Modules[name]
 		if ml.UnionID >= 0 {
 			if prev, clash := seenUnion[ml.UnionID]; clash {
-				return nil, fmt.Errorf("core: modules %q and %q are exclusive union members", prev, name)
+				return nil, fmt.Errorf("%w: modules %q and %q are exclusive union members", ErrBadPrompt, prev, name)
 			}
 			seenUnion[ml.UnionID] = name
 		}
@@ -130,7 +132,7 @@ func (c *Cache) ServeParsed(prompt *pml.Prompt, opts ServeOpts) (*ServeResult, e
 	for _, name := range included {
 		if covered[name] {
 			for _, es := range scaffolds {
-				if contains(es.Members, name) && !emittedScaffold[es.Name] {
+				if slices.Contains(es.Members, name) && !emittedScaffold[es.Name] {
 					appendFiltered(kv, es.KV, excluded)
 					emittedScaffold[es.Name] = true
 				}
@@ -154,9 +156,9 @@ func (c *Cache) ServeParsed(prompt *pml.Prompt, opts ServeOpts) (*ServeResult, e
 	}
 	res.NewTokens = len(newToks)
 	if len(newToks) == 0 {
-		return nil, fmt.Errorf("core: prompt adds no new tokens; add instruction text or parameter arguments")
+		return nil, fmt.Errorf("%w: prompt adds no new tokens; add instruction text or parameter arguments", ErrBadPrompt)
 	}
-	logits, err := c.m.Prefill(newToks, newPos, kv)
+	logits, err := c.m.PrefillCtx(ctx, newToks, newPos, kv)
 	if err != nil {
 		return nil, err
 	}
@@ -175,30 +177,30 @@ func (c *Cache) resolveImports(e *schemaEntry, prompt *pml.Prompt) ([]importBind
 			imp, ok := it.(*pml.Import)
 			if !ok {
 				if parent != "" {
-					return fmt.Errorf("core: module %q may contain only nested imports, not text", parent)
+					return fmt.Errorf("%w: module %q may contain only nested imports, not text", ErrBadPrompt, parent)
 				}
 				continue
 			}
 			ml, ok := e.layout.Modules[imp.Name]
 			if !ok {
-				return fmt.Errorf("core: schema %q has no module %q", e.schema.Name, imp.Name)
+				return fmt.Errorf("%w: schema %q has no module %q", ErrBadPrompt, e.schema.Name, imp.Name)
 			}
 			if ml.Parent != parent {
 				if parent == "" {
-					return fmt.Errorf("core: module %q is nested inside %q; import it within its parent", imp.Name, ml.Parent)
+					return fmt.Errorf("%w: module %q is nested inside %q; import it within its parent", ErrBadPrompt, imp.Name, ml.Parent)
 				}
-				return fmt.Errorf("core: module %q is not a child of %q", imp.Name, parent)
+				return fmt.Errorf("%w: module %q is not a child of %q", ErrBadPrompt, imp.Name, parent)
 			}
 			args := map[string]string{}
 			for k, v := range imp.Args {
 				p := ml.Param(k)
 				if p == nil {
-					return fmt.Errorf("core: module %q has no parameter %q", imp.Name, k)
+					return fmt.Errorf("%w: module %q has no parameter %q", ErrBadPrompt, imp.Name, k)
 				}
 				n := len(c.tok.Encode(v))
 				if n > p.Len {
-					return fmt.Errorf("core: argument %q of %s is %d tokens, exceeding len=%d",
-						k, imp.Name, n, p.Len)
+					return fmt.Errorf("%w: argument %q of %s is %d tokens, exceeding len=%d",
+						ErrArgTooLong, k, imp.Name, n, p.Len)
 				}
 				args[k] = v
 			}
@@ -309,7 +311,7 @@ func (c *Cache) gatherNewTokens(e *schemaEntry, prompt *pml.Prompt, bindings []i
 					start = maxEnd
 				}
 				if start+len(t) > c.m.Cfg.MaxSeq {
-					return fmt.Errorf("core: prompt text exceeds model max positions (%d)", c.m.Cfg.MaxSeq)
+					return fmt.Errorf("%w: prompt text exceeds model max positions (%d)", ErrPromptTooLong, c.m.Cfg.MaxSeq)
 				}
 				for i, tt := range t {
 					toks = append(toks, tt)
@@ -350,7 +352,7 @@ func appendFiltered(dst, src *kvcache.Cache, excluded map[int]bool) {
 
 func allIncluded(members, included []string) bool {
 	for _, m := range members {
-		if !contains(included, m) {
+		if !slices.Contains(included, m) {
 			return false
 		}
 	}
@@ -362,11 +364,16 @@ func allIncluded(members, included []string) bool {
 // module tokens with arguments substituted inline, then new text — run
 // through one full-attention prefill with no reuse. Comparing its output
 // against Serve's isolates the §3.3 masking effect.
-func (c *Cache) BaselineServe(promptSrc string) (*ServeResult, error) {
+func (c *Cache) BaselineServe(ctx context.Context, promptSrc string) (*ServeResult, error) {
 	prompt, err := pml.ParsePrompt(promptSrc)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadPrompt, err)
 	}
+	return c.BaselineServeParsed(ctx, prompt)
+}
+
+// BaselineServeParsed is BaselineServe for an already-parsed prompt.
+func (c *Cache) BaselineServeParsed(ctx context.Context, prompt *pml.Prompt) (*ServeResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.schemas[prompt.SchemaName]
@@ -416,10 +423,10 @@ func (c *Cache) BaselineServe(promptSrc string) (*ServeResult, error) {
 	toks = append(toks, textToks...)
 	pos = append(pos, textPos...)
 	if len(toks) == 0 {
-		return nil, fmt.Errorf("core: baseline prompt is empty")
+		return nil, fmt.Errorf("%w: baseline prompt is empty", ErrBadPrompt)
 	}
 	kv := c.m.NewCache(len(toks) + 64)
-	logits, err := c.m.Prefill(toks, pos, kv)
+	logits, err := c.m.PrefillCtx(ctx, toks, pos, kv)
 	if err != nil {
 		return nil, err
 	}
@@ -432,42 +439,48 @@ func (c *Cache) BaselineServe(promptSrc string) (*ServeResult, error) {
 }
 
 // Generate continues autoregressively from a Serve or BaselineServe
-// result.
-func (c *Cache) Generate(res *ServeResult, opts model.GenerateOpts) ([]int, error) {
-	return c.m.Generate(res.KV, res.Logits, opts)
+// result. Cancelling ctx aborts between decode steps.
+func (c *Cache) Generate(ctx context.Context, res *ServeResult, opts model.GenerateOpts) ([]int, error) {
+	return c.m.Generate(ctx, res.KV, res.Logits, opts)
 }
 
 // Continue appends a follow-up user turn to an already-served session and
 // returns an updated result ready for Generate — multi-turn conversation
 // over one KV cache, the standard decode-phase reuse (§2.2) composed with
 // Prompt Cache's prefill reuse. The new turn takes consecutive positions
-// after the session's maximum position ID.
-func (c *Cache) Continue(res *ServeResult, userText string) (*ServeResult, error) {
+// after the session's maximum position ID. On error — including ctx
+// cancellation mid-prefill — the session's KV cache is rolled back to its
+// pre-call state, so the session stays usable.
+func (c *Cache) Continue(ctx context.Context, res *ServeResult, userText string) (*ServeResult, error) {
 	if res == nil || res.KV == nil {
-		return nil, fmt.Errorf("core: Continue on an unserved result")
+		return nil, fmt.Errorf("%w: Continue on an unserved result", ErrBadPrompt)
 	}
 	content := c.tok.Encode(userText)
 	if len(content) == 0 {
-		return nil, fmt.Errorf("core: Continue with empty text")
+		return nil, fmt.Errorf("%w: Continue with empty text", ErrBadPrompt)
 	}
 	toks := c.tmpl.Wrap(pml.RoleUser, content)
 	start := res.KV.MaxPos() + 1
 	if start+len(toks) > c.m.Cfg.MaxSeq {
-		return nil, fmt.Errorf("core: session exceeds model max positions (%d)", c.m.Cfg.MaxSeq)
+		return nil, fmt.Errorf("%w: session exceeds model max positions (%d)", ErrPromptTooLong, c.m.Cfg.MaxSeq)
 	}
 	pos := make([]int, len(toks))
 	for i := range pos {
 		pos[i] = start + i
 	}
-	logits, err := c.m.Prefill(toks, pos, res.KV)
+	mark := res.KV.Len()
+	logits, err := c.m.PrefillCtx(ctx, toks, pos, res.KV)
 	if err != nil {
+		res.KV.Truncate(mark)
 		return nil, err
 	}
+	// Per-turn reuse accounting: everything already in the session's KV
+	// cache was reused; only this turn's text was computed.
 	return &ServeResult{
 		KV:           res.KV,
 		Logits:       logits,
-		CachedTokens: res.CachedTokens,
-		NewTokens:    res.NewTokens + len(toks),
+		CachedTokens: mark,
+		NewTokens:    len(toks),
 		Modules:      res.Modules,
 		Scaffolds:    res.Scaffolds,
 	}, nil
@@ -475,15 +488,15 @@ func (c *Cache) Continue(res *ServeResult, userText string) (*ServeResult, error
 
 // GenerateStream generates token by token, calling emit with each
 // token's decoded text as soon as it is sampled; returning false stops.
-func (c *Cache) GenerateStream(res *ServeResult, opts model.GenerateOpts, emit func(text string) bool) ([]int, error) {
-	return c.m.GenerateStream(res.KV, res.Logits, opts, func(tok int) bool {
+func (c *Cache) GenerateStream(ctx context.Context, res *ServeResult, opts model.GenerateOpts, emit func(text string) bool) ([]int, error) {
+	return c.m.GenerateStream(ctx, res.KV, res.Logits, opts, func(tok int) bool {
 		return emit(c.tok.Decode([]int{tok}))
 	})
 }
 
 // GenerateText is Generate plus detokenization.
-func (c *Cache) GenerateText(res *ServeResult, opts model.GenerateOpts) (string, error) {
-	ids, err := c.Generate(res, opts)
+func (c *Cache) GenerateText(ctx context.Context, res *ServeResult, opts model.GenerateOpts) (string, error) {
+	ids, err := c.Generate(ctx, res, opts)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,25 @@
+package core
+
+import "errors"
+
+// The error taxonomy of the serving surface. Every failure a caller can
+// act on is wrapped in exactly one of these sentinels, so transports
+// (the HTTP server, future RPC layers) classify with errors.Is instead
+// of string matching.
+var (
+	// ErrUnknownSchema: a prompt names a schema that was never registered.
+	ErrUnknownSchema = errors.New("core: unknown schema")
+	// ErrBadSchema: a schema failed to parse or compile.
+	ErrBadSchema = errors.New("core: bad schema")
+	// ErrBadPrompt: a prompt failed to parse or violates its schema
+	// (unknown module, union clash, illegal nesting, no new tokens).
+	ErrBadPrompt = errors.New("core: bad prompt")
+	// ErrArgTooLong: a parameter argument exceeds the slot's declared len.
+	ErrArgTooLong = errors.New("core: argument too long")
+	// ErrPromptTooLong: a prompt, schema layout, or session would exceed
+	// the model's maximum position IDs.
+	ErrPromptTooLong = errors.New("core: prompt too long")
+	// ErrCapacity: module states cannot fit the memory pool even after
+	// evicting everything evictable.
+	ErrCapacity = errors.New("core: cache capacity exhausted")
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -69,7 +70,7 @@ func TestServeAccountingProperty(t *testing.T) {
 			expectTokens += own
 		}
 		prompt := fmt.Sprintf(`<prompt schema="p%d">%s ask a closing question</prompt>`, seed, imports.String())
-		res, err := c.Serve(prompt, ServeOpts{})
+		res, err := c.Serve(context.Background(), prompt, ServeOpts{})
 		if err != nil {
 			t.Logf("serve: %v", err)
 			return false

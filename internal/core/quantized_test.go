@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/memory"
@@ -30,11 +31,11 @@ func TestInt8ModulesCloseToFullPrecision(t *testing.T) {
 	}
 
 	prompt := `<prompt schema="travel"><trip-plan duration="four days"/><tokyo/>Plan the meals.</prompt>`
-	fres, err := full.Serve(prompt, ServeOpts{})
+	fres, err := full.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	qres, err := quantized.Serve(prompt, ServeOpts{})
+	qres, err := quantized.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestInt8ModulesCloseToFullPrecision(t *testing.T) {
 	if cos < 0.99 {
 		t.Fatalf("quantized/full logit cosine %.4f, want >= 0.99", cos)
 	}
-	other, err := full.Serve(`<prompt schema="travel"><miami/>Different question entirely here.</prompt>`, ServeOpts{})
+	other, err := full.Serve(context.Background(), `<prompt schema="travel"><miami/>Different question entirely here.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,11 +75,11 @@ func TestInt8EvictionReload(t *testing.T) {
 		t.Fatal("expected evictions")
 	}
 	prompt := `<prompt schema="travel"><miami/>Surf?</prompt>`
-	a, err := probe.Serve(prompt, ServeOpts{})
+	a, err := probe.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := small.Serve(prompt, ServeOpts{})
+	b, err := small.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,14 +108,14 @@ func TestInt8ScaffoldStaysExact(t *testing.T) {
 	}
 	c := NewCache(m, WithInt8Modules())
 	mustRegister(t, c, schema)
-	res, err := c.Serve(prompt, ServeOpts{})
+	res, err := c.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Scaffolds) != 1 {
 		t.Fatalf("scaffold not used: %v", res.Scaffolds)
 	}
-	base, err := c.BaselineServe(prompt)
+	base, err := c.BaselineServe(context.Background(), prompt)
 	if err != nil {
 		t.Fatal(err)
 	}

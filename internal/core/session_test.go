@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/model"
@@ -9,28 +10,33 @@ import (
 func TestContinueMultiTurn(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	res, err := c.Serve(`<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen1, err := c.Generate(res, model.GenerateOpts{MaxTokens: 6})
+	gen1, err := c.Generate(context.Background(), res, model.GenerateOpts{MaxTokens: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Commit the generated turn into the session cache before the next
 	// user turn (Generate already appended the tokens' states).
 	lenAfterGen := res.KV.Len()
-	res2, err := c.Continue(res, "Now add an evening plan.")
+	res2, err := c.Continue(context.Background(), res, "Now add an evening plan.")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res2.KV.Len() <= lenAfterGen {
 		t.Fatal("Continue did not extend the session cache")
 	}
-	if res2.NewTokens <= res.NewTokens {
-		t.Fatal("NewTokens accounting did not grow")
+	// Per-turn accounting: the whole prior session state counts as
+	// reused, only the new turn's text as computed.
+	if res2.CachedTokens != lenAfterGen {
+		t.Fatalf("CachedTokens = %d, want the pre-turn session length %d", res2.CachedTokens, lenAfterGen)
 	}
-	gen2, err := c.Generate(res2, model.GenerateOpts{MaxTokens: 6})
+	if res2.NewTokens != res2.KV.Len()-lenAfterGen {
+		t.Fatalf("NewTokens = %d, want the turn's own %d tokens", res2.NewTokens, res2.KV.Len()-lenAfterGen)
+	}
+	gen2, err := c.Generate(context.Background(), res2, model.GenerateOpts{MaxTokens: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,14 +60,14 @@ func TestContinueMultiTurn(t *testing.T) {
 func TestContinueValidation(t *testing.T) {
 	c := llamaCache(t)
 	mustRegister(t, c, travelSchema)
-	if _, err := c.Continue(nil, "hi"); err == nil {
+	if _, err := c.Continue(context.Background(), nil, "hi"); err == nil {
 		t.Fatal("nil result should fail")
 	}
-	res, err := c.Serve(`<prompt schema="travel"><miami/>Go.</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="travel"><miami/>Go.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Continue(res, "   "); err == nil {
+	if _, err := c.Continue(context.Background(), res, "   "); err == nil {
 		t.Fatal("empty text should fail")
 	}
 }
@@ -71,13 +77,13 @@ func TestContinueHitsMaxSeq(t *testing.T) {
 	cfg.MaxSeq = 64
 	c := newTestCache(t, cfg)
 	mustRegister(t, c, `<schema name="tiny"><module name="m">short module text</module></schema>`)
-	res, err := c.Serve(`<prompt schema="tiny"><m/>first question</prompt>`, ServeOpts{})
+	res, err := c.Serve(context.Background(), `<prompt schema="tiny"><m/>first question</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var lastErr error
 	for i := 0; i < 20; i++ {
-		res2, err := c.Continue(res, "another fairly long follow up question with many words")
+		res2, err := c.Continue(context.Background(), res, "another fairly long follow up question with many words")
 		if err != nil {
 			lastErr = err
 			break

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -36,11 +37,11 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 
 	prompt := `<prompt schema="travel"><trip-plan duration="six days"/><tokyo/>Plan it.</prompt>`
-	want, err := orig.Serve(prompt, ServeOpts{})
+	want, err := orig.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := restored.Serve(prompt, ServeOpts{})
+	got, err := restored.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestSnapshotIntoQuantizedCache(t *testing.T) {
 	if q.PoolUsed() >= orig.PoolUsed() {
 		t.Fatalf("quantized restore used %d >= %d", q.PoolUsed(), orig.PoolUsed())
 	}
-	if _, err := q.Serve(`<prompt schema="travel"><miami/>Surf?</prompt>`, ServeOpts{}); err != nil {
+	if _, err := q.Serve(context.Background(), `<prompt schema="travel"><miami/>Surf?</prompt>`, ServeOpts{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -141,11 +142,11 @@ func TestSnapshotWithScaffoldRebuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 	prompt := `<prompt schema="s"><a/><b/>Relate them.</prompt>`
-	want, err := orig.Serve(prompt, ServeOpts{})
+	want, err := orig.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := restored.Serve(prompt, ServeOpts{})
+	got, err := restored.Serve(context.Background(), prompt, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/memory"
@@ -43,11 +44,11 @@ func TestTieredDemotionAvoidsReEncode(t *testing.T) {
 	}
 	encodes := tiered.Stats().ModulesEncoded
 	for _, p := range prompts {
-		want, err := probe.Serve(p, ServeOpts{})
+		want, err := probe.Serve(context.Background(), p, ServeOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := tiered.Serve(p, ServeOpts{})
+		got, err := tiered.Serve(context.Background(), p, ServeOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,11 +86,11 @@ func TestTieredHostPoolCapBounded(t *testing.T) {
 	if st.ModulesEvicted == 0 {
 		t.Fatal("expected evictions")
 	}
-	res, err := tiered.Serve(`<prompt schema="travel"><tokyo/>Plan.</prompt>`, ServeOpts{})
+	res, err := tiered.Serve(context.Background(), `<prompt schema="travel"><tokyo/>Plan.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := probe.Serve(`<prompt schema="travel"><tokyo/>Plan.</prompt>`, ServeOpts{})
+	want, err := probe.Serve(context.Background(), `<prompt schema="travel"><tokyo/>Plan.</prompt>`, ServeOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

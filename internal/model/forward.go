@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,6 +48,15 @@ func (m *Model) newScratch() *scratch {
 // attention to the module span); serving a prompt is Prefill of the
 // uncached suffix into the concatenated module states (§3.4).
 func (m *Model) Prefill(tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+	return m.PrefillCtx(context.Background(), tokens, positions, cache)
+}
+
+// PrefillCtx is Prefill with cancellation: ctx is checked between tokens
+// on the sequential path and between layers on the chunked path, so a
+// long prefill aborts mid-flight instead of running to completion. On
+// cancellation the cache may hold a partial prefix; callers either
+// discard it or Truncate back to the pre-call length.
+func (m *Model) PrefillCtx(ctx context.Context, tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
 	if len(tokens) != len(positions) {
 		return nil, fmt.Errorf("model: %d tokens but %d positions", len(tokens), len(positions))
 	}
@@ -54,17 +64,20 @@ func (m *Model) Prefill(tokens, positions []int, cache *kvcache.Cache) ([]float3
 		return nil, fmt.Errorf("model: empty prefill")
 	}
 	if len(tokens) >= chunkThreshold {
-		return m.prefillChunk(tokens, positions, cache)
+		return m.prefillChunk(ctx, tokens, positions, cache)
 	}
-	return m.prefillSequential(tokens, positions, cache)
+	return m.prefillSequential(ctx, tokens, positions, cache)
 }
 
 // prefillSequential is the reference per-token path; prefillChunk must
 // agree with it (tested bit-close).
-func (m *Model) prefillSequential(tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+func (m *Model) prefillSequential(ctx context.Context, tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
 	sc := m.newScratch()
 	var logits []float32
 	for i, tok := range tokens {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := m.step(tok, positions[i], cache, sc); err != nil {
 			return nil, err
 		}

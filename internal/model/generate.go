@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kvcache"
@@ -174,8 +175,9 @@ func (o *GenerateOpts) defaults() {
 // excluded). New tokens take consecutive positions after the cache's
 // maximum position ID — the paper's observation that decode behaves
 // identically under KV Cache and Prompt Cache (§3.4: "prompt modules are
-// not employed beyond the initial token").
-func (m *Model) Generate(cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts) ([]int, error) {
+// not employed beyond the initial token"). Cancelling ctx aborts between
+// decode steps, returning ctx.Err() alongside the tokens produced so far.
+func (m *Model) Generate(ctx context.Context, cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts) ([]int, error) {
 	opts.defaults()
 	if cache.Len() == 0 {
 		return nil, fmt.Errorf("model: Generate on empty cache")
@@ -187,6 +189,9 @@ func (m *Model) Generate(cache *kvcache.Cache, lastLogits []float32, opts Genera
 	logits := lastLogits
 	pos := cache.MaxPos()
 	for len(out) < opts.MaxTokens {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		next := opts.Sampler.Sample(logits)
 		if next == opts.StopToken {
 			break
@@ -207,8 +212,9 @@ func (m *Model) Generate(cache *kvcache.Cache, lastLogits []float32, opts Genera
 
 // GenerateStream is Generate with per-token delivery: emit is called with
 // each generated token id as soon as it is sampled; returning false stops
-// generation early. The generated ids are also returned.
-func (m *Model) GenerateStream(cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts, emit func(token int) bool) ([]int, error) {
+// generation early. The generated ids are also returned. Cancelling ctx
+// aborts between decode steps with ctx.Err().
+func (m *Model) GenerateStream(ctx context.Context, cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts, emit func(token int) bool) ([]int, error) {
 	opts.defaults()
 	if cache.Len() == 0 {
 		return nil, fmt.Errorf("model: GenerateStream on empty cache")
@@ -220,6 +226,9 @@ func (m *Model) GenerateStream(cache *kvcache.Cache, lastLogits []float32, opts 
 	logits := lastLogits
 	pos := cache.MaxPos()
 	for len(out) < opts.MaxTokens {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		next := opts.Sampler.Sample(logits)
 		if next == opts.StopToken {
 			break
@@ -257,6 +266,6 @@ func (m *Model) Complete(tokens []int, opts GenerateOpts) ([]int, *kvcache.Cache
 	if err != nil {
 		return nil, nil, err
 	}
-	out, err := m.Generate(cache, logits, opts)
+	out, err := m.Generate(context.Background(), cache, logits, opts)
 	return out, cache, err
 }

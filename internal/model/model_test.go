@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -298,7 +299,7 @@ func TestGenerateAdvancesPositions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.Generate(cache, logits, GenerateOpts{MaxTokens: 3})
+	out, err := m.Generate(context.Background(), cache, logits, GenerateOpts{MaxTokens: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,7 +435,7 @@ func TestGenerateStream(t *testing.T) {
 	ref := cache.Clone()
 	refLogits := append([]float32(nil), logits...)
 	var streamed []int
-	out, err := m.GenerateStream(cache, logits, GenerateOpts{MaxTokens: 6}, func(tok int) bool {
+	out, err := m.GenerateStream(context.Background(), cache, logits, GenerateOpts{MaxTokens: 6}, func(tok int) bool {
 		streamed = append(streamed, tok)
 		return true
 	})
@@ -444,7 +445,7 @@ func TestGenerateStream(t *testing.T) {
 	if len(streamed) != len(out) {
 		t.Fatal("emit count != returned count")
 	}
-	plain, err := m.Generate(ref, refLogits, GenerateOpts{MaxTokens: 6})
+	plain, err := m.Generate(context.Background(), ref, refLogits, GenerateOpts{MaxTokens: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -463,7 +464,7 @@ func TestGenerateStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	n := 0
-	out2, err := m.GenerateStream(cache2, logits2, GenerateOpts{MaxTokens: 10}, func(int) bool {
+	out2, err := m.GenerateStream(context.Background(), cache2, logits2, GenerateOpts{MaxTokens: 10}, func(int) bool {
 		n++
 		return n < 2
 	})
@@ -474,14 +475,14 @@ func TestGenerateStream(t *testing.T) {
 		t.Fatalf("early stop produced %d tokens", len(out2))
 	}
 	// Nil callback rejected.
-	if _, err := m.GenerateStream(cache2, logits2, GenerateOpts{}, nil); err == nil {
+	if _, err := m.GenerateStream(context.Background(), cache2, logits2, GenerateOpts{}, nil); err == nil {
 		t.Fatal("nil emit should error")
 	}
 }
 
 func TestGenerateEmptyCacheRejected(t *testing.T) {
 	m := MustNew(LlamaStyle(testVocab, 3))
-	if _, err := m.Generate(m.NewCache(0), make([]float32, testVocab), GenerateOpts{}); err == nil {
+	if _, err := m.Generate(context.Background(), m.NewCache(0), make([]float32, testVocab), GenerateOpts{}); err == nil {
 		t.Fatal("expected error")
 	}
 }

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -19,7 +20,8 @@ const chunkThreshold = 16
 // matmuls. It is numerically equivalent to the sequential path: both use
 // the same ascending-k accumulation order per output element, and
 // attention is evaluated per token with an identical causal row bound.
-func (m *Model) prefillChunk(tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+// ctx is checked before each layer, the unit of work worth interrupting.
+func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
 	cfg := &m.Cfg
 	n := len(tokens)
 	past := cache.Len()
@@ -53,6 +55,9 @@ func (m *Model) prefillChunk(tokens, positions []int, cache *kvcache.Cache) ([]f
 	ffn3 := tensor.NewMatrix(n, cfg.FFNDim)
 
 	for l := range m.layers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ly := &m.layers[l]
 		for i := 0; i < n; i++ {
 			m.norm(h.Row(i), x.Row(i), ly.attnNormW, ly.attnNormB)

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/rng"
@@ -19,20 +20,20 @@ func TestChunkedPrefillMatchesSequential(t *testing.T) {
 
 		// Sequential reference: past then chunk, token by token.
 		seq := m.NewCache(32)
-		if _, err := m.prefillSequential(past, seqPositions(5, 0), seq); err != nil {
+		if _, err := m.prefillSequential(context.Background(), past, seqPositions(5, 0), seq); err != nil {
 			t.Fatal(err)
 		}
-		wantLogits, err := m.prefillSequential(chunk, seqPositions(24, 10), seq) // gap at 5..9
+		wantLogits, err := m.prefillSequential(context.Background(), chunk, seqPositions(24, 10), seq) // gap at 5..9
 		if err != nil {
 			t.Fatal(err)
 		}
 
 		// Batched path over the same inputs.
 		bat := m.NewCache(32)
-		if _, err := m.prefillSequential(past, seqPositions(5, 0), bat); err != nil {
+		if _, err := m.prefillSequential(context.Background(), past, seqPositions(5, 0), bat); err != nil {
 			t.Fatal(err)
 		}
-		gotLogits, err := m.prefillChunk(chunk, seqPositions(24, 10), bat)
+		gotLogits, err := m.prefillChunk(context.Background(), chunk, seqPositions(24, 10), bat)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,11 +92,11 @@ func TestChunkedGenerationEndToEnd(t *testing.T) {
 		toks := randTokens(r, 40)
 
 		seqCache := m.NewCache(64)
-		seqLogits, err := m.prefillSequential(toks, seqPositions(40, 0), seqCache)
+		seqLogits, err := m.prefillSequential(context.Background(), toks, seqPositions(40, 0), seqCache)
 		if err != nil {
 			t.Fatal(err)
 		}
-		seqGen, err := m.Generate(seqCache, seqLogits, GenerateOpts{MaxTokens: 8})
+		seqGen, err := m.Generate(context.Background(), seqCache, seqLogits, GenerateOpts{MaxTokens: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkPrefill256Sequential(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cache := m.NewCache(256)
-		if _, err := m.prefillSequential(toks, pos, cache); err != nil {
+		if _, err := m.prefillSequential(context.Background(), toks, pos, cache); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,7 +138,7 @@ func BenchmarkPrefill256Chunked(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cache := m.NewCache(256)
-		if _, err := m.prefillChunk(toks, pos, cache); err != nil {
+		if _, err := m.prefillChunk(context.Background(), toks, pos, cache); err != nil {
 			b.Fatal(err)
 		}
 	}

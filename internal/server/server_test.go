@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 
-	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/promptcache"
 )
 
 func newServer(t *testing.T) *Server {
@@ -18,7 +20,7 @@ func newServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(core.NewCache(m))
+	return New(promptcache.New(m))
 }
 
 func doJSON(t *testing.T, s *Server, method, path string, body any) (*httptest.ResponseRecorder, map[string]any) {
@@ -33,7 +35,9 @@ func doJSON(t *testing.T, s *Server, method, path string, body any) (*httptest.R
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	var out map[string]any
-	if rec.Body.Len() > 0 {
+	// The mux's automatic 405 replies are plain text; everything the
+	// server itself writes is JSON.
+	if rec.Body.Len() > 0 && strings.HasPrefix(rec.Header().Get("Content-Type"), "application/json") {
 		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
 			t.Fatalf("bad JSON response %q: %v", rec.Body.String(), err)
 		}
@@ -130,8 +134,39 @@ func TestCompleteCachedAndBaseline(t *testing.T) {
 func TestCompleteUnknownSchema(t *testing.T) {
 	s := newServer(t)
 	rec, _ := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: `<prompt schema="ghost">x</prompt>`})
-	if rec.Code != http.StatusUnprocessableEntity {
+	if rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown schema = %d", rec.Code)
+	}
+}
+
+// TestErrorStatusMapping: each sentinel in the promptcache taxonomy maps
+// to its intended HTTP status via errors.Is, not string matching.
+func TestErrorStatusMapping(t *testing.T) {
+	s := newServer(t)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	rec, out := doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: `<schema name="param">
+	  <module name="lease">The lease runs for <param name="term" len="3"/> from signing.</module>
+	</schema>`})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("param schema = %d %v", rec.Code, out)
+	}
+	padding := strings.Repeat("word ", 40)
+	cases := []struct {
+		name   string
+		prompt string
+		want   int
+	}{
+		{"unknown schema", `<prompt schema="ghost">x</prompt>`, http.StatusNotFound},
+		{"unparsable prompt", `<prompt schema=`, http.StatusUnprocessableEntity},
+		{"unknown module", `<prompt schema="docs"><ghost/>x</prompt>`, http.StatusUnprocessableEntity},
+		{"no new tokens", `<prompt schema="docs"><contract/></prompt>`, http.StatusUnprocessableEntity},
+		{"arg too long", `<prompt schema="param"><lease term="` + padding + `"/>x</prompt>`, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: tc.prompt})
+		if rec.Code != tc.want {
+			t.Errorf("%s: status = %d, want %d (%v)", tc.name, rec.Code, tc.want, out)
+		}
 	}
 }
 
@@ -276,12 +311,167 @@ func splitLines(s string) []string {
 func TestStreamErrors(t *testing.T) {
 	s := newServer(t)
 	rec, _ := doJSON(t, s, http.MethodPost, "/v1/stream", CompleteRequest{Prompt: `<prompt schema="ghost">x</prompt>`})
-	if rec.Code != http.StatusUnprocessableEntity {
+	if rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown schema stream = %d", rec.Code)
 	}
 	rec, _ = doJSON(t, s, http.MethodGet, "/v1/stream", nil)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET stream = %d", rec.Code)
+	}
+}
+
+// TestSessionLifecycle: create a session, advance it two turns, delete
+// it, and verify the handle is gone.
+func TestSessionLifecycle(t *testing.T) {
+	s := newServer(t)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+
+	rec, out := doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
+		Prompt:    `<prompt schema="docs"><contract/>Summarize the duties.</prompt>`,
+		MaxTokens: 6,
+	})
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d %v", rec.Code, out)
+	}
+	id, _ := out["session_id"].(string)
+	if id == "" || out["text"] == "" {
+		t.Fatalf("create response %v", out)
+	}
+	if out["cached_tokens"].(float64) <= 0 {
+		t.Fatalf("session did not reuse: %v", out)
+	}
+
+	var lastTokens float64
+	for turn, text := range []string{"What about the garden?", "And the rent due date?"} {
+		rec, out := doJSON(t, s, http.MethodPost, "/v1/sessions/"+id+"/send", SendRequest{Text: text})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("send %d = %d %v", turn, rec.Code, out)
+		}
+		if out["turns"].(float64) != float64(turn+1) {
+			t.Fatalf("turns = %v after send %d", out["turns"], turn)
+		}
+		if st := out["session_tokens"].(float64); st <= lastTokens {
+			t.Fatalf("session KV should grow: %v -> %v", lastTokens, st)
+		} else {
+			lastTokens = st
+		}
+	}
+
+	rec, out = doJSON(t, s, http.MethodDelete, "/v1/sessions/"+id, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete = %d %v", rec.Code, out)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/v1/sessions/"+id+"/send", SendRequest{Text: "gone?"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("send after delete = %d", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodDelete, "/v1/sessions/"+id, nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete = %d", rec.Code)
+	}
+}
+
+// TestSessionCap: creates beyond MaxSessions fail with 503 until a
+// session is deleted.
+func TestSessionCap(t *testing.T) {
+	s := newServer(t)
+	s.MaxSessions = 1
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	create := func() (*httptest.ResponseRecorder, map[string]any) {
+		return doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
+			Prompt:    `<prompt schema="docs"><contract/>Hi.</prompt>`,
+			MaxTokens: 2,
+		})
+	}
+	rec, out := create()
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("first create = %d %v", rec.Code, out)
+	}
+	id := out["session_id"].(string)
+	rec, _ = create()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap create = %d", rec.Code)
+	}
+	doJSON(t, s, http.MethodDelete, "/v1/sessions/"+id, nil)
+	rec, _ = create()
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create after delete = %d", rec.Code)
+	}
+}
+
+// TestSessionIdleReaping: abandoned sessions free their cap slot once
+// idle past SessionIdleTimeout, instead of jamming creates forever.
+func TestSessionIdleReaping(t *testing.T) {
+	s := newServer(t)
+	s.MaxSessions = 1
+	s.SessionIdleTimeout = time.Nanosecond
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	create := func() (*httptest.ResponseRecorder, map[string]any) {
+		return doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
+			Prompt:    `<prompt schema="docs"><contract/>Hi.</prompt>`,
+			MaxTokens: 2,
+		})
+	}
+	rec, out := create()
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("first create = %d %v", rec.Code, out)
+	}
+	old := out["session_id"].(string)
+	time.Sleep(time.Millisecond) // let the first session cross the idle cutoff
+	rec, _ = create()
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create after idle expiry = %d (abandoned session jammed the cap)", rec.Code)
+	}
+	rec, _ = doJSON(t, s, http.MethodPost, "/v1/sessions/"+old+"/send", SendRequest{Text: "still there?"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("reaped session should be gone: %d", rec.Code)
+	}
+}
+
+// TestReapSkipsInFlightSession: a session with a turn in flight is
+// activity, not idleness — the reaper must not close it even when its
+// lastUsed is past the cutoff.
+func TestReapSkipsInFlightSession(t *testing.T) {
+	s := newServer(t)
+	s.MaxSessions = 1
+	s.SessionIdleTimeout = time.Hour
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	create := func() (*httptest.ResponseRecorder, map[string]any) {
+		return doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
+			Prompt:    `<prompt schema="docs"><contract/>Hi.</prompt>`,
+			MaxTokens: 2,
+		})
+	}
+	rec, out := create()
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d %v", rec.Code, out)
+	}
+	id := out["session_id"].(string)
+	// Simulate a long-running turn holding the session, then shrink the
+	// timeout so the session is nominally idle-expired mid-turn.
+	e, err := s.acquireSession(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SessionIdleTimeout = time.Nanosecond
+	time.Sleep(time.Millisecond) // well past the idle cutoff
+	rec, _ = create()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("in-flight session was reaped: create = %d", rec.Code)
+	}
+	s.releaseSession(e)
+	time.Sleep(time.Millisecond) // now idle past the cutoff again
+	rec, _ = create()
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("released idle session not reaped: create = %d", rec.Code)
+	}
+}
+
+func TestSessionUnknownSchema(t *testing.T) {
+	s := newServer(t)
+	rec, _ := doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{Prompt: `<prompt schema="ghost">x</prompt>`})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("session unknown schema = %d", rec.Code)
 	}
 }
 

@@ -1,0 +1,55 @@
+package promptcache
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// BatchRequest completes several prompts in one call with each distinct
+// module's attention states shared across the batch through a paged pool
+// (§3.4's batch-memory optimization).
+type BatchRequest struct {
+	Prompts []string
+	// DisableScaffolds applies to every prompt in the batch.
+	DisableScaffolds bool
+	// PrefillOnly skips the decode phase for the whole batch.
+	PrefillOnly bool
+	// Generation settings shared by all prompts.
+	MaxTokens int
+	Sampler   model.Sampler
+	StopToken int
+}
+
+// BatchResponse carries per-prompt results (positionally parallel to the
+// request's prompts) plus the sharing effect.
+type BatchResponse struct {
+	Results []*Response
+	Stats   core.BatchStats
+}
+
+// InferBatch serves and generates a batch of prompts with module states
+// shared across the batch. Cancelling ctx aborts between (and inside)
+// per-prompt prefills and decode steps.
+func (c *Client) InferBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	results, stats, err := c.cache.ServeBatch(ctx, req.Prompts, core.ServeOpts{DisableScaffolds: req.DisableScaffolds})
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResponse{Stats: stats, Results: make([]*Response, len(results))}
+	one := Request{
+		PrefillOnly: req.PrefillOnly,
+		MaxTokens:   req.MaxTokens,
+		Sampler:     req.Sampler,
+		StopToken:   req.StopToken,
+	}
+	for i, res := range results {
+		resp, err := c.generate(ctx, res, one)
+		if err != nil {
+			return nil, err
+		}
+		out.Results[i] = resp
+	}
+	return out, nil
+}

@@ -1,0 +1,29 @@
+package promptcache
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// The error taxonomy. Each sentinel is aliased from the engine so
+// errors.Is works whether a caller compares against promptcache or core;
+// transports map these to protocol statuses.
+var (
+	// ErrUnknownSchema: the prompt names a schema that is not registered.
+	ErrUnknownSchema = core.ErrUnknownSchema
+	// ErrBadSchema: a schema failed to parse or compile.
+	ErrBadSchema = core.ErrBadSchema
+	// ErrBadPrompt: the prompt failed to parse or violates its schema.
+	ErrBadPrompt = core.ErrBadPrompt
+	// ErrArgTooLong: a parameter argument exceeds its declared len.
+	ErrArgTooLong = core.ErrArgTooLong
+	// ErrPromptTooLong: prompt, schema, or session exceeds the model's
+	// maximum position IDs.
+	ErrPromptTooLong = core.ErrPromptTooLong
+	// ErrCapacity: module states cannot fit the memory pool even after
+	// eviction.
+	ErrCapacity = core.ErrCapacity
+	// ErrSessionClosed: a Send or Close on an already-closed Session.
+	ErrSessionClosed = errors.New("promptcache: session closed")
+)

@@ -1,0 +1,129 @@
+// Package promptcache is the public serving API of the Prompt Cache
+// reproduction (Gim et al., MLSys 2024). It wraps the engine in
+// internal/core behind a small, context-aware surface:
+//
+//   - Client.Infer(ctx, Request) is the single inference entrypoint:
+//     cached or baseline serving, optional streaming, prefill-only runs
+//     for TTFT measurement, and sampling control, all in one request.
+//   - Client.NewSession / Session.Send own the multi-turn KV state that
+//     callers previously threaded by hand through core.Continue.
+//   - Every failure wraps a sentinel from the error taxonomy
+//     (ErrUnknownSchema, ErrBadPrompt, ErrArgTooLong, ...), so
+//     transports classify with errors.Is instead of string matching.
+//
+// Cancelling the context aborts work mid-flight: between prefill chunks
+// during serving and between decode steps during generation.
+//
+// The API still references internal types at its edges (model.Model and
+// core.Option in New, model.Sampler in Request, pml.Layout from
+// RegisterSchema), which is fine for this self-contained module but
+// would need re-exported wrappers before the module could be imported
+// externally; see ROADMAP.md.
+package promptcache
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/pml"
+)
+
+// Client is the serving handle around one model + prompt cache. It is
+// safe for concurrent use.
+type Client struct {
+	cache *core.Cache
+}
+
+// New builds a Client around a model. Options (memory pools, eviction
+// policy, int8 storage, chat template) pass through to the engine.
+func New(m *model.Model, opts ...core.Option) *Client {
+	return &Client{cache: core.NewCache(m, opts...)}
+}
+
+// Wrap adopts an existing engine cache — for callers that configured or
+// snapshot-restored a core.Cache directly.
+func Wrap(cache *core.Cache) *Client { return &Client{cache: cache} }
+
+// Engine exposes the underlying core.Cache for advanced uses the public
+// API does not cover (snapshots, prefetching, direct inspection).
+func (c *Client) Engine() *core.Cache { return c.cache }
+
+// Model returns the underlying model.
+func (c *Client) Model() *model.Model { return c.cache.Model() }
+
+// RegisterSchema parses a PML schema, compiles its layout, and eagerly
+// encodes every prompt module and scaffold. Registration failures wrap
+// ErrBadSchema (parse/compile), ErrPromptTooLong (layout exceeds the
+// model's positions), or ErrCapacity (states do not fit the pool).
+func (c *Client) RegisterSchema(src string) (*pml.Layout, error) {
+	return c.cache.RegisterSchema(src)
+}
+
+// Schemas returns the names of all registered schemas, sorted.
+func (c *Client) Schemas() []string { return c.cache.SchemaNames() }
+
+// Stats returns a snapshot of cache activity counters.
+func (c *Client) Stats() core.Stats { return c.cache.Stats() }
+
+// Infer runs one inference request end to end: serve the prompt (cached
+// reuse or full-prefill baseline), then generate unless the request is
+// prefill-only. Cancelling ctx aborts mid-prefill or between decode
+// steps; the error then satisfies errors.Is(err, context.Canceled) (or
+// DeadlineExceeded).
+func (c *Client) Infer(ctx context.Context, req Request) (*Response, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	res, err := c.serve(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.generate(ctx, res, req)
+}
+
+// serve assembles the prompt's attention states per the request mode.
+func (c *Client) serve(ctx context.Context, req Request) (*core.ServeResult, error) {
+	opts := core.ServeOpts{DisableScaffolds: req.DisableScaffolds}
+	switch {
+	case req.Baseline && req.Parsed != nil:
+		return c.cache.BaselineServeParsed(ctx, req.Parsed)
+	case req.Baseline:
+		return c.cache.BaselineServe(ctx, req.Prompt)
+	case req.Parsed != nil:
+		return c.cache.ServeParsed(ctx, req.Parsed, opts)
+	default:
+		return c.cache.Serve(ctx, req.Prompt, opts)
+	}
+}
+
+// generate runs the decode phase of a request over a served result and
+// assembles the Response.
+func (c *Client) generate(ctx context.Context, res *core.ServeResult, req Request) (*Response, error) {
+	resp := &Response{
+		CachedTokens: res.CachedTokens,
+		NewTokens:    res.NewTokens,
+		Modules:      res.Modules,
+		Scaffolds:    res.Scaffolds,
+		Logits:       res.Logits,
+	}
+	if req.PrefillOnly {
+		return resp, nil
+	}
+	opts := req.generateOpts()
+	var (
+		ids []int
+		err error
+	)
+	if req.Stream != nil {
+		ids, err = c.cache.GenerateStream(ctx, res, opts, req.Stream)
+	} else {
+		ids, err = c.cache.Generate(ctx, res, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.Tokens = ids
+	resp.Text = c.cache.Tokenizer().Decode(ids)
+	return resp, nil
+}

@@ -1,0 +1,354 @@
+package promptcache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+const testVocab = tokenizer.WordBase + 2048
+
+const testSchema = `
+<schema name="travel">
+  You are a helpful travel planner.
+  <module name="trip-plan">
+    Plan a trip of duration <param name="duration" len="4"/> at a relaxed pace.
+  </module>
+  <union>
+    <module name="tokyo">Tokyo is the capital of Japan with superb food and temples.</module>
+    <module name="miami">Miami is a coastal city in Florida with beaches and surf.</module>
+  </union>
+</schema>`
+
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	m, err := model.New(model.LlamaStyle(testVocab, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	if _, err := c.RegisterSchema(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInferCachedCompletion(t *testing.T) {
+	c := newClient(t)
+	resp, err := c.Infer(context.Background(), Request{
+		Prompt:    `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`,
+		MaxTokens: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CachedTokens == 0 || resp.NewTokens == 0 {
+		t.Fatalf("reuse accounting: %+v", resp)
+	}
+	if strings.TrimSpace(resp.Text) == "" || len(resp.Tokens) == 0 {
+		t.Fatalf("empty generation: %+v", resp)
+	}
+	if len(resp.Modules) == 0 {
+		t.Fatalf("no modules reported: %+v", resp)
+	}
+}
+
+func TestInferBaselineMatchesCachedSingleModule(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(testVocab, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	schema := `<schema name="doc">
+	  <module name="contract">The tenant shall pay rent monthly and keep the garden tidy.</module>
+	</schema>`
+	if _, err := c.RegisterSchema(schema); err != nil {
+		t.Fatal(err)
+	}
+	prompt := `<prompt schema="doc"><contract/>Summarize the obligations.</prompt>`
+	cached, err := c.Infer(context.Background(), Request{Prompt: prompt, MaxTokens: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Infer(context.Background(), Request{Prompt: prompt, MaxTokens: 8, Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CachedTokens != 0 {
+		t.Fatalf("baseline must not reuse: %+v", base)
+	}
+	// Single module from position 0: cached inference degenerates to
+	// prefix sharing and outputs match exactly.
+	if cached.Text != base.Text {
+		t.Fatalf("cached %q != baseline %q", cached.Text, base.Text)
+	}
+}
+
+func TestInferPrefillOnly(t *testing.T) {
+	c := newClient(t)
+	resp, err := c.Infer(context.Background(), Request{
+		Prompt:      `<prompt schema="travel"><tokyo/>Plan.</prompt>`,
+		PrefillOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Text != "" || len(resp.Tokens) != 0 {
+		t.Fatalf("prefill-only must not decode: %+v", resp)
+	}
+	if resp.CachedTokens == 0 || len(resp.Logits) != testVocab {
+		t.Fatalf("prefill-only must still serve: cached=%d logits=%d", resp.CachedTokens, len(resp.Logits))
+	}
+}
+
+func TestInferStreaming(t *testing.T) {
+	c := newClient(t)
+	var streamed []string
+	resp, err := c.Infer(context.Background(), Request{
+		Prompt:    `<prompt schema="travel"><miami/>Recommend food.</prompt>`,
+		MaxTokens: 6,
+		Stream:    func(text string) bool { streamed = append(streamed, text); return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(resp.Tokens) {
+		t.Fatalf("streamed %d tokens, response has %d", len(streamed), len(resp.Tokens))
+	}
+}
+
+// TestInferCancelMidDecode: cancelling the context from inside the
+// stream sink aborts generation at the next decode step.
+func TestInferCancelMidDecode(t *testing.T) {
+	c := newClient(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	_, err := c.Infer(ctx, Request{
+		Prompt:    `<prompt schema="travel"><miami/>Recommend food.</prompt>`,
+		MaxTokens: 1 << 20, // would decode forever without cancellation
+		Stream: func(string) bool {
+			emitted++
+			if emitted == 2 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if emitted > 3 {
+		t.Fatalf("decode kept running after cancel: %d tokens emitted", emitted)
+	}
+}
+
+// TestInferCancelBeforePrefill: an already-cancelled context aborts
+// inside the serve path, before any decode.
+func TestInferCancelBeforePrefill(t *testing.T) {
+	c := newClient(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Infer(ctx, Request{
+		Prompt: `<prompt schema="travel"><tokyo/>Plan a long trip now.</prompt>`,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	c := newClient(t)
+	cases := []struct {
+		name   string
+		prompt string
+		want   error
+	}{
+		{"unknown schema", `<prompt schema="ghost">x</prompt>`, ErrUnknownSchema},
+		{"unparsable", `<prompt schema=`, ErrBadPrompt},
+		{"unknown module", `<prompt schema="travel"><atlantis/>x</prompt>`, ErrBadPrompt},
+		{"union clash", `<prompt schema="travel"><tokyo/><miami/>go</prompt>`, ErrBadPrompt},
+		{"no new tokens", `<prompt schema="travel"><miami/></prompt>`, ErrBadPrompt},
+		{"arg too long", `<prompt schema="travel"><trip-plan duration="one two three four five six seven"/>ok</prompt>`, ErrArgTooLong},
+	}
+	for _, tc := range cases {
+		_, err := c.Infer(context.Background(), Request{Prompt: tc.prompt})
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want errors.Is(%v)", tc.name, err, tc.want)
+		}
+	}
+	if _, err := c.Infer(context.Background(), Request{}); !errors.Is(err, ErrBadPrompt) {
+		t.Errorf("empty request: got %v", err)
+	}
+	if _, err := c.RegisterSchema("<bogus/>"); !errors.Is(err, ErrBadSchema) {
+		t.Errorf("bad schema: got %v", err)
+	}
+}
+
+func TestSessionMultiTurn(t *testing.T) {
+	c := newClient(t)
+	sess, first, err := c.NewSession(context.Background(), Request{
+		Prompt:    `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`,
+		MaxTokens: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(first.Text) == "" {
+		t.Fatal("empty first reply")
+	}
+	before := sess.CachedTokens()
+	r2, err := sess.Send(context.Background(), "Now add an evening plan.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(r2.Text) == "" {
+		t.Fatal("empty second reply")
+	}
+	r3, err := sess.Send(context.Background(), "And where should we eat?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r3
+	if sess.Turns() != 2 {
+		t.Fatalf("turns = %d", sess.Turns())
+	}
+	if sess.CachedTokens() <= before {
+		t.Fatalf("session KV did not grow: %d -> %d", before, sess.CachedTokens())
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Send(context.Background(), "more"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+	if err := sess.Close(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestSessionDefaultsDropPerTurnFields: the first turn's Stream sink
+// must not replay on later Sends — only generation settings persist.
+func TestSessionDefaultsDropPerTurnFields(t *testing.T) {
+	c := newClient(t)
+	firstTurnSink := 0
+	sess, _, err := c.NewSession(context.Background(), Request{
+		Prompt:    `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`,
+		MaxTokens: 4,
+		Stream:    func(string) bool { firstTurnSink++; return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := firstTurnSink
+	if afterFirst == 0 {
+		t.Fatal("first turn should stream")
+	}
+	resp, err := sess.Send(context.Background(), "Now add an evening plan.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstTurnSink != afterFirst {
+		t.Fatalf("turn-1 stream sink replayed on turn 2 (%d -> %d calls)", afterFirst, firstTurnSink)
+	}
+	if len(resp.Tokens) == 0 {
+		t.Fatal("turn 2 generated nothing")
+	}
+}
+
+// TestSessionRollsBackCancelledDecode: a turn cancelled mid-decode must
+// not leave the user text or a partial reply in the session history.
+func TestSessionRollsBackCancelledDecode(t *testing.T) {
+	c := newClient(t)
+	sess, _, err := c.NewSession(context.Background(), Request{
+		Prompt:    `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`,
+		MaxTokens: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.CachedTokens()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	_, err = sess.SendOpts(ctx, "a follow-up that will be cancelled mid-decode", Request{
+		MaxTokens: 1 << 20,
+		Stream: func(string) bool {
+			emitted++
+			if emitted == 2 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := sess.CachedTokens(); got != before {
+		t.Fatalf("cancelled decode left tokens in session KV: %d -> %d", before, got)
+	}
+	if sess.Turns() != 0 {
+		t.Fatalf("cancelled turn counted: %d", sess.Turns())
+	}
+	if _, err := sess.Send(context.Background(), "a real follow-up"); err != nil {
+		t.Fatalf("session unusable after cancelled decode: %v", err)
+	}
+}
+
+// TestSessionSurvivesCancelledTurn: a turn cancelled mid-prefill rolls
+// the session's KV state back; the next Send succeeds.
+func TestSessionSurvivesCancelledTurn(t *testing.T) {
+	c := newClient(t)
+	sess, _, err := c.NewSession(context.Background(), Request{
+		Prompt:    `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`,
+		MaxTokens: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.CachedTokens()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Send(ctx, "a cancelled follow-up turn with plenty of words to prefill"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := sess.CachedTokens(); got != before {
+		t.Fatalf("KV not rolled back after cancel: %d -> %d", before, got)
+	}
+	if _, err := sess.Send(context.Background(), "a real follow-up"); err != nil {
+		t.Fatalf("session unusable after cancelled turn: %v", err)
+	}
+}
+
+func TestInferBatchSharing(t *testing.T) {
+	c := newClient(t)
+	resp, err := c.InferBatch(context.Background(), BatchRequest{
+		Prompts: []string{
+			`<prompt schema="travel"><miami/>First question.</prompt>`,
+			`<prompt schema="travel"><miami/>Second question.</prompt>`,
+			`<prompt schema="travel"><tokyo/>Third question.</prompt>`,
+		},
+		MaxTokens: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	if resp.Stats.SharedModules == 0 {
+		t.Fatalf("no sharing: %+v", resp.Stats)
+	}
+	for i, r := range resp.Results {
+		if strings.TrimSpace(r.Text) == "" {
+			t.Fatalf("result %d empty", i)
+		}
+	}
+	if _, err := c.InferBatch(context.Background(), BatchRequest{}); !errors.Is(err, ErrBadPrompt) {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -131,6 +132,56 @@ func BenchmarkEngineTTFT(b *testing.B) {
 				if _, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, PrefillOnly: true}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeParallel measures cached-serve throughput through one
+// client at increasing worker counts. Before the lock refactor every
+// prefill serialized on the cache mutex and workers-8 matched workers-1;
+// the speedup now visible is the payoff of prefilling outside the lock.
+func BenchmarkServeParallel(b *testing.B) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 999))
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := promptcache.New(m)
+	if _, err := client.RegisterSchema(bench.EngineSchema("par", 256, 3)); err != nil {
+		b.Fatal(err)
+	}
+	prompt := `<prompt schema="par"><doc/><user>summarize the document</user></prompt>`
+	ctx := context.Background()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			work := make(chan struct{})
+			fail := make(chan error, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range work {
+						if _, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, PrefillOnly: true}); err != nil {
+							select {
+							case fail <- err:
+							default:
+							}
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work <- struct{}{}
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			select {
+			case err := <-fail:
+				b.Fatal(err)
+			default:
 			}
 		})
 	}

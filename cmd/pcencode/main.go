@@ -60,7 +60,7 @@ func main() {
 	client := promptcache.New(m)
 
 	if *outPath != "" {
-		layout, err := client.RegisterSchema(string(src))
+		info, err := client.RegisterSchema(string(src))
 		if err != nil {
 			log.Fatalf("pcencode: %v", err)
 		}
@@ -69,12 +69,12 @@ func main() {
 			log.Fatalf("pcencode: %v", err)
 		}
 		defer f.Close()
-		if err := client.Engine().SaveSchemaStates(layout.Schema.Name, f); err != nil {
+		if err := client.Engine().SaveSchemaStates(info.Name, f); err != nil {
 			log.Fatalf("pcencode: %v", err)
 		}
 		st, _ := f.Stat()
 		fmt.Printf("encoded schema %q: %d modules, %d position IDs, snapshot %d bytes -> %s\n",
-			layout.Schema.Name, len(layout.Order), layout.TotalLen, st.Size(), *outPath)
+			info.Name, len(info.Modules), info.Positions, st.Size(), *outPath)
 		return
 	}
 

@@ -7,6 +7,18 @@
 // batching, streaming, and a typed error taxonomy. Everything else is
 // internal machinery behind it.
 //
+// # Concurrency
+//
+// Serving is parallel: the engine lock guards only metadata (schema
+// registry, module residency, eviction, stats), while prefills,
+// state assembly and decoding run outside it. A serve pins the encoded
+// modules it reads, making them immune to eviction until it completes;
+// batch requests fan out over a bounded worker pool sharing one paged
+// block pool. Schema registration and prefetch encode under the lock —
+// the deliberate one-time cost — so serves that start mid-registration
+// wait for it, while serves already prefilling are unaffected. See the
+// "Concurrency" section of README.md for the full contract.
+//
 // The library implements the paper's full stack: a transformer inference
 // engine with explicit position IDs (internal/model, internal/tensor,
 // internal/kvcache), the Prompt Markup Language and its position-layout

@@ -48,12 +48,12 @@ func main() {
 	// 2. Wrap it in a prompt-cache client and register the schema.
 	//    Registration precomputes attention states for every module (§3.3).
 	client := promptcache.New(m)
-	layout, err := client.RegisterSchema(schema)
+	info, err := client.RegisterSchema(schema)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("schema %q registered: %d modules, %d position IDs\n",
-		layout.Schema.Name, len(layout.Order), layout.TotalLen)
+		info.Name, len(info.Modules), info.Positions)
 
 	// 3. Serve the prompt with attention reuse: cached modules are spliced
 	//    in, only new text is computed (§3.4). PrefillOnly isolates TTFT.

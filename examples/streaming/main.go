@@ -39,7 +39,7 @@ func main() {
 			Prompt:    prompt,
 			Baseline:  baseline,
 			MaxTokens: 8,
-			Sampler:   &model.RepetitionPenalty{Penalty: 1.5, Window: 16},
+			Sampler:   &promptcache.RepetitionPenalty{Penalty: 1.5, Window: 16},
 			Stream: func(text string) bool {
 				if first == 0 {
 					first = time.Since(start)

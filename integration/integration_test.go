@@ -57,12 +57,12 @@ schema kiosk:
 		t.Fatal(err)
 	}
 	client := promptcache.New(newModel(t, 1))
-	layout, err := client.RegisterSchema(pmlSrc)
+	info, err := client.RegisterSchema(pmlSrc)
 	if err != nil {
 		t.Fatalf("compiled schema rejected: %v\n%s", err, pmlSrc)
 	}
-	if layout.Schema.Name != "kiosk" {
-		t.Fatalf("schema name %q", layout.Schema.Name)
+	if info.Name != "kiosk" {
+		t.Fatalf("schema name %q", info.Name)
 	}
 	res, err := client.Infer(context.Background(), promptcache.Request{
 		Prompt: `<prompt schema="kiosk">

@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/kvcache"
 	"repro/internal/model"
@@ -32,126 +35,204 @@ func (b BatchStats) Savings() float64 {
 	return 1 - float64(b.PhysicalBytes)/float64(b.LogicalBytes)
 }
 
+// blockRegistry guards a batch's module→blocks map behind its own small
+// lock, so concurrent serves publish and share attention-state blocks
+// without ever touching the cache-wide mutex.
+type blockRegistry struct {
+	pool *kvcache.PagedPool
+
+	mu     sync.Mutex
+	blocks map[string][]kvcache.BlockID
+	shared int
+}
+
+// has reports whether the registry already holds blocks for key. Handed
+// to planServeLocked so prompts after the first skip pinning (and, under
+// capacity pressure, re-encoding) modules the batch has already
+// materialized.
+func (r *blockRegistry) has(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.blocks[key]
+	return ok
+}
+
+// retainLocked shares an existing entry. Published blocks are never
+// released during a batch, so refcounts only grow.
+func (r *blockRegistry) retainLocked(ids []kvcache.BlockID) ([]kvcache.BlockID, error) {
+	if err := r.pool.Retain(ids); err != nil {
+		return nil, err
+	}
+	r.shared++
+	return ids, nil
+}
+
+// acquire returns the shared blocks backing a part, storing its states
+// on first use and retaining the existing blocks on every later one.
+// The expensive step — materializing and copying the states into the
+// pool — runs outside r.mu (double-checked publish), so a worker
+// storing a large module never stalls the others' lookups.
+func (r *blockRegistry) acquire(part servePart) ([]kvcache.BlockID, error) {
+	r.mu.Lock()
+	ids, have := r.blocks[part.key]
+	if have {
+		defer r.mu.Unlock()
+		return r.retainLocked(ids)
+	}
+	r.mu.Unlock()
+
+	st := part.states()
+	if st == nil {
+		// A key-only part (planned via has) whose entry vanished —
+		// impossible while entries are append-only, kept as a guard.
+		return nil, fmt.Errorf("core: batch part %q has no states to share", part.key)
+	}
+	var fresh []kvcache.BlockID
+	if st.Len() > 0 {
+		fresh = r.pool.Store(st)
+	}
+	r.mu.Lock()
+	if ids, have := r.blocks[part.key]; have {
+		// Another worker published first: discard ours, share theirs.
+		defer r.mu.Unlock()
+		if fresh != nil {
+			_ = r.pool.Release(fresh)
+		}
+		return r.retainLocked(ids)
+	}
+	r.blocks[part.key] = fresh
+	r.mu.Unlock()
+	return fresh, nil
+}
+
 // ServeBatch serves a batch of prompts derived from registered schemas,
 // sharing each distinct module's attention states across the batch
 // through a reference-counted paged pool instead of duplicating them per
-// prompt. Results are positionally parallel to prompts.
+// prompt. Prompts fan out over a bounded worker pool (ServeOpts.
+// BatchWorkers; default GOMAXPROCS) and prefill concurrently — only the
+// brief metadata planning and block bookkeeping serialize. Results are
+// positionally parallel to prompts and identical to serving each prompt
+// alone.
 func (c *Cache) ServeBatch(ctx context.Context, prompts []string, opts ServeOpts) ([]*ServeResult, BatchStats, error) {
 	if len(prompts) == 0 {
 		return nil, BatchStats{}, fmt.Errorf("%w: empty batch", ErrBadPrompt)
 	}
-	pool := kvcache.NewPagedPool(16, int64(c.m.Cfg.KVDim())*int64(c.m.Cfg.NLayers)*2*4)
-	blocks := map[string][]kvcache.BlockID{} // "schema/module" -> stored blocks
-
-	var stats BatchStats
-	stats.Prompts = len(prompts)
-	results := make([]*ServeResult, len(prompts))
+	stats := BatchStats{Prompts: len(prompts)}
+	parsed := make([]*pml.Prompt, len(prompts))
 	for i, src := range prompts {
-		prompt, err := pml.ParsePrompt(src)
+		p, err := pml.ParsePrompt(src)
 		if err != nil {
 			return nil, stats, fmt.Errorf("batch[%d]: %w: %v", i, ErrBadPrompt, err)
 		}
-		res, err := c.serveShared(ctx, prompt, opts, pool, blocks, &stats)
-		if err != nil {
-			return nil, stats, fmt.Errorf("batch[%d]: %w", i, err)
-		}
-		results[i] = res
+		parsed[i] = p
 	}
-	stats.PhysicalBytes = pool.PhysicalBytes()
-	stats.LogicalBytes = pool.LogicalBytes()
+
+	reg := &blockRegistry{
+		pool:   kvcache.NewPagedPool(16, int64(c.m.Cfg.KVDim())*int64(c.m.Cfg.NLayers)*2*4),
+		blocks: map[string][]kvcache.BlockID{},
+	}
+	workers := opts.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(prompts) {
+		workers = len(prompts)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*ServeResult, len(prompts))
+	errs := make([]error, len(prompts))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				// A cancelled batch must not keep planning (which can
+				// re-encode under the cache lock); bail before serving.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := c.serveShared(ctx, parsed[i], opts, reg)
+				if err != nil {
+					errs[i] = err
+					cancel() // abort the rest of the batch promptly
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range parsed {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	// Report the lowest-indexed real failure; prompts that aborted only
+	// because a sibling failed are casualties, not causes.
+	var cancelErr error
+	cancelIdx := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			if cancelIdx < 0 {
+				cancelErr, cancelIdx = err, i
+			}
+			continue
+		}
+		return nil, stats, fmt.Errorf("batch[%d]: %w", i, err)
+	}
+	if cancelIdx >= 0 {
+		return nil, stats, fmt.Errorf("batch[%d]: %w", cancelIdx, cancelErr)
+	}
+	stats.SharedModules = reg.shared
+	stats.PhysicalBytes = reg.pool.PhysicalBytes()
+	stats.LogicalBytes = reg.pool.LogicalBytes()
 	return results, stats, nil
 }
 
-// serveShared is Serve with module states materialized through the shared
-// paged pool. Parameter-supplied slots still require per-prompt
-// filtering, so sharing happens at block granularity and exclusion during
-// gather.
-func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeOpts, pool *kvcache.PagedPool, blocks map[string][]kvcache.BlockID, stats *BatchStats) (*ServeResult, error) {
+// serveShared is ServeParsed with module states materialized through the
+// batch's shared paged pool: plan and pin under the cache lock, publish
+// or retain blocks under the registry's own lock, prefill under no lock
+// at all. Parameter-supplied slots still require per-prompt filtering,
+// so sharing happens at block granularity and exclusion during gather.
+func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeOpts, reg *blockRegistry) (*ServeResult, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.schemas[prompt.SchemaName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, prompt.SchemaName)
-	}
-	bindings, err := c.resolveImports(e, prompt)
+	plan, err := c.planServeLocked(prompt, opts, reg.has)
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	included := c.includedModules(e, bindings)
-	seenUnion := map[int]string{}
-	for _, name := range included {
-		ml := e.layout.Modules[name]
-		if ml.UnionID >= 0 {
-			if prev, clash := seenUnion[ml.UnionID]; clash {
-				return nil, fmt.Errorf("%w: modules %q and %q are exclusive union members", ErrBadPrompt, prev, name)
-			}
-			seenUnion[ml.UnionID] = name
-		}
-	}
-	excluded := map[int]bool{}
-	for _, b := range bindings {
-		ml := e.layout.Modules[b.name]
-		for pname := range b.args {
-			for _, p := range ml.ParamSegment(pname).Pos {
-				excluded[p] = true
-			}
-		}
-	}
+	defer c.unpinModules(plan.pinned)
 
-	res := &ServeResult{Modules: included}
-	kv := c.m.NewCache(e.layout.TotalLen + 64)
-	for _, name := range included {
-		key := prompt.SchemaName + "/" + name
-		ids, have := blocks[key]
-		if have {
-			if err := pool.Retain(ids); err != nil {
-				return nil, err
-			}
-			stats.SharedModules++
-		} else {
-			em, err := c.getModuleLocked(prompt.SchemaName, e, name)
-			if err != nil {
-				return nil, err
-			}
-			st := em.States()
-			if st.Len() == 0 {
-				blocks[key] = nil
-				continue
-			}
-			ids = pool.Store(st)
-			blocks[key] = ids
+	kv := c.m.NewCache(plan.capTokens)
+	for _, part := range plan.parts {
+		ids, err := reg.acquire(part)
+		if err != nil {
+			return nil, err
 		}
 		if len(ids) == 0 {
 			continue
 		}
-		part, err := pool.Gather(ids)
+		gathered, err := reg.pool.Gather(ids)
 		if err != nil {
 			return nil, err
 		}
-		appendFiltered(kv, part, excluded)
+		appendFiltered(kv, gathered, plan.excluded)
 	}
-	res.CachedTokens = kv.Len()
-	c.stats.TokensReused += kv.Len()
-
-	newToks, newPos, err := c.gatherNewTokens(e, prompt, bindings, included)
-	if err != nil {
-		return nil, err
-	}
-	res.NewTokens = len(newToks)
-	if len(newToks) == 0 {
-		return nil, fmt.Errorf("%w: prompt adds no new tokens; add instruction text or parameter arguments", ErrBadPrompt)
-	}
-	logits, err := c.m.PrefillCtx(ctx, newToks, newPos, kv)
-	if err != nil {
-		return nil, err
-	}
-	res.KV = kv
-	res.Logits = logits
-	return res, nil
+	return c.finishServe(ctx, prompt, plan, kv)
 }
 
 // GenerateBatch continues every result greedily, returning the generated
-// token ids per prompt.
+// token ids per prompt. Decoding stays sequential: GenerateOpts carries
+// one Sampler instance, and samplers may hold mutable state (RNGs,
+// repetition windows) that concurrent decodes would corrupt.
 func (c *Cache) GenerateBatch(ctx context.Context, results []*ServeResult, opts model.GenerateOpts) ([][]int, error) {
 	out := make([][]int, len(results))
 	for i, res := range results {

@@ -36,6 +36,11 @@ type EncodedModule struct {
 	// Layout is the module's compiled layout entry.
 	Layout *pml.ModuleLayout
 	state  moduleState
+	// pins counts serves currently reading this module's states outside
+	// the cache lock. Guarded by Cache.mu; evictOneLocked never selects
+	// a pinned module as a victim, so KV/Quant stay intact for the
+	// duration of every prefill that snapshotted them.
+	pins int
 }
 
 // moduleState tracks where a module's states live.
@@ -103,7 +108,17 @@ type Stats struct {
 
 // Cache is the Prompt Cache: it owns a model, a tokenizer, a chat
 // template, registered schemas, and the memory pool module states live in.
-// It is safe for concurrent use.
+//
+// It is safe for concurrent use, and serving is genuinely parallel: mu
+// guards only metadata (schema registry, module residency, eviction
+// policy, stats). A serve holds it just long enough to validate the
+// prompt and pin the modules it needs, then assembles attention states
+// and runs the prefill outside the lock; pinned modules are immune to
+// eviction until the serve completes. Encoding always happens under the
+// lock — it is the deliberate one-time cost (§3.3) — whether triggered
+// by RegisterSchema/Prefetch or by a serve restoring a dropped module,
+// so a planning phase can stall behind an in-progress encode; serves
+// past planning (prefilling) never stall and never stall each other.
 type Cache struct {
 	m    *model.Model
 	tok  *tokenizer.Tokenizer
@@ -233,11 +248,13 @@ func (c *Cache) RegisterSchema(src string) (*pml.Layout, error) {
 	c.schemas[schema.Name] = entry
 	for _, name := range layout.Order {
 		if _, err := c.encodeModuleLocked(schema.Name, entry, name); err != nil {
+			c.dropSchemaLocked(schema.Name, entry)
 			return nil, err
 		}
 	}
 	for _, sc := range schema.Scaffolds {
 		if err := c.encodeScaffoldLocked(schema.Name, entry, sc); err != nil {
+			c.dropSchemaLocked(schema.Name, entry)
 			return nil, err
 		}
 	}
@@ -278,22 +295,33 @@ func moduleTokens(ml *pml.ModuleLayout) (toks, pos []int) {
 	return toks, pos
 }
 
-// encodeModuleLocked computes and stores one module's attention states:
-// prefill of the module's own tokens into an empty cache, which confines
-// attention to the module span (the §3.3 masking effect).
-func (c *Cache) encodeModuleLocked(schema string, e *schemaEntry, name string) (*EncodedModule, error) {
+// encodeStatesLocked runs a module's encoding prefill — the module's own
+// tokens into an empty cache, which confines attention to the module
+// span (the §3.3 masking effect) — and returns the states plus the token
+// count. Storage and stats are the caller's: the resident and transient
+// encode paths share this body so they cannot drift.
+func (c *Cache) encodeStatesLocked(schema string, e *schemaEntry, name string) (*kvcache.Cache, int, error) {
 	ml, ok := e.layout.Modules[name]
 	if !ok {
-		return nil, fmt.Errorf("core: schema %q has no module %q", schema, name)
+		return nil, 0, fmt.Errorf("core: schema %q has no module %q", schema, name)
 	}
 	toks, pos := moduleTokens(ml)
-	em := &EncodedModule{Name: name, Schema: schema, Layout: ml}
 	kv := c.m.NewCache(len(toks))
 	if len(toks) > 0 {
 		if _, err := c.m.Prefill(toks, pos, kv); err != nil {
-			return nil, fmt.Errorf("core: encoding %s/%s: %w", schema, name, err)
+			return nil, 0, fmt.Errorf("core: encoding %s/%s: %w", schema, name, err)
 		}
 	}
+	return kv, len(toks), nil
+}
+
+// encodeModuleLocked computes and stores one module's attention states.
+func (c *Cache) encodeModuleLocked(schema string, e *schemaEntry, name string) (*EncodedModule, error) {
+	kv, nToks, err := c.encodeStatesLocked(schema, e, name)
+	if err != nil {
+		return nil, err
+	}
+	em := &EncodedModule{Name: name, Schema: schema, Layout: e.layout.Modules[name]}
 	if c.compress && kv.Len() > 0 {
 		em.Quant = quant.Compress(kv)
 	} else {
@@ -306,7 +334,7 @@ func (c *Cache) encodeModuleLocked(schema string, e *schemaEntry, name string) (
 	e.modules[name] = em
 	c.policy.Touch(key, em.Bytes())
 	c.stats.ModulesEncoded++
-	c.stats.TokensEncoded += len(toks)
+	c.stats.TokensEncoded += nToks
 	return em, nil
 }
 
@@ -359,29 +387,42 @@ func (c *Cache) reserveLocked(key string, size int64) error {
 	}
 }
 
+// moduleForKeyLocked resolves a policy key back to its encoded module,
+// or nil when the key does not name a live module.
+func (c *Cache) moduleForKeyLocked(key string) *EncodedModule {
+	schema, mod, ok := splitKey(key)
+	if !ok {
+		return nil
+	}
+	e := c.schemas[schema]
+	if e == nil {
+		return nil
+	}
+	return e.modules[mod]
+}
+
 // evictOneLocked drops the policy's next victim (never the module being
-// loaded, which is not yet tracked). Returns false if nothing can be
-// evicted.
+// loaded, which is not yet tracked, and never a pinned module — its
+// states are being read by an in-flight prefill outside the lock).
+// Returns false if nothing can be evicted.
 func (c *Cache) evictOneLocked(loading string) bool {
+	excluded := func(key string) bool {
+		if key == loading {
+			return true
+		}
+		em := c.moduleForKeyLocked(key)
+		return em != nil && em.pins > 0
+	}
 	for {
-		key, ok := c.policy.Victim()
+		key, ok := c.policy.VictimExcluding(excluded)
 		if !ok {
 			return false
 		}
 		c.policy.Remove(key)
-		if key == loading {
-			continue
-		}
 		if !c.pool.Has(key) {
-			continue
+			continue // stale policy entry; clean up and retry
 		}
-		schema, mod, keyOK := splitKey(key)
-		var em *EncodedModule
-		if keyOK {
-			if e := c.schemas[schema]; e != nil {
-				em = e.modules[mod]
-			}
-		}
+		em := c.moduleForKeyLocked(key)
 		if em != nil {
 			// Prefer demotion to the host tier; drop only when the host
 			// pool is absent or full.
@@ -409,6 +450,18 @@ func splitKey(key string) (schema, mod string, ok bool) {
 	return "", "", false
 }
 
+// promoteLocked moves a demoted module back into the primary pool
+// (evicting others if needed) and releases its host reservation.
+func (c *Cache) promoteLocked(key string, em *EncodedModule) error {
+	if err := c.reserveLocked(key, em.Bytes()); err != nil {
+		return err
+	}
+	_ = c.hostPool.Free(key)
+	em.state = stateResident
+	c.stats.ModulesPromoted++
+	return nil
+}
+
 // getModuleLocked returns a module's states, re-encoding if it was
 // evicted.
 func (c *Cache) getModuleLocked(schemaName string, e *schemaEntry, name string) (*EncodedModule, error) {
@@ -422,18 +475,95 @@ func (c *Cache) getModuleLocked(schemaName string, e *schemaEntry, name string) 
 		c.stats.ModulesReloaded++
 		return c.encodeModuleLocked(schemaName, e, name)
 	case stateDemoted:
-		// Promote back into the primary pool (evicting others if needed)
-		// and release the host reservation.
-		if err := c.reserveLocked(key, em.Bytes()); err != nil {
+		if err := c.promoteLocked(key, em); err != nil {
 			return nil, err
 		}
-		_ = c.hostPool.Free(key)
-		em.state = stateResident
-		c.stats.ModulesPromoted++
 	}
 	c.policy.Touch(key, em.Bytes())
 	c.stats.ModulesReused++
 	return em, nil
+}
+
+// acquireModuleLocked is getModuleLocked for the serve planning phase:
+// it returns the module's states as a servePart safe to read outside the
+// lock. The happy path promotes or re-encodes into the primary pool and
+// pins the module, making it immune to eviction until unpinModules runs.
+// When the pool cannot hold the serve's whole working set at once — the
+// remaining eviction victims are all pinned, typically by this very
+// serve — it degrades to a read-through: demoted states are snapshotted
+// straight from the host tier and dropped ones are re-encoded
+// transiently, without claiming primary-pool residency, so a working set
+// larger than the pool still serves.
+func (c *Cache) acquireModuleLocked(schemaName string, e *schemaEntry, name string) (servePart, error) {
+	em := e.modules[name]
+	if em == nil {
+		return servePart{}, fmt.Errorf("core: schema %q has no module %q", schemaName, name)
+	}
+	key := schemaName + "/" + name
+	switch em.state {
+	case stateDropped:
+		c.stats.ModulesReloaded++
+		em2, err := c.encodeModuleLocked(schemaName, e, name)
+		if err == nil {
+			em2.pins++
+			return servePart{key: key, em: em2}, nil
+		}
+		if !errors.Is(err, ErrCapacity) {
+			return servePart{}, err
+		}
+		kv, terr := c.encodeTransientLocked(schemaName, e, name)
+		if terr != nil {
+			return servePart{}, terr
+		}
+		return servePart{key: key, kv: kv}, nil
+	case stateDemoted:
+		if err := c.promoteLocked(key, em); err != nil {
+			if !errors.Is(err, ErrCapacity) {
+				return servePart{}, err
+			}
+			// Host-tier read-through without promotion. The snapshot
+			// reference stays valid even if the module is later dropped:
+			// eviction only clears the module's fields, never the
+			// underlying states.
+			c.stats.ModulesReused++
+			return servePart{key: key, kv: em.States()}, nil
+		}
+	}
+	c.policy.Touch(key, em.Bytes())
+	c.stats.ModulesReused++
+	em.pins++
+	return servePart{key: key, em: em}, nil
+}
+
+// encodeTransientLocked re-encodes a dropped module without storing it:
+// the states go straight into the serve that needs them and no pool
+// residency is claimed. Under int8 storage the states take a
+// compress/decompress round trip so transient serves stay bit-identical
+// to resident ones.
+func (c *Cache) encodeTransientLocked(schema string, e *schemaEntry, name string) (*kvcache.Cache, error) {
+	kv, nToks, err := c.encodeStatesLocked(schema, e, name)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.ModulesEncoded++
+	c.stats.TokensEncoded += nToks
+	if c.compress && kv.Len() > 0 {
+		kv = quant.Compress(kv).Decompress()
+	}
+	return kv, nil
+}
+
+// unpinModules releases serve pins taken during planning, making the
+// modules evictable again.
+func (c *Cache) unpinModules(ems []*EncodedModule) {
+	if len(ems) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, em := range ems {
+		em.pins--
+	}
 }
 
 // Prefetch warms the named modules — promoting demoted states back into

@@ -16,6 +16,9 @@ type ServeOpts struct {
 	// DisableScaffolds skips scaffold override even when every member of
 	// a scaffold is imported (for the §3.3 masking-effect ablation).
 	DisableScaffolds bool
+	// BatchWorkers bounds the worker pool ServeBatch fans prompts out
+	// over (0 = GOMAXPROCS). Single serves ignore it.
+	BatchWorkers int
 }
 
 // ServeResult is the outcome of assembling a prompt's attention states.
@@ -53,10 +56,75 @@ func (c *Cache) Serve(ctx context.Context, promptSrc string, opts ServeOpts) (*S
 	return c.ServeParsed(ctx, prompt, opts)
 }
 
-// ServeParsed is Serve for an already-parsed prompt.
+// ServeParsed is Serve for an already-parsed prompt. It holds the cache
+// lock only for the metadata phase (validation, module lookup, pinning);
+// the attention-state assembly and the prefill run outside it, so serves
+// overlap freely.
 func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeOpts) (*ServeResult, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	plan, err := c.planServeLocked(prompt, opts, nil)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	defer c.unpinModules(plan.pinned)
+
+	// Assemble the cached prefix outside the lock: the pins guarantee
+	// every part's states stay intact until the serve completes.
+	kv := c.m.NewCache(plan.capTokens)
+	for _, part := range plan.parts {
+		appendFiltered(kv, part.states(), plan.excluded)
+	}
+	return c.finishServe(ctx, prompt, plan, kv)
+}
+
+// servePart is one stretch of precomputed attention states to splice
+// into a served prompt, in emission order.
+type servePart struct {
+	// key identifies the states for cross-prompt sharing
+	// ("schema/module" or "schema/scaffold/name").
+	key string
+	// em is a pinned resident module; its States() may be read outside
+	// the cache lock until the pin is released.
+	em *EncodedModule
+	// kv is an immutable snapshot — scaffold states, or module states
+	// read through from the host tier or a transient re-encode — used
+	// when em is nil.
+	kv *kvcache.Cache
+}
+
+// states materializes the part's attention states. Safe outside the
+// cache lock: em is pinned against eviction, kv is immutable.
+func (p servePart) states() *kvcache.Cache {
+	if p.em != nil {
+		return p.em.States()
+	}
+	return p.kv
+}
+
+// servePlan is the product of the metadata-only planning phase: every
+// decision that needed the cache lock, captured so state assembly and
+// the prefill can run without it.
+type servePlan struct {
+	layout    *pml.Layout
+	bindings  []importBinding
+	included  []string
+	scaffolds []string // scaffold overrides applied, in schema order
+	excluded  map[int]bool
+	parts     []servePart
+	pinned    []*EncodedModule // unpin after the prefill completes
+	capTokens int
+}
+
+// planServeLocked validates the prompt, selects scaffold overrides, and
+// pins every module the serve needs. Callers hold c.mu; the returned
+// plan is read entirely outside it. On error no pins are retained.
+//
+// shared, when non-nil, reports keys whose states are already
+// materialized elsewhere (a batch's block registry): those modules are
+// planned as key-only parts — no pin, no promotion, no re-encode — and
+// resolved against the registry at assembly time.
+func (c *Cache) planServeLocked(prompt *pml.Prompt, opts ServeOpts, shared func(key string) bool) (*servePlan, error) {
 	e, ok := c.schemas[prompt.SchemaName]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, prompt.SchemaName)
@@ -94,7 +162,13 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 		}
 	}
 
-	res := &ServeResult{Modules: included}
+	plan := &servePlan{
+		layout:    e.layout,
+		bindings:  bindings,
+		included:  included,
+		excluded:  excluded,
+		capTokens: e.layout.TotalLen + 64,
+	}
 
 	// Scaffold override (§3.3): if every member of a scaffold is
 	// imported, its co-encoded states replace the members' individual
@@ -121,36 +195,58 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 			for _, m := range sc.Modules {
 				covered[m] = true
 			}
-			res.Scaffolds = append(res.Scaffolds, sc.Name)
+			plan.scaffolds = append(plan.scaffolds, sc.Name)
 		}
 	}
 
-	// Assemble the cached prefix: modules in schema position order;
-	// scaffold states splice in at their first covered member.
-	kv := c.m.NewCache(e.layout.TotalLen + 64)
+	// Pin the parts: modules in schema position order; scaffold states
+	// splice in at their first covered member. Scaffold states are
+	// immutable once encoded (never evicted), so a snapshot reference
+	// is as good as a pin.
 	emittedScaffold := map[string]bool{}
 	for _, name := range included {
 		if covered[name] {
 			for _, es := range scaffolds {
 				if slices.Contains(es.Members, name) && !emittedScaffold[es.Name] {
-					appendFiltered(kv, es.KV, excluded)
+					plan.parts = append(plan.parts, servePart{
+						key: prompt.SchemaName + "/scaffold/" + es.Name,
+						kv:  es.KV,
+					})
 					emittedScaffold[es.Name] = true
 				}
 			}
 			continue
 		}
-		em, err := c.getModuleLocked(prompt.SchemaName, e, name)
+		if key := prompt.SchemaName + "/" + name; shared != nil && shared(key) {
+			plan.parts = append(plan.parts, servePart{key: key})
+			continue
+		}
+		part, err := c.acquireModuleLocked(prompt.SchemaName, e, name)
 		if err != nil {
+			for _, em := range plan.pinned {
+				em.pins--
+			}
 			return nil, err
 		}
-		appendFiltered(kv, em.States(), excluded)
+		if part.em != nil {
+			plan.pinned = append(plan.pinned, part.em)
+		}
+		plan.parts = append(plan.parts, part)
 	}
-	res.CachedTokens = kv.Len()
-	c.stats.TokensReused += kv.Len()
+	return plan, nil
+}
 
-	// Gather uncached tokens: parameter arguments at their slot
-	// positions, and new text at positions assigned per §3.4.
-	newToks, newPos, err := c.gatherNewTokens(e, prompt, bindings, included)
+// finishServe completes a planned serve outside the cache lock: gather
+// the uncached token/position streams (parameter arguments at their slot
+// positions, new text per §3.4), run the prefill, and fold the reuse
+// stats back in under a brief re-lock.
+func (c *Cache) finishServe(ctx context.Context, prompt *pml.Prompt, plan *servePlan, kv *kvcache.Cache) (*ServeResult, error) {
+	res := &ServeResult{
+		Modules:      plan.included,
+		Scaffolds:    plan.scaffolds,
+		CachedTokens: kv.Len(),
+	}
+	newToks, newPos, err := c.gatherNewTokens(plan.layout, prompt, plan.bindings, plan.included)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +258,9 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	c.stats.TokensReused += res.CachedTokens
+	c.mu.Unlock()
 	res.KV = kv
 	res.Logits = logits
 	return res, nil
@@ -248,14 +347,15 @@ func (c *Cache) includedModules(e *schemaEntry, bindings []importBinding) []stri
 // gatherNewTokens collects the uncached token/position streams in prompt
 // order: parameter arguments adopt their slot positions (§3.3); new text
 // takes positions after the preceding module, falling back past the
-// global maximum when the natural slot is occupied (§3.4).
-func (c *Cache) gatherNewTokens(e *schemaEntry, prompt *pml.Prompt, bindings []importBinding, included []string) ([]int, []int, error) {
+// global maximum when the natural slot is occupied (§3.4). It reads only
+// the immutable layout and the tokenizer, so it needs no lock.
+func (c *Cache) gatherNewTokens(layout *pml.Layout, prompt *pml.Prompt, bindings []importBinding, included []string) ([]int, []int, error) {
 	// Occupied ranges: included modules' spans.
 	type span struct{ lo, hi int }
 	var occupied []span
 	maxEnd := 0
 	for _, name := range included {
-		ml := e.layout.Modules[name]
+		ml := layout.Modules[name]
 		occupied = append(occupied, span{ml.Start, ml.Start + ml.Len})
 		if ml.Start+ml.Len > maxEnd {
 			maxEnd = ml.Start + ml.Len
@@ -282,13 +382,23 @@ func (c *Cache) gatherNewTokens(e *schemaEntry, prompt *pml.Prompt, bindings []i
 		for _, it := range items {
 			switch v := it.(type) {
 			case *pml.Import:
-				ml := e.layout.Modules[v.Name]
-				// Supplied arguments: tokens at the slot's positions.
-				for pname, value := range bind[v.Name] {
-					if _, here := v.Args[pname]; !here {
+				ml := layout.Modules[v.Name]
+				// Supplied arguments: tokens at the slot's positions,
+				// emitted in the module's segment order. (A map-order walk
+				// here once made the token stream nondeterministic for
+				// imports with two or more supplied parameters.)
+				args := bind[v.Name]
+				for _, seg := range ml.Segments {
+					if seg.Kind != pml.SegParam {
 						continue
 					}
-					seg := ml.ParamSegment(pname)
+					value, supplied := args[seg.Param]
+					if !supplied {
+						continue
+					}
+					if _, here := v.Args[seg.Param]; !here {
+						continue
+					}
 					argToks := c.tok.Encode(value)
 					for i, at := range argToks {
 						toks = append(toks, at)
@@ -373,18 +483,25 @@ func (c *Cache) BaselineServe(ctx context.Context, promptSrc string) (*ServeResu
 }
 
 // BaselineServeParsed is BaselineServe for an already-parsed prompt.
+// The baseline touches no cached states at all — it reads only the
+// immutable layout and the tokenizer — so the lock is held just long
+// enough to resolve the schema; the full prefill runs outside it.
 func (c *Cache) BaselineServeParsed(ctx context.Context, prompt *pml.Prompt) (*ServeResult, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.schemas[prompt.SchemaName]
 	if !ok {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSchema, prompt.SchemaName)
 	}
 	bindings, err := c.resolveImports(e, prompt)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	included := c.includedModules(e, bindings)
+	layout := e.layout
+	c.mu.Unlock()
+
 	bind := map[string]map[string]string{}
 	for _, b := range bindings {
 		bind[b.name] = b.args
@@ -392,7 +509,7 @@ func (c *Cache) BaselineServeParsed(ctx context.Context, prompt *pml.Prompt) (*S
 
 	var toks, pos []int
 	for _, name := range included {
-		ml := e.layout.Modules[name]
+		ml := layout.Modules[name]
 		for _, seg := range ml.Segments {
 			switch seg.Kind {
 			case pml.SegText:
@@ -416,7 +533,7 @@ func (c *Cache) BaselineServeParsed(ctx context.Context, prompt *pml.Prompt) (*S
 	}
 	// New text only: arguments were already inlined at their slots above,
 	// so gather with no bindings.
-	textToks, textPos, err := c.gatherNewTokens(e, prompt, nil, included)
+	textToks, textPos, err := c.gatherNewTokens(layout, prompt, nil, included)
 	if err != nil {
 		return nil, err
 	}

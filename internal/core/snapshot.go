@@ -94,27 +94,33 @@ func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout
 		c.dropSchemaLocked(schema.Name, old)
 	}
 	c.schemas[schema.Name] = entry
+	// A failed restore must not leave a half-populated schema behind for
+	// concurrent serves to trip over.
+	fail := func(err error) (*pml.Layout, error) {
+		c.dropSchemaLocked(schema.Name, entry)
+		return nil, err
+	}
 	for i := 0; i < int(hdr[2]); i++ {
 		name, err := readString(br)
 		if err != nil {
-			return nil, fmt.Errorf("core: snapshot module %d: %w", i, err)
+			return fail(fmt.Errorf("core: snapshot module %d: %w", i, err))
 		}
 		ml, ok := layout.Modules[name]
 		if !ok {
-			return nil, fmt.Errorf("core: snapshot module %q not in schema %q", name, schema.Name)
+			return fail(fmt.Errorf("core: snapshot module %q not in schema %q", name, schema.Name))
 		}
 		kv, err := kvcache.ReadFrom(br)
 		if err != nil {
-			return nil, fmt.Errorf("core: snapshot states for %q: %w", name, err)
+			return fail(fmt.Errorf("core: snapshot states for %q: %w", name, err))
 		}
 		toks, _ := moduleTokens(ml)
 		if kv.Len() != len(toks) {
-			return nil, fmt.Errorf("core: snapshot %q has %d tokens, layout expects %d (schema text or tokenizer changed)",
-				name, kv.Len(), len(toks))
+			return fail(fmt.Errorf("core: snapshot %q has %d tokens, layout expects %d (schema text or tokenizer changed)",
+				name, kv.Len(), len(toks)))
 		}
 		if kv.NLayers != c.m.Cfg.NLayers || kv.KVDim != c.m.Cfg.KVDim() {
-			return nil, fmt.Errorf("core: snapshot %q shaped (%d,%d), model needs (%d,%d)",
-				name, kv.NLayers, kv.KVDim, c.m.Cfg.NLayers, c.m.Cfg.KVDim())
+			return fail(fmt.Errorf("core: snapshot %q shaped (%d,%d), model needs (%d,%d)",
+				name, kv.NLayers, kv.KVDim, c.m.Cfg.NLayers, c.m.Cfg.KVDim()))
 		}
 		em := &EncodedModule{Name: name, Schema: schema.Name, Layout: ml}
 		if c.compress && kv.Len() > 0 {
@@ -124,7 +130,7 @@ func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout
 		}
 		key := schema.Name + "/" + name
 		if err := c.reserveLocked(key, em.Bytes()); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		entry.modules[name] = em
 		c.policy.Touch(key, em.Bytes())
@@ -134,7 +140,7 @@ func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout
 	// rebuild them rather than snapshotting.
 	for _, sc := range schema.Scaffolds {
 		if err := c.encodeScaffoldLocked(schema.Name, entry, sc); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	return layout, nil

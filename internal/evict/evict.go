@@ -18,11 +18,20 @@ type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Touch records an access to key (inserting it if new) with its
-	// storage size.
+	// storage size. Re-touching an existing key updates the stored size
+	// (a re-encoded module may have a different footprint) even in
+	// policies whose ranking ignores recency.
 	Touch(key string, size int64)
 	// Victim proposes the entry to evict next, without removing it.
 	// ok is false when the policy tracks nothing.
 	Victim() (key string, ok bool)
+	// VictimExcluding proposes the best victim for which excluded
+	// returns false, without removing it and without disturbing the
+	// ranking of skipped entries. Serving pins in-use modules and
+	// passes the pin check here so eviction never frees states a
+	// concurrent prefill is reading. A nil excluded behaves like
+	// Victim; ok is false when every tracked entry is excluded.
+	VictimExcluding(excluded func(key string) bool) (key string, ok bool)
 	// Remove forgets an entry (after eviction or explicit free).
 	Remove(key string)
 	// Len returns the number of tracked entries.
@@ -61,13 +70,25 @@ func (p *LRU) Touch(key string, size int64) {
 	p.idx[key] = p.ll.PushFront(&lruEntry{key: key, size: size})
 }
 
-// Victim implements Policy.
-func (p *LRU) Victim() (string, bool) {
-	back := p.ll.Back()
-	if back == nil {
-		return "", false
+// victimFromList walks a back-to-front ranked list (back = next victim)
+// and returns the first key not excluded — the shared exclusion walk of
+// the list-backed policies (LRU, FIFO).
+func victimFromList(ll *list.List, excluded func(string) bool) (string, bool) {
+	for el := ll.Back(); el != nil; el = el.Prev() {
+		key := el.Value.(*lruEntry).key
+		if excluded == nil || !excluded(key) {
+			return key, true
+		}
 	}
-	return back.Value.(*lruEntry).key, true
+	return "", false
+}
+
+// Victim implements Policy.
+func (p *LRU) Victim() (string, bool) { return p.VictimExcluding(nil) }
+
+// VictimExcluding implements Policy: least recent entry not excluded.
+func (p *LRU) VictimExcluding(excluded func(string) bool) (string, bool) {
+	return victimFromList(p.ll, excluded)
 }
 
 // Remove implements Policy.
@@ -97,21 +118,23 @@ func NewFIFO() *FIFO {
 // Name implements Policy.
 func (p *FIFO) Name() string { return "fifo" }
 
-// Touch implements Policy.
+// Touch implements Policy. Re-touching keeps the insertion order fixed
+// but still refreshes the stored size: a re-encoded module's footprint
+// may have changed, and the policy must not keep reporting a stale one.
 func (p *FIFO) Touch(key string, size int64) {
-	if _, ok := p.idx[key]; ok {
-		return // insertion order fixed
+	if el, ok := p.idx[key]; ok {
+		el.Value.(*lruEntry).size = size
+		return
 	}
 	p.idx[key] = p.ll.PushFront(&lruEntry{key: key, size: size})
 }
 
 // Victim implements Policy.
-func (p *FIFO) Victim() (string, bool) {
-	back := p.ll.Back()
-	if back == nil {
-		return "", false
-	}
-	return back.Value.(*lruEntry).key, true
+func (p *FIFO) Victim() (string, bool) { return p.VictimExcluding(nil) }
+
+// VictimExcluding implements Policy: oldest insertion not excluded.
+func (p *FIFO) VictimExcluding(excluded func(string) bool) (string, bool) {
+	return victimFromList(p.ll, excluded)
 }
 
 // Remove implements Policy.
@@ -159,9 +182,15 @@ func (p *LFU) Touch(key string, size int64) {
 }
 
 // Victim implements Policy.
-func (p *LFU) Victim() (string, bool) {
+func (p *LFU) Victim() (string, bool) { return p.VictimExcluding(nil) }
+
+// VictimExcluding implements Policy: least frequent entry not excluded.
+func (p *LFU) VictimExcluding(excluded func(string) bool) (string, bool) {
 	var best *lfuEntry
 	for _, e := range p.entries {
+		if excluded != nil && excluded(e.key) {
+			continue
+		}
 		if best == nil || e.count < best.count || (e.count == best.count && e.seq < best.seq) {
 			best = e
 		}
@@ -222,9 +251,15 @@ func (p *GDSF) Touch(key string, size int64) {
 }
 
 // Victim implements Policy.
-func (p *GDSF) Victim() (string, bool) {
+func (p *GDSF) Victim() (string, bool) { return p.VictimExcluding(nil) }
+
+// VictimExcluding implements Policy: lowest priority entry not excluded.
+func (p *GDSF) VictimExcluding(excluded func(string) bool) (string, bool) {
 	var best *gdsfEntry
 	for _, e := range p.entries {
+		if excluded != nil && excluded(e.key) {
+			continue
+		}
 		if best == nil || e.priority < best.priority ||
 			(e.priority == best.priority && e.seq < best.seq) {
 			best = e

@@ -17,6 +17,11 @@ import (
 // The Pos slice is what makes Prompt Cache possible: unlike a vanilla KV
 // cache whose positions are implicitly 0..n-1, cached prompt modules carry
 // explicit, possibly discontinuous position IDs (§3.3).
+//
+// A Cache is not synchronized: one goroutine appends at a time. Any
+// number of goroutines may read a cache concurrently once no more writes
+// occur — this is how encoded module states are spliced into many serves
+// at once; appends never mutate existing rows, only extend the buffers.
 type Cache struct {
 	NLayers int
 	KVDim   int // kvHeads * headDim

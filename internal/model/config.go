@@ -177,9 +177,19 @@ type layer struct {
 
 // Model is an immutable transformer ready for inference. It is safe for
 // concurrent use: forward passes write only into caller-owned caches and
-// scratch buffers.
+// scratch buffers, and nothing in the model mutates after New returns.
+// Distinct goroutines may Prefill/Decode/Generate simultaneously as long
+// as each works on its own *kvcache.Cache.
 type Model struct {
 	Cfg Config
+
+	// PrefillProbe, when non-nil, is called with +1 as a prefill enters
+	// the forward pass and -1 as it leaves (including error returns).
+	// It exists for concurrency instrumentation — in-flight gauges in
+	// metrics, overlap assertions in tests. Set it before serving
+	// begins and do not change it afterwards; the probe itself must be
+	// safe for concurrent calls.
+	PrefillProbe func(delta int)
 
 	embedding  *tensor.Matrix // vocab × dim; output head is tied
 	posTable   *tensor.Matrix // maxSeq × dim, Learned only

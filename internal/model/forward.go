@@ -63,6 +63,10 @@ func (m *Model) PrefillCtx(ctx context.Context, tokens, positions []int, cache *
 	if len(tokens) == 0 {
 		return nil, fmt.Errorf("model: empty prefill")
 	}
+	if m.PrefillProbe != nil {
+		m.PrefillProbe(+1)
+		defer m.PrefillProbe(-1)
+	}
 	if len(tokens) >= chunkThreshold {
 		return m.prefillChunk(ctx, tokens, positions, cache)
 	}

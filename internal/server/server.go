@@ -142,13 +142,13 @@ func (s *Server) handleRegisterSchema(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	layout, err := s.client.RegisterSchema(req.PML)
+	info, err := s.client.RegisterSchema(req.PML)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SchemaResponse{
-		Name: layout.Schema.Name, Modules: len(layout.Order), Positions: layout.TotalLen,
+		Name: info.Name, Modules: len(info.Modules), Positions: info.Positions,
 	})
 }
 

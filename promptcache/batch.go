@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"repro/internal/core"
-	"repro/internal/model"
 )
 
 // BatchRequest completes several prompts in one call with each distinct
@@ -16,9 +15,12 @@ type BatchRequest struct {
 	DisableScaffolds bool
 	// PrefillOnly skips the decode phase for the whole batch.
 	PrefillOnly bool
+	// Workers bounds the worker pool the batch's prefills fan out over
+	// (0 = GOMAXPROCS).
+	Workers int
 	// Generation settings shared by all prompts.
 	MaxTokens int
-	Sampler   model.Sampler
+	Sampler   Sampler
 	StopToken int
 }
 
@@ -30,10 +32,14 @@ type BatchResponse struct {
 }
 
 // InferBatch serves and generates a batch of prompts with module states
-// shared across the batch. Cancelling ctx aborts between (and inside)
-// per-prompt prefills and decode steps.
+// shared across the batch; prefills run concurrently over the request's
+// worker bound. Cancelling ctx aborts between (and inside) per-prompt
+// prefills and decode steps.
 func (c *Client) InferBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
-	results, stats, err := c.cache.ServeBatch(ctx, req.Prompts, core.ServeOpts{DisableScaffolds: req.DisableScaffolds})
+	results, stats, err := c.cache.ServeBatch(ctx, req.Prompts, core.ServeOpts{
+		DisableScaffolds: req.DisableScaffolds,
+		BatchWorkers:     req.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,42 @@
+package promptcache
+
+import (
+	"repro/internal/core"
+	"repro/internal/evict"
+	"repro/internal/memory"
+)
+
+// Option configures the engine behind a Client. It is an alias of the
+// engine's option type, so the constructors below compose freely with
+// advanced core options for callers inside this module, while external
+// callers never need to import internal packages.
+type Option = core.Option
+
+// WithInt8Modules stores module states quantized to int8 with per-row
+// scales: ~3.8× less storage and copy volume, at a bounded
+// reconstruction error paid on each use.
+func WithInt8Modules() Option { return core.WithInt8Modules() }
+
+// WithDeviceCapacity caps the primary (GPU-modelled) module pool at
+// capacity bytes, enabling eviction when schemas outgrow it.
+func WithDeviceCapacity(capacity int64) Option {
+	return core.WithPool(memory.NewPool(memory.Device{Name: "device", Kind: memory.HBM, Capacity: capacity}))
+}
+
+// WithHostTier enables two-tier storage (§4.1): modules evicted from the
+// primary pool demote into a host pool with their states intact and
+// promote back on reuse without re-encoding. capacity 0 models unbounded
+// host DRAM.
+func WithHostTier(capacity int64) Option {
+	return core.WithHostPool(memory.NewPool(memory.Device{Name: "host", Kind: memory.DRAM, Capacity: capacity}))
+}
+
+// WithEvictionPolicy selects the cache-replacement policy by name:
+// "lru", "fifo", "lfu" or "gdsf".
+func WithEvictionPolicy(name string) (Option, error) {
+	p, err := evict.New(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.WithEvictionPolicy(p), nil
+}

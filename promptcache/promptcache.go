@@ -14,11 +14,26 @@
 // Cancelling the context aborts work mid-flight: between prefill chunks
 // during serving and between decode steps during generation.
 //
-// The API still references internal types at its edges (model.Model and
-// core.Option in New, model.Sampler in Request, pml.Layout from
-// RegisterSchema), which is fine for this self-contained module but
-// would need re-exported wrappers before the module could be imported
-// externally; see ROADMAP.md.
+// # Concurrency
+//
+// A Client is safe for concurrent use, and serving is genuinely
+// parallel: the engine's lock guards only metadata (schema registry,
+// module residency, eviction bookkeeping). Each Infer pins the modules
+// it needs during a short planning phase, then assembles attention
+// states and runs the prefill outside the lock; pinned modules cannot
+// be evicted until their serve completes. InferBatch fans its prompts
+// out over a bounded worker pool sharing one paged block pool. Schema
+// registration and prefetch encode module states under the engine lock
+// (encoding is the deliberate one-time cost): requests already past
+// planning are unaffected, but a request that starts while a
+// registration runs waits for it to finish — keep registrations off
+// latency-critical paths. Sessions serialize their own turns; use one
+// Session per conversation.
+//
+// The option constructors (WithDeviceCapacity, WithHostTier, ...), the
+// Sampler aliases, and SchemaInfo keep the public surface free of
+// internal types; New's model argument is the one deliberate exception,
+// since constructing a model is inherently an engine-level act.
 package promptcache
 
 import (
@@ -26,7 +41,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/model"
-	"repro/internal/pml"
 )
 
 // Client is the serving handle around one model + prompt cache. It is
@@ -37,7 +51,7 @@ type Client struct {
 
 // New builds a Client around a model. Options (memory pools, eviction
 // policy, int8 storage, chat template) pass through to the engine.
-func New(m *model.Model, opts ...core.Option) *Client {
+func New(m *model.Model, opts ...Option) *Client {
 	return &Client{cache: core.NewCache(m, opts...)}
 }
 
@@ -52,12 +66,40 @@ func (c *Client) Engine() *core.Cache { return c.cache }
 // Model returns the underlying model.
 func (c *Client) Model() *model.Model { return c.cache.Model() }
 
+// SchemaInfo summarizes a registered schema without exposing the
+// internal layout type. Advanced callers needing the compiled layout can
+// reach it through Engine().Layout(name).
+type SchemaInfo struct {
+	// Name is the schema's declared name.
+	Name string
+	// Modules lists the schema's prompt modules in layout order.
+	Modules []string
+	// Scaffolds lists the schema's co-encoded scaffolds.
+	Scaffolds []string
+	// Positions is the number of position IDs the layout occupies.
+	Positions int
+}
+
 // RegisterSchema parses a PML schema, compiles its layout, and eagerly
 // encodes every prompt module and scaffold. Registration failures wrap
 // ErrBadSchema (parse/compile), ErrPromptTooLong (layout exceeds the
 // model's positions), or ErrCapacity (states do not fit the pool).
-func (c *Client) RegisterSchema(src string) (*pml.Layout, error) {
-	return c.cache.RegisterSchema(src)
+// Registering is safe while other goroutines serve: in-flight requests
+// keep the states they already pinned; later requests see the new entry.
+func (c *Client) RegisterSchema(src string) (*SchemaInfo, error) {
+	layout, err := c.cache.RegisterSchema(src)
+	if err != nil {
+		return nil, err
+	}
+	info := &SchemaInfo{
+		Name:      layout.Schema.Name,
+		Modules:   append([]string(nil), layout.Order...),
+		Positions: layout.TotalLen,
+	}
+	for _, sc := range layout.Schema.Scaffolds {
+		info.Scaffolds = append(info.Scaffolds, sc.Name)
+	}
+	return info, nil
 }
 
 // Schemas returns the names of all registered schemas, sorted.

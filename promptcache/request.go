@@ -31,7 +31,7 @@ type Request struct {
 	// MaxTokens bounds generation (default 32).
 	MaxTokens int
 	// Sampler selects next tokens (default greedy, as in the paper §5.3).
-	Sampler model.Sampler
+	Sampler Sampler
 	// StopToken ends generation when sampled (default EOS).
 	StopToken int
 	// Stream, when set, receives each generated token's text as soon as

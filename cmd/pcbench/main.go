@@ -6,20 +6,25 @@
 //	pcbench all                  # run everything
 //	pcbench fig3 table2 ...      # run specific experiments
 //	pcbench -csv fig5            # emit CSV instead of a table
+//	pcbench -json BENCH_serve.json serve
+//	                             # serve experiment + machine-readable
+//	                             # points for cross-PR perf tracking
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.String("json", "", "write the serve experiment's measured points to this file (e.g. BENCH_serve.json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pcbench [-csv] <experiment>... | all | list\n")
+		fmt.Fprintf(os.Stderr, "usage: pcbench [-csv] [-json file] <experiment>... | all | list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,9 +48,32 @@ func main() {
 			args = append(args, e[0])
 		}
 	}
+	// -json is serve-experiment data; refuse to no-op silently when the
+	// arg list would never produce it.
+	if *jsonOut != "" && !slices.Contains(args, "serve") {
+		fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve experiment (got %v)\n", args)
+		os.Exit(2)
+	}
 	failed := false
 	for _, id := range args {
-		rep, err := bench.Run(id)
+		var rep *bench.Report
+		var err error
+		if id == "serve" && *jsonOut != "" {
+			// Measure once, emit both the table and the JSON trajectory.
+			var points []bench.ServePoint
+			rep, points, err = bench.ServeCachedPrefixRun()
+			if err == nil {
+				var data []byte
+				if data, err = bench.ServePointsJSON(points); err == nil {
+					err = os.WriteFile(*jsonOut, data, 0o644)
+				}
+			}
+			if err != nil {
+				rep = nil
+			}
+		} else {
+			rep, err = bench.Run(id)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
 			failed = true

@@ -7,17 +7,41 @@
 // batching, streaming, and a typed error taxonomy. Everything else is
 // internal machinery behind it.
 //
+// # Zero-copy serving
+//
+// Cached serves never copy module K/V rows. A serve stitches a
+// kvcache.Seq — immutable segment views into the pinned modules' own
+// buffers (excluded parameter slots become segment splits) plus a
+// private tail for the request's prefill and decode tokens — and the
+// model's attention loops walk those segments in place. Per-request
+// cached-prefix assembly is O(#segments) stitching instead of an
+// O(prefix × layers × width) memcpy: what remains is the suffix's own
+// attention over the cached rows (linear in prefix, tiny constant, vs
+// the baseline's quadratic full prefill), and allocations per cached
+// serve are suffix-sized, independent of prefix length
+// (BenchmarkServeCachedPrefix asserts both; `pcbench -json
+// BENCH_serve.json serve` tracks the trajectory).
+//
+// Views change pin lifetimes: a module stays pinned — immune to
+// eviction — until every result viewing it closes. Infer closes its
+// result after generation; a Session holds its pins until Close;
+// Materialize converts a result or session to owned flat storage and
+// releases the pins early (do this before snapshotting a result or
+// parking a session long-term under memory pressure).
+//
 // # Concurrency
 //
 // Serving is parallel: the engine lock guards only metadata (schema
 // registry, module residency, eviction, stats), while prefills,
-// state assembly and decoding run outside it. A serve pins the encoded
-// modules it reads, making them immune to eviction until it completes;
-// batch requests fan out over a bounded worker pool sharing one paged
-// block pool. Schema registration and prefetch encode under the lock —
-// the deliberate one-time cost — so serves that start mid-registration
-// wait for it, while serves already prefilling are unaffected. See the
-// "Concurrency" section of README.md for the full contract.
+// view stitching and decoding run outside it. A serve pins the encoded
+// modules it reads, making them immune to eviction while their states
+// are viewed; batch requests fan out over a bounded worker pool sharing
+// one paged block pool, and their results view the pool's blocks rather
+// than module memory. Schema registration and prefetch encode under the
+// lock — the deliberate one-time cost — so serves that start
+// mid-registration wait for it, while serves already prefilling are
+// unaffected. See the "Concurrency" section of README.md for the full
+// contract.
 //
 // The library implements the paper's full stack: a transformer inference
 // engine with explicit position IDs (internal/model, internal/tensor,

@@ -27,10 +27,10 @@ func TestBaselineUnsuppliedParamMatchesEncoding(t *testing.T) {
 	}
 	// Same position multiset.
 	count := map[int]int{}
-	for _, p := range base.KV.Pos {
+	for _, p := range base.KV.Positions() {
 		count[p]++
 	}
-	for _, p := range cached.KV.Pos {
+	for _, p := range cached.KV.Positions() {
 		count[p]--
 	}
 	for pos, n := range count {

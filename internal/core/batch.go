@@ -197,11 +197,18 @@ func (c *Cache) ServeBatch(ctx context.Context, prompts []string, opts ServeOpts
 	return results, stats, nil
 }
 
-// serveShared is ServeParsed with module states materialized through the
-// batch's shared paged pool: plan and pin under the cache lock, publish
-// or retain blocks under the registry's own lock, prefill under no lock
-// at all. Parameter-supplied slots still require per-prompt filtering,
-// so sharing happens at block granularity and exclusion during gather.
+// serveShared is ServeParsed with module states shared through the
+// batch's paged pool: plan and pin under the cache lock, publish or
+// retain blocks under the registry's own lock, prefill under no lock at
+// all. Each prompt's KV is a segmented view over the pool's block
+// payloads — the per-module copy happens once at publish time and every
+// prompt after that stitches views, so per-request cost stays O(1) in
+// prefix length. Parameter-supplied slots still require per-prompt
+// filtering, so exclusion happens as view splits over each block.
+//
+// Module pins release when this serve returns, not at result close: the
+// result's views point into pool payloads (kept alive by the views
+// themselves), never into module buffers.
 func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeOpts, reg *blockRegistry) (*ServeResult, error) {
 	c.mu.Lock()
 	plan, err := c.planServeLocked(prompt, opts, reg.has)
@@ -211,7 +218,7 @@ func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	}
 	defer c.unpinModules(plan.pinned)
 
-	kv := c.m.NewCache(plan.capTokens)
+	seq := c.m.NewSeq(plan.tailCap)
 	for _, part := range plan.parts {
 		ids, err := reg.acquire(part)
 		if err != nil {
@@ -220,13 +227,15 @@ func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeO
 		if len(ids) == 0 {
 			continue
 		}
-		gathered, err := reg.pool.Gather(ids)
+		payloads, err := reg.pool.Payloads(ids)
 		if err != nil {
 			return nil, err
 		}
-		appendFiltered(kv, gathered, plan.excluded)
+		for _, pay := range payloads {
+			addViews(seq, pay, plan.excluded)
+		}
 	}
-	return c.finishServe(ctx, prompt, plan, kv)
+	return c.finishServe(ctx, prompt, plan, seq)
 }
 
 // GenerateBatch continues every result greedily, returning the generated

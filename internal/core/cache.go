@@ -36,10 +36,11 @@ type EncodedModule struct {
 	// Layout is the module's compiled layout entry.
 	Layout *pml.ModuleLayout
 	state  moduleState
-	// pins counts serves currently reading this module's states outside
-	// the cache lock. Guarded by Cache.mu; evictOneLocked never selects
-	// a pinned module as a victim, so KV/Quant stay intact for the
-	// duration of every prefill that snapshotted them.
+	// pins counts open serves whose KV views read this module's states
+	// outside the cache lock. Guarded by Cache.mu; evictOneLocked never
+	// selects a pinned module as a victim, so the viewed buffers stay
+	// intact from planning until every ServeResult holding a view is
+	// closed (or materialized).
 	pins int
 }
 
@@ -112,9 +113,10 @@ type Stats struct {
 // It is safe for concurrent use, and serving is genuinely parallel: mu
 // guards only metadata (schema registry, module residency, eviction
 // policy, stats). A serve holds it just long enough to validate the
-// prompt and pin the modules it needs, then assembles attention states
-// and runs the prefill outside the lock; pinned modules are immune to
-// eviction until the serve completes. Encoding always happens under the
+// prompt and pin the modules it needs, then stitches zero-copy views
+// over their states and runs the prefill outside the lock; pinned
+// modules are immune to eviction until the serve's result closes (views
+// read module memory in place). Encoding always happens under the
 // lock — it is the deliberate one-time cost (§3.3) — whether triggered
 // by RegisterSchema/Prefetch or by a serve restoring a dropped module,
 // so a planning phase can stall behind an in-progress encode; serves

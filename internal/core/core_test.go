@@ -319,7 +319,7 @@ func TestParameterSubstitution(t *testing.T) {
 	argLen := len(c.Tokenizer().Encode("five days"))
 	// Count rows at slot positions.
 	slotRows := 0
-	for _, p := range res.KV.Pos {
+	for _, p := range res.KV.Positions() {
 		for _, sp := range seg.Pos {
 			if p == sp {
 				slotRows++
@@ -342,7 +342,7 @@ func TestUnsuppliedParamKeepsBuffer(t *testing.T) {
 	}
 	seg := ly.Modules["trip-plan"].ParamSegment("duration")
 	slotRows := 0
-	for _, p := range res.KV.Pos {
+	for _, p := range res.KV.Positions() {
 		for _, sp := range seg.Pos {
 			if p == sp {
 				slotRows++
@@ -375,7 +375,7 @@ func TestNewTextPositions(t *testing.T) {
 	a := ly.Modules["a"]
 	wantStart := a.Start + a.Len
 	// The last NewTokens rows are the fresh text.
-	firstNew := res.KV.Pos[res.KV.Len()-res.NewTokens]
+	firstNew := res.KV.Positions()[res.KV.Len()-res.NewTokens]
 	if firstNew != wantStart {
 		t.Fatalf("new text starts at %d, want %d", firstNew, wantStart)
 	}
@@ -387,7 +387,7 @@ func TestNewTextPositions(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := ly.Modules["b"]
-	firstNew2 := res2.KV.Pos[res2.KV.Len()-res2.NewTokens]
+	firstNew2 := res2.KV.Positions()[res2.KV.Len()-res2.NewTokens]
 	if firstNew2 < b.Start+b.Len {
 		t.Fatalf("text at %d overlaps included module b [%d,%d)", firstNew2, b.Start, b.Start+b.Len)
 	}

@@ -59,14 +59,14 @@ func TestServeDeterministicMultiParam(t *testing.T) {
 
 		if i == 0 {
 			wantToks, wantPos = toks, pos
-			wantKVPos = append([]int(nil), res.KV.Pos...)
+			wantKVPos = append([]int(nil), res.KV.Positions()...)
 			wantLogits = res.Logits
 			continue
 		}
 		if !slices.Equal(toks, wantToks) || !slices.Equal(pos, wantPos) {
 			t.Fatalf("run %d: new-token stream diverged\n toks %v vs %v\n pos %v vs %v", i, toks, wantToks, pos, wantPos)
 		}
-		if !slices.Equal(res.KV.Pos, wantKVPos) {
+		if !slices.Equal(res.KV.Positions(), wantKVPos) {
 			t.Fatalf("run %d: KV position stream diverged", i)
 		}
 		if len(res.Logits) != len(wantLogits) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/kvcache"
 	"repro/internal/model"
@@ -23,8 +24,11 @@ type ServeOpts struct {
 
 // ServeResult is the outcome of assembling a prompt's attention states.
 type ServeResult struct {
-	// KV is the prompt's full attention-state cache, ready for decoding.
-	KV *kvcache.Cache
+	// KV is the prompt's attention-state sequence, ready for decoding.
+	// Cached serves hold a *kvcache.Seq — zero-copy segment views into
+	// the pinned modules' buffers plus a private tail for the serve's own
+	// tokens; baseline serves hold a flat *kvcache.Cache.
+	KV kvcache.KV
 	// Logits are the final-token logits (feed to Generate).
 	Logits []float32
 	// CachedTokens counts tokens whose states were reused from the cache;
@@ -35,6 +39,50 @@ type ServeResult struct {
 	// position order; Scaffolds lists scaffold overrides applied.
 	Modules   []string
 	Scaffolds []string
+
+	// pins, when non-nil, holds the modules this result's KV views point
+	// into, pinned against eviction until Close (or Materialize).
+	pins *pinSet
+}
+
+// pinSet ties a serve's module pins to the lifetime of the results
+// reading them. Continue shares it between the old and new result, so
+// releasing is idempotent and closing either releases exactly once.
+type pinSet struct {
+	cache *Cache
+	pins  []*EncodedModule
+	once  sync.Once
+}
+
+func (p *pinSet) release() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { p.cache.unpinModules(p.pins) })
+}
+
+// Close releases the module pins backing this result's KV views, making
+// the modules evictable again. Call it when done decoding from the
+// result; a Session does so when it closes. Closing is idempotent, safe
+// on results without pins (baselines, batch members), and must not race
+// with reads of the result's KV.
+func (r *ServeResult) Close() {
+	if r != nil {
+		r.pins.release()
+	}
+}
+
+// Materialize replaces the result's segmented view with a flat, owned
+// copy of the full sequence and releases the module pins. It is the
+// escape hatch from view lifetime rules — use it before snapshotting a
+// result or parking a session for so long that pinning its modules
+// against eviction would be rude. Costs the O(prefix) copy that ordinary
+// serves no longer pay.
+func (r *ServeResult) Materialize() {
+	if seq, ok := r.KV.(*kvcache.Seq); ok {
+		r.KV = seq.Materialize()
+	}
+	r.pins.release()
 }
 
 // importBinding is one resolved module import with validated arguments.
@@ -44,10 +92,15 @@ type importBinding struct {
 }
 
 // Serve performs cached inference for a PML prompt (§3.4): it validates
-// the prompt against its schema, retrieves cached module states,
-// concatenates them, computes attention states only for uncached tokens
-// (parameter arguments and new text), and returns a cache + logits ready
+// the prompt against its schema, stitches zero-copy views over the
+// cached module states, computes attention states only for uncached
+// tokens (parameter arguments and new text), and returns a result ready
 // for token generation. Cancelling ctx aborts the prefill mid-flight.
+//
+// The result views pinned module memory: callers must Close (or
+// Materialize) it when done decoding, or the viewed modules stay
+// unevictable for the life of the cache. The promptcache layer does
+// this automatically.
 func (c *Cache) Serve(ctx context.Context, promptSrc string, opts ServeOpts) (*ServeResult, error) {
 	prompt, err := pml.ParsePrompt(promptSrc)
 	if err != nil {
@@ -58,8 +111,14 @@ func (c *Cache) Serve(ctx context.Context, promptSrc string, opts ServeOpts) (*S
 
 // ServeParsed is Serve for an already-parsed prompt. It holds the cache
 // lock only for the metadata phase (validation, module lookup, pinning);
-// the attention-state assembly and the prefill run outside it, so serves
-// overlap freely.
+// the view stitching and the prefill run outside it, so serves overlap
+// freely.
+//
+// The cached prefix is never copied: the result's KV is a segmented view
+// into the pinned modules' buffers, and the pins stay held until the
+// result is Closed (a Session closes its result when it closes; Infer
+// closes after generation). Materialize converts to an owned copy when a
+// result must outlive its pins.
 func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeOpts) (*ServeResult, error) {
 	c.mu.Lock()
 	plan, err := c.planServeLocked(prompt, opts, nil)
@@ -67,15 +126,22 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	if err != nil {
 		return nil, err
 	}
-	defer c.unpinModules(plan.pinned)
+	ps := &pinSet{cache: c, pins: plan.pinned}
 
-	// Assemble the cached prefix outside the lock: the pins guarantee
-	// every part's states stay intact until the serve completes.
-	kv := c.m.NewCache(plan.capTokens)
+	// Stitch the cached prefix outside the lock: O(#segments) slice
+	// headers, not O(prefix) rows. The pins guarantee every part's
+	// states stay intact while the views are readable.
+	seq := c.m.NewSeq(plan.tailCap)
 	for _, part := range plan.parts {
-		appendFiltered(kv, part.states(), plan.excluded)
+		addViews(seq, part.states(), plan.excluded)
 	}
-	return c.finishServe(ctx, prompt, plan, kv)
+	res, err := c.finishServe(ctx, prompt, plan, seq)
+	if err != nil {
+		ps.release()
+		return nil, err
+	}
+	res.pins = ps
+	return res, nil
 }
 
 // servePart is one stretch of precomputed attention states to splice
@@ -112,8 +178,8 @@ type servePlan struct {
 	scaffolds []string // scaffold overrides applied, in schema order
 	excluded  map[int]bool
 	parts     []servePart
-	pinned    []*EncodedModule // unpin after the prefill completes
-	capTokens int
+	pinned    []*EncodedModule // unpin when the serve's result closes
+	tailCap   int              // tail reservation for the serve's own tokens
 }
 
 // planServeLocked validates the prompt, selects scaffold overrides, and
@@ -163,11 +229,15 @@ func (c *Cache) planServeLocked(prompt *pml.Prompt, opts ServeOpts, shared func(
 	}
 
 	plan := &servePlan{
-		layout:    e.layout,
-		bindings:  bindings,
-		included:  included,
-		excluded:  excluded,
-		capTokens: e.layout.TotalLen + 64,
+		layout:   e.layout,
+		bindings: bindings,
+		included: included,
+		excluded: excluded,
+		// The tail holds only serve-time tokens (arguments, new text,
+		// decoded reply) — the cached prefix lives in views. Argument
+		// slots bound the argument volume; 64 covers typical new text
+		// and the tail doubles beyond it.
+		tailCap: 64 + len(excluded),
 	}
 
 	// Scaffold override (§3.3): if every member of a scaffold is
@@ -238,9 +308,9 @@ func (c *Cache) planServeLocked(prompt *pml.Prompt, opts ServeOpts, shared func(
 
 // finishServe completes a planned serve outside the cache lock: gather
 // the uncached token/position streams (parameter arguments at their slot
-// positions, new text per §3.4), run the prefill, and fold the reuse
-// stats back in under a brief re-lock.
-func (c *Cache) finishServe(ctx context.Context, prompt *pml.Prompt, plan *servePlan, kv *kvcache.Cache) (*ServeResult, error) {
+// positions, new text per §3.4), run the prefill into the view's tail,
+// and fold the reuse stats back in under a brief re-lock.
+func (c *Cache) finishServe(ctx context.Context, prompt *pml.Prompt, plan *servePlan, kv kvcache.KV) (*ServeResult, error) {
 	res := &ServeResult{
 		Modules:      plan.included,
 		Scaffolds:    plan.scaffolds,
@@ -442,8 +512,37 @@ func (c *Cache) gatherNewTokens(layout *pml.Layout, prompt *pml.Prompt, bindings
 	return toks, pos, nil
 }
 
+// addViews appends src's rows to seq as zero-copy segment views,
+// splitting around excluded positions (supplied parameter buffers): an
+// excluded row costs a segment boundary, not a row-by-row copy of
+// everything around it.
+func addViews(seq *kvcache.Seq, src *kvcache.Cache, excluded map[int]bool) {
+	if len(excluded) == 0 {
+		seq.AddView(src, 0, src.Len())
+		return
+	}
+	lo := -1
+	for i, p := range src.Pos {
+		if excluded[p] {
+			if lo >= 0 {
+				seq.AddView(src, lo, i)
+				lo = -1
+			}
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+	}
+	if lo >= 0 {
+		seq.AddView(src, lo, src.Len())
+	}
+}
+
 // appendFiltered appends src's rows to dst, skipping rows whose position
-// is excluded (supplied parameter buffers).
+// is excluded (supplied parameter buffers) — the materializing
+// counterpart of addViews, kept for snapshot/test paths that need owned
+// storage.
 func appendFiltered(dst, src *kvcache.Cache, excluded map[int]bool) {
 	if len(excluded) == 0 {
 		dst.AppendCache(src)
@@ -592,7 +691,9 @@ func (c *Cache) Continue(ctx context.Context, res *ServeResult, userText string)
 		return nil, err
 	}
 	// Per-turn reuse accounting: everything already in the session's KV
-	// cache was reused; only this turn's text was computed.
+	// cache was reused; only this turn's text was computed. The pin set
+	// is shared, not duplicated: the old and new result wrap the same
+	// views, and closing either releases exactly once.
 	return &ServeResult{
 		KV:           res.KV,
 		Logits:       logits,
@@ -600,6 +701,7 @@ func (c *Cache) Continue(ctx context.Context, res *ServeResult, userText string)
 		NewTokens:    len(toks),
 		Modules:      res.Modules,
 		Scaffolds:    res.Scaffolds,
+		pins:         res.pins,
 	}, nil
 }
 

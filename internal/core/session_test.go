@@ -44,7 +44,7 @@ func TestContinueMultiTurn(t *testing.T) {
 	_ = gen2
 	// Positions stay strictly increasing across turns.
 	last := -1
-	for _, p := range res2.KV.Pos {
+	for _, p := range res2.KV.Positions() {
 		if p < last {
 			// Module layout positions are sorted by assembly; generated
 			// and continued tokens must extend past the maximum.

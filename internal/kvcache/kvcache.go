@@ -1,9 +1,13 @@
 // Package kvcache implements the key/value attention-state containers the
 // engine and Prompt Cache share: a growable per-layer KV cache that tracks
-// the position ID of every cached token, a buffered concatenation operator
-// (the paper overrides PyTorch's concat for the same reason, §4.2), and a
-// paged block pool with reference counting for sharing module states
-// across concurrent requests in a batch (§3.4).
+// the position ID of every cached token, a segmented zero-copy view (Seq)
+// that splices cached module states into a serve without copying a row —
+// one step past the paper's buffered concatenation (§4.2), whose
+// materializing operators (AppendCache/Concat) remain for snapshots and
+// owned storage — and a paged block pool with reference counting for
+// sharing module states across concurrent requests in a batch (§3.4).
+// The KV interface is the read/append surface the model works against;
+// both *Cache and *Seq satisfy it.
 package kvcache
 
 import (

@@ -142,6 +142,24 @@ func (p *PagedPool) Gather(ids []BlockID) (*Cache, error) {
 	return Concat(parts...), nil
 }
 
+// Payloads returns the blocks' backing caches, in order, without
+// copying. The payloads are immutable once stored, so callers may build
+// segment views over them; the views keep the payload memory alive even
+// if the blocks are later released.
+func (p *PagedPool) Payloads(ids []BlockID) ([]*Cache, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Cache, len(ids))
+	for i, id := range ids {
+		pay, ok := p.payload[id]
+		if !ok {
+			return nil, fmt.Errorf("kvcache: Payloads of dead block %d", id)
+		}
+		out[i] = pay
+	}
+	return out, nil
+}
+
 // LiveBlocks returns the number of live (refcount > 0) blocks.
 func (p *PagedPool) LiveBlocks() int {
 	p.mu.Lock()

@@ -15,6 +15,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/rng"
 	"repro/internal/tensor"
@@ -177,11 +178,17 @@ type layer struct {
 
 // Model is an immutable transformer ready for inference. It is safe for
 // concurrent use: forward passes write only into caller-owned caches and
-// scratch buffers, and nothing in the model mutates after New returns.
+// pooled scratch buffers, and no weight mutates after New returns.
 // Distinct goroutines may Prefill/Decode/Generate simultaneously as long
-// as each works on its own *kvcache.Cache.
+// as each works on its own kvcache.KV — a flat *kvcache.Cache or a
+// segmented *kvcache.Seq view; read-only view segments may be shared
+// across goroutines freely.
 type Model struct {
 	Cfg Config
+
+	// scratchPool recycles per-forward-pass temporaries across requests,
+	// so steady-state prefill/decode allocates no scratch.
+	scratchPool sync.Pool
 
 	// PrefillProbe, when non-nil, is called with +1 as a prefill enters
 	// the forward pass and -1 as it leaves (including error returns).

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/kvcache"
 	"repro/internal/tensor"
@@ -19,6 +21,12 @@ func (m *Model) NewCache(capTokens int) *kvcache.Cache {
 	return kvcache.New(m.Cfg.NLayers, m.Cfg.KVDim(), capTokens)
 }
 
+// NewSeq returns an empty segmented KV view shaped for this model,
+// reserving tail capacity for tailCap tokens.
+func (m *Model) NewSeq(tailCap int) *kvcache.Seq {
+	return kvcache.NewSeq(m.Cfg.NLayers, m.Cfg.KVDim(), tailCap)
+}
+
 // scratch holds per-forward-pass temporaries so the token loop does not
 // allocate. One scratch per goroutine; Model itself stays read-only.
 type scratch struct {
@@ -26,6 +34,11 @@ type scratch struct {
 	q, k, v             []float32
 	ffn1, ffn3          []float32
 	scores              []float32
+	segs                []kvcache.Segment
+	// lgH/lgOut back logitsInto during decode loops, so repeated decode
+	// steps reuse one vocab-wide buffer instead of allocating per token.
+	// Lazily sized: prefills compute logits once and never need them.
+	lgH, lgOut []float32
 }
 
 func (m *Model) newScratch() *scratch {
@@ -38,17 +51,37 @@ func (m *Model) newScratch() *scratch {
 	}
 }
 
+// getScratch takes a scratch from the model's pool (grown buffers —
+// scores, segment lists, logits — carry over), falling back to a fresh
+// one. Steady-state serving allocates no per-request scratch at all.
+func (m *Model) getScratch() *scratch {
+	if v := m.scratchPool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return m.newScratch()
+}
+
+func (m *Model) putScratch(sc *scratch) {
+	// Segments alias module K/V buffers; a pooled stale reference would
+	// keep an evicted module's multi-MB backing arrays reachable. Clear
+	// the full capacity — AppendSegments reuses slots without zeroing.
+	clear(sc.segs[:cap(sc.segs)])
+	sc.segs = sc.segs[:0]
+	m.scratchPool.Put(sc)
+}
+
 // Prefill runs the forward pass over tokens with the given explicit
-// position IDs, appending each token's key/value states to cache and
+// position IDs, appending each token's key/value states to kv and
 // returning the logits of the final token. Attention for token i spans
-// everything already in cache plus tokens 0..i of this call — exactly the
+// everything already in kv plus tokens 0..i of this call — exactly the
 // KV-cache contract (§2.2), generalized to arbitrary position IDs (§3.3).
 //
 // Encoding a prompt module is Prefill into an empty cache (confining
 // attention to the module span); serving a prompt is Prefill of the
-// uncached suffix into the concatenated module states (§3.4).
-func (m *Model) Prefill(tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
-	return m.PrefillCtx(context.Background(), tokens, positions, cache)
+// uncached suffix into a segmented view over the cached module states
+// (§3.4), which never copies the cached rows.
+func (m *Model) Prefill(tokens, positions []int, kv kvcache.KV) ([]float32, error) {
+	return m.PrefillCtx(context.Background(), tokens, positions, kv)
 }
 
 // PrefillCtx is Prefill with cancellation: ctx is checked between tokens
@@ -56,7 +89,7 @@ func (m *Model) Prefill(tokens, positions []int, cache *kvcache.Cache) ([]float3
 // long prefill aborts mid-flight instead of running to completion. On
 // cancellation the cache may hold a partial prefix; callers either
 // discard it or Truncate back to the pre-call length.
-func (m *Model) PrefillCtx(ctx context.Context, tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+func (m *Model) PrefillCtx(ctx context.Context, tokens, positions []int, kv kvcache.KV) ([]float32, error) {
 	if len(tokens) != len(positions) {
 		return nil, fmt.Errorf("model: %d tokens but %d positions", len(tokens), len(positions))
 	}
@@ -68,21 +101,22 @@ func (m *Model) PrefillCtx(ctx context.Context, tokens, positions []int, cache *
 		defer m.PrefillProbe(-1)
 	}
 	if len(tokens) >= chunkThreshold {
-		return m.prefillChunk(ctx, tokens, positions, cache)
+		return m.prefillChunk(ctx, tokens, positions, kv)
 	}
-	return m.prefillSequential(ctx, tokens, positions, cache)
+	return m.prefillSequential(ctx, tokens, positions, kv)
 }
 
 // prefillSequential is the reference per-token path; prefillChunk must
 // agree with it (tested bit-close).
-func (m *Model) prefillSequential(ctx context.Context, tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
-	sc := m.newScratch()
+func (m *Model) prefillSequential(ctx context.Context, tokens, positions []int, kv kvcache.KV) ([]float32, error) {
+	sc := m.getScratch()
+	defer m.putScratch(sc)
 	var logits []float32
 	for i, tok := range tokens {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := m.step(tok, positions[i], cache, sc); err != nil {
+		if err := m.step(tok, positions[i], kv, sc); err != nil {
 			return nil, err
 		}
 		if i == len(tokens)-1 {
@@ -93,19 +127,36 @@ func (m *Model) prefillSequential(ctx context.Context, tokens, positions []int, 
 }
 
 // Decode runs one autoregressive step: it appends token at position pos to
-// the cache and returns the next-token logits.
-func (m *Model) Decode(token, pos int, cache *kvcache.Cache) ([]float32, error) {
-	sc := m.newScratch()
-	if err := m.step(token, pos, cache, sc); err != nil {
+// kv and returns the next-token logits. The returned slice is freshly
+// allocated; decode loops that can reuse buffers go through decodeStep.
+func (m *Model) Decode(token, pos int, kv kvcache.KV) ([]float32, error) {
+	sc := m.getScratch()
+	defer m.putScratch(sc)
+	if err := m.step(token, pos, kv, sc); err != nil {
 		return nil, err
 	}
 	return m.logits(sc.x), nil
 }
 
+// decodeStep is Decode with caller-owned scratch: generation loops hold
+// one scratch for the whole reply, so per-token cost allocates nothing.
+// The returned logits alias sc.lgOut and are valid until the next call.
+func (m *Model) decodeStep(sc *scratch, token, pos int, kv kvcache.KV) ([]float32, error) {
+	if err := m.step(token, pos, kv, sc); err != nil {
+		return nil, err
+	}
+	if sc.lgOut == nil {
+		sc.lgH = make([]float32, m.Cfg.Dim)
+		sc.lgOut = make([]float32, m.Cfg.VocabSize)
+	}
+	m.logitsInto(sc.lgOut, sc.lgH, sc.x)
+	return sc.lgOut, nil
+}
+
 // step processes a single token through every layer, appending its KV
-// states to cache. After step returns, sc.x holds the final hidden state
+// states to kv. After step returns, sc.x holds the final hidden state
 // (pre final-norm; logits() applies it).
-func (m *Model) step(token, pos int, cache *kvcache.Cache, sc *scratch) error {
+func (m *Model) step(token, pos int, kv kvcache.KV, sc *scratch) error {
 	cfg := &m.Cfg
 	if token < 0 || token >= cfg.VocabSize {
 		return fmt.Errorf("model: token %d out of vocab %d", token, cfg.VocabSize)
@@ -121,8 +172,8 @@ func (m *Model) step(token, pos int, cache *kvcache.Cache, sc *scratch) error {
 	// The token's position is recorded before the layer loop; each layer
 	// appends its K/V rows, so after layer l the cache's layer-l buffers
 	// have exactly len(Pos) rows.
-	cache.AppendPos(pos)
-	n := cache.Len() // rows to attend over at each layer, including self
+	kv.AppendPos(pos)
+	n := kv.Len() // rows to attend over at each layer, including self
 
 	for l := range m.layers {
 		ly := &m.layers[l]
@@ -135,9 +186,9 @@ func (m *Model) step(token, pos int, cache *kvcache.Cache, sc *scratch) error {
 			m.applyRope(sc.q, cfg.NHeads, pos)
 			m.applyRope(sc.k, cfg.NKVHeads, pos)
 		}
-		cache.AppendToken(l, sc.k, sc.v)
+		kv.AppendToken(l, sc.k, sc.v)
 
-		m.attend(sc, cache, l, n)
+		m.attend(sc, kv, l, n, pos)
 
 		matVecT(sc.proj, ly.wo, sc.attnOut)
 		if cfg.ParallelAttn {
@@ -154,52 +205,67 @@ func (m *Model) step(token, pos int, cache *kvcache.Cache, sc *scratch) error {
 }
 
 // attend computes multi-head attention for the newest cache row (index
-// n-1) over rows [0, n) of layer l, writing the merged heads to sc.attnOut.
-func (m *Model) attend(sc *scratch, cache *kvcache.Cache, l, n int) {
+// n-1, at position qPos) over rows [0, n) of layer l, writing the merged
+// heads to sc.attnOut. It walks the view's contiguous segments rather
+// than fetching rows one at a time through the KV interface, so a
+// segmented Seq attends as fast as a flat cache.
+func (m *Model) attend(sc *scratch, kv kvcache.KV, l, n, qPos int) {
 	cfg := &m.Cfg
 	hd := cfg.HeadDim()
+	width := cfg.KVDim()
 	group := cfg.NHeads / cfg.NKVHeads
 	invSqrt := float32(1 / math.Sqrt(float64(hd)))
 	if cap(sc.scores) < n {
-		sc.scores = make([]float32, n)
+		// Headroom: decode grows n by one per step; sizing exactly would
+		// reallocate the score buffer every token of every reply.
+		sc.scores = make([]float32, n+256)
 	}
 	scores := sc.scores[:n]
-	qPos := cache.Pos[n-1]
+	sc.segs = kv.AppendSegments(sc.segs[:0], l, n)
 
 	for h := 0; h < cfg.NHeads; h++ {
 		kvh := h / group
+		base := kvh * hd
 		qh := sc.q[h*hd : (h+1)*hd]
-		for j := 0; j < n; j++ {
-			krow := cache.KeyRow(l, j)
-			s := tensor.Dot(qh, krow[kvh*hd:(kvh+1)*hd]) * invSqrt
-			if cfg.PosEnc == ALiBi {
-				// Bias from explicit position IDs (§4.2): the classic
-				// -slope·distance, where distance uses the recorded
-				// positions, not array indices, so module gaps behave
-				// like the paper's "white space".
-				dist := qPos - cache.Pos[j]
-				if dist < 0 {
-					dist = 0
+		off := 0
+		for _, seg := range sc.segs {
+			for j, p := range seg.Pos {
+				row := j * width
+				s := tensor.Dot(qh, seg.K[row+base:row+base+hd]) * invSqrt
+				if cfg.PosEnc == ALiBi {
+					// Bias from explicit position IDs (§4.2): the classic
+					// -slope·distance, where distance uses the recorded
+					// positions, not array indices, so module gaps behave
+					// like the paper's "white space".
+					dist := qPos - p
+					if dist < 0 {
+						dist = 0
+					}
+					s -= m.alibiSlope[h] * float32(dist)
 				}
-				s -= m.alibiSlope[h] * float32(dist)
+				scores[off+j] = s
 			}
-			scores[j] = s
+			off += len(seg.Pos)
 		}
 		tensor.Softmax(scores)
 		out := sc.attnOut[h*hd : (h+1)*hd]
 		for i := range out {
 			out[i] = 0
 		}
-		for j := 0; j < n; j++ {
-			w := scores[j]
-			if w == 0 {
-				continue
+		off = 0
+		for _, seg := range sc.segs {
+			for j := range seg.Pos {
+				w := scores[off+j]
+				if w == 0 {
+					continue
+				}
+				row := j * width
+				vh := seg.V[row+base : row+base+hd]
+				for i := range out {
+					out[i] += w * vh[i]
+				}
 			}
-			vrow := cache.ValueRow(l, j)
-			vh := vrow[kvh*hd : (kvh+1)*hd]
-			for i := range out {
-				out[i] += w * vh[i]
-			}
+			off += len(seg.Pos)
 		}
 	}
 }
@@ -247,15 +313,62 @@ func (m *Model) norm(dst, x, w, b []float32) {
 	}
 }
 
-// logits applies the final norm and the tied output head.
+// logits applies the final norm and the tied output head into fresh
+// slices — for results that outlive the forward pass (prefill returns,
+// the public Decode). Loops use logitsInto with scratch-owned buffers.
 func (m *Model) logits(x []float32) []float32 {
 	h := make([]float32, len(x))
-	m.norm(h, x, m.finalNormW, m.finalNormB)
 	out := make([]float32, m.Cfg.VocabSize)
-	for t := 0; t < m.Cfg.VocabSize; t++ {
-		out[t] = tensor.Dot(m.embedding.Row(t), h)
-	}
+	m.logitsInto(out, h, x)
 	return out
+}
+
+// logitsParallelThreshold is the multiply-add count (vocab × dim) above
+// which the output head shards across workers, and the minimum work one
+// shard must carry. Decode calls logitsInto once per generated token, so
+// the bar is set where a goroutine spawn+join (~µs) is small next to the
+// shard's arithmetic, not at tensor.MatMul's finer-grained 64×64.
+const logitsParallelThreshold = 32 * 1024
+
+// logitsInto applies the final norm (using h, len Dim) and writes the
+// output-head logits into dst (len VocabSize). The vocab scan shards
+// across workers above a size threshold: each worker owns a disjoint
+// dst range, so no synchronization beyond the join is needed.
+func (m *Model) logitsInto(dst, h, x []float32) {
+	m.norm(h, x, m.finalNormW, m.finalNormB)
+	vocab := m.Cfg.VocabSize
+	workers := runtime.GOMAXPROCS(0)
+	if vocab*m.Cfg.Dim < logitsParallelThreshold || workers <= 1 {
+		m.logitsRange(dst, h, 0, vocab)
+		return
+	}
+	// Bound spawn overhead: every shard must carry at least a threshold's
+	// worth of dot-product work, so per-token goroutines never outnumber
+	// the work they fan out.
+	if maxW := vocab * m.Cfg.Dim / logitsParallelThreshold; workers > maxW {
+		workers = maxW
+	}
+	chunk := (vocab + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < vocab; lo += chunk {
+		hi := lo + chunk
+		if hi > vocab {
+			hi = vocab
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.logitsRange(dst, h, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// logitsRange computes dst[t] for t in [lo, hi).
+func (m *Model) logitsRange(dst, h []float32, lo, hi int) {
+	for t := lo; t < hi; t++ {
+		dst[t] = tensor.Dot(m.embedding.Row(t), h)
+	}
 }
 
 // matVecT computes dst = W^T · h for W stored as (in × out):

@@ -177,17 +177,19 @@ func (o *GenerateOpts) defaults() {
 // identically under KV Cache and Prompt Cache (§3.4: "prompt modules are
 // not employed beyond the initial token"). Cancelling ctx aborts between
 // decode steps, returning ctx.Err() alongside the tokens produced so far.
-func (m *Model) Generate(ctx context.Context, cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts) ([]int, error) {
+func (m *Model) Generate(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts GenerateOpts) ([]int, error) {
 	opts.defaults()
-	if cache.Len() == 0 {
+	if kv.Len() == 0 {
 		return nil, fmt.Errorf("model: Generate on empty cache")
 	}
 	if len(lastLogits) != m.Cfg.VocabSize {
 		return nil, fmt.Errorf("model: logits width %d != vocab %d", len(lastLogits), m.Cfg.VocabSize)
 	}
 	var out []int
+	sc := m.getScratch() // one pooled scratch for the whole reply: decode allocates nothing per token
+	defer m.putScratch(sc)
 	logits := lastLogits
-	pos := cache.MaxPos()
+	pos := kv.MaxPos()
 	for len(out) < opts.MaxTokens {
 		if err := ctx.Err(); err != nil {
 			return out, err
@@ -202,7 +204,7 @@ func (m *Model) Generate(ctx context.Context, cache *kvcache.Cache, lastLogits [
 			break
 		}
 		var err error
-		logits, err = m.Decode(next, pos, cache)
+		logits, err = m.decodeStep(sc, next, pos, kv)
 		if err != nil {
 			return out, err
 		}
@@ -214,17 +216,19 @@ func (m *Model) Generate(ctx context.Context, cache *kvcache.Cache, lastLogits [
 // each generated token id as soon as it is sampled; returning false stops
 // generation early. The generated ids are also returned. Cancelling ctx
 // aborts between decode steps with ctx.Err().
-func (m *Model) GenerateStream(ctx context.Context, cache *kvcache.Cache, lastLogits []float32, opts GenerateOpts, emit func(token int) bool) ([]int, error) {
+func (m *Model) GenerateStream(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts GenerateOpts, emit func(token int) bool) ([]int, error) {
 	opts.defaults()
-	if cache.Len() == 0 {
+	if kv.Len() == 0 {
 		return nil, fmt.Errorf("model: GenerateStream on empty cache")
 	}
 	if emit == nil {
 		return nil, fmt.Errorf("model: GenerateStream requires an emit callback")
 	}
 	var out []int
+	sc := m.getScratch()
+	defer m.putScratch(sc)
 	logits := lastLogits
-	pos := cache.MaxPos()
+	pos := kv.MaxPos()
 	for len(out) < opts.MaxTokens {
 		if err := ctx.Err(); err != nil {
 			return out, err
@@ -242,7 +246,7 @@ func (m *Model) GenerateStream(ctx context.Context, cache *kvcache.Cache, lastLo
 			break
 		}
 		var err error
-		logits, err = m.Decode(next, pos, cache)
+		logits, err = m.decodeStep(sc, next, pos, kv)
 		if err != nil {
 			return out, err
 		}

@@ -21,10 +21,10 @@ const chunkThreshold = 16
 // the same ascending-k accumulation order per output element, and
 // attention is evaluated per token with an identical causal row bound.
 // ctx is checked before each layer, the unit of work worth interrupting.
-func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, cache *kvcache.Cache) ([]float32, error) {
+func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, kv kvcache.KV) ([]float32, error) {
 	cfg := &m.Cfg
 	n := len(tokens)
-	past := cache.Len()
+	past := kv.Len()
 
 	// Embed.
 	x := tensor.NewMatrix(n, cfg.Dim)
@@ -42,7 +42,7 @@ func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, cache
 		}
 	}
 	for _, pos := range positions {
-		cache.AppendPos(pos)
+		kv.AppendPos(pos)
 	}
 
 	h := tensor.NewMatrix(n, cfg.Dim)
@@ -53,6 +53,8 @@ func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, cache
 	proj := tensor.NewMatrix(n, cfg.Dim)
 	ffn1 := tensor.NewMatrix(n, cfg.FFNDim)
 	ffn3 := tensor.NewMatrix(n, cfg.FFNDim)
+	scores := make([]float32, past+n)
+	var segs []kvcache.Segment
 
 	for l := range m.layers {
 		if err := ctx.Err(); err != nil {
@@ -72,9 +74,9 @@ func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, cache
 			}
 		}
 		for i := 0; i < n; i++ {
-			cache.AppendToken(l, k.Row(i), v.Row(i))
+			kv.AppendToken(l, k.Row(i), v.Row(i))
 		}
-		m.attendChunk(q, attnOut, cache, l, past, n)
+		segs = m.attendChunk(q, attnOut, kv, l, past, n, positions, scores, segs)
 		tensor.MatMul(proj, attnOut, ly.wo)
 		tensor.Add(x.Data, proj.Data)
 		if cfg.ParallelAttn {
@@ -107,49 +109,78 @@ func (m *Model) ffnChunk(x, h, ffn1, ffn3, proj *tensor.Matrix, ly *layer) {
 }
 
 // attendChunk computes causal attention for every chunk token: token i
-// (cache row past+i) attends over rows [0, past+i+1).
-func (m *Model) attendChunk(q, out *tensor.Matrix, cache *kvcache.Cache, l, past, n int) {
+// (cache row past+i, position positions[i]) attends over rows
+// [0, past+i+1). It walks the view's contiguous segments once per layer
+// — cached module rows are read in place, never copied — clamping each
+// token's scan at its causal bound. The segs buffer is reused across
+// layers; the (possibly grown) slice is returned for the next call.
+func (m *Model) attendChunk(q, out *tensor.Matrix, kv kvcache.KV, l, past, n int, positions []int, scores []float32, segs []kvcache.Segment) []kvcache.Segment {
 	cfg := &m.Cfg
 	hd := cfg.HeadDim()
+	width := cfg.KVDim()
 	group := cfg.NHeads / cfg.NKVHeads
 	invSqrt := float32(1 / math.Sqrt(float64(hd)))
-	scores := make([]float32, past+n)
+	segs = kv.AppendSegments(segs[:0], l, past+n)
 	for i := 0; i < n; i++ {
 		rows := past + i + 1
-		qPos := cache.Pos[past+i]
+		qPos := positions[i]
 		outRow := out.Row(i)
 		for hIdx := 0; hIdx < cfg.NHeads; hIdx++ {
 			kvh := hIdx / group
+			base := kvh * hd
 			qh := q.Row(i)[hIdx*hd : (hIdx+1)*hd]
 			s := scores[:rows]
-			for j := 0; j < rows; j++ {
-				krow := cache.KeyRow(l, j)
-				sc := tensor.Dot(qh, krow[kvh*hd:(kvh+1)*hd]) * invSqrt
-				if cfg.PosEnc == ALiBi {
-					dist := qPos - cache.Pos[j]
-					if dist < 0 {
-						dist = 0
-					}
-					sc -= m.alibiSlope[hIdx] * float32(dist)
+			off := 0
+			for _, seg := range segs {
+				if off >= rows {
+					break
 				}
-				s[j] = sc
+				lim := len(seg.Pos)
+				if off+lim > rows {
+					lim = rows - off
+				}
+				for j := 0; j < lim; j++ {
+					row := j * width
+					sc := tensor.Dot(qh, seg.K[row+base:row+base+hd]) * invSqrt
+					if cfg.PosEnc == ALiBi {
+						dist := qPos - seg.Pos[j]
+						if dist < 0 {
+							dist = 0
+						}
+						sc -= m.alibiSlope[hIdx] * float32(dist)
+					}
+					s[off+j] = sc
+				}
+				off += lim
 			}
 			tensor.Softmax(s)
 			oh := outRow[hIdx*hd : (hIdx+1)*hd]
 			for t := range oh {
 				oh[t] = 0
 			}
-			for j := 0; j < rows; j++ {
-				w := s[j]
-				if w == 0 {
-					continue
+			off = 0
+			for _, seg := range segs {
+				if off >= rows {
+					break
 				}
-				vrow := cache.ValueRow(l, j)
-				vh := vrow[kvh*hd : (kvh+1)*hd]
-				for t := range oh {
-					oh[t] += w * vh[t]
+				lim := len(seg.Pos)
+				if off+lim > rows {
+					lim = rows - off
 				}
+				for j := 0; j < lim; j++ {
+					w := s[off+j]
+					if w == 0 {
+						continue
+					}
+					row := j * width
+					vh := seg.V[row+base : row+base+hd]
+					for t := range oh {
+						oh[t] += w * vh[t]
+					}
+				}
+				off += lim
 			}
 		}
 	}
+	return segs
 }

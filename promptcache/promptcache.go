@@ -19,9 +19,13 @@
 // A Client is safe for concurrent use, and serving is genuinely
 // parallel: the engine's lock guards only metadata (schema registry,
 // module residency, eviction bookkeeping). Each Infer pins the modules
-// it needs during a short planning phase, then assembles attention
-// states and runs the prefill outside the lock; pinned modules cannot
-// be evicted until their serve completes. InferBatch fans its prompts
+// it needs during a short planning phase, then serves zero-copy: the
+// request's KV is a segmented view into the pinned modules' buffers
+// (no per-request copy of cached rows), and the suffix prefill runs
+// outside the lock. Pinned modules cannot be evicted while a view reads
+// them — Infer releases its pins after generation, Sessions hold theirs
+// until Close (Session.Materialize releases them early by copying the
+// state into owned storage). InferBatch fans its prompts
 // out over a bounded worker pool sharing one paged block pool. Schema
 // registration and prefetch encode module states under the engine lock
 // (encoding is the deliberate one-time cost): requests already past
@@ -121,6 +125,11 @@ func (c *Client) Infer(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The result's KV is a zero-copy view pinning the modules it reads;
+	// the pins must outlive generation, then release promptly so the
+	// modules become evictable again. Sessions keep their result (and
+	// pins) open instead — see NewSession.
+	defer res.Close()
 	return c.generate(ctx, res, req)
 }
 

@@ -41,6 +41,7 @@ func (c *Client) NewSession(ctx context.Context, req Request) (*Session, *Respon
 	}
 	resp, err := c.generate(ctx, res, req)
 	if err != nil {
+		res.Close()
 		return nil, nil, err
 	}
 	// Only generation settings persist: a Stream sink belongs to the
@@ -106,7 +107,24 @@ func (s *Session) CachedTokens() int {
 	return s.res.KV.Len()
 }
 
-// Close releases the session's KV state. Further Sends fail with
+// Materialize copies the session's KV state into flat, owned storage and
+// releases the module pins the session's views held. The session keeps
+// working — Sends append to the owned copy — but the modules it was
+// serving from become evictable immediately instead of at Close. Call it
+// on sessions expected to idle for a long time under memory pressure;
+// it costs the O(prefix) copy zero-copy serving avoided.
+func (s *Session) Materialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.res.Materialize()
+	return nil
+}
+
+// Close releases the session's KV state and the module pins backing its
+// views, making those modules evictable again. Further Sends fail with
 // ErrSessionClosed. Closing twice is an error.
 func (s *Session) Close() error {
 	s.mu.Lock()
@@ -115,6 +133,7 @@ func (s *Session) Close() error {
 		return ErrSessionClosed
 	}
 	s.closed = true
+	s.res.Close()
 	s.res = nil
 	return nil
 }

@@ -230,6 +230,73 @@ func BenchmarkServeParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeContinuous measures decode-phase throughput for
+// concurrent generations, fused (continuous-batching scheduler: one
+// shared model step per token for the whole batch) vs sequential (each
+// request drives its own per-token loop). One op = N concurrent requests
+// each decoding 24 tokens over a 256-token cached prefix; both modes
+// emit bit-identical token streams, so the delta is pure scheduling.
+// `pcbench -json BENCH_decode.json decode` tracks the same grid across
+// PRs.
+func BenchmarkDecodeContinuous(b *testing.B) {
+	build := func(fused bool) *promptcache.Client {
+		b.Helper()
+		m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 444))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var opts []promptcache.Option
+		if fused {
+			opts = append(opts, promptcache.WithDecodeScheduler(16))
+		}
+		client := promptcache.New(m, opts...)
+		if _, err := client.RegisterSchema(bench.EngineSchema("cont", 256, 4)); err != nil {
+			b.Fatal(err)
+		}
+		return client
+	}
+	clients := map[string]*promptcache.Client{"fused": build(true), "sequential": build(false)}
+	const prompt = `<prompt schema="cont"><doc/><user>summarize the document</user></prompt>`
+	const maxTok = 24
+	ctx := context.Background()
+	for _, streams := range []int{1, 4, 8, 16} {
+		for _, mode := range []string{"fused", "sequential"} {
+			client := clients[mode]
+			b.Run(fmt.Sprintf("%s-%d", mode, streams), func(b *testing.B) {
+				fail := make(chan error, 1)
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for s := 0; s < streams; s++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							// StopToken -1 keeps untrained-model EOS from
+							// shortening replies, so every stream decodes the
+							// full 24 tokens and modes stay comparable.
+							if _, err := client.Infer(ctx, promptcache.Request{
+								Prompt: prompt, MaxTokens: maxTok, StopToken: -1,
+							}); err != nil {
+								select {
+								case fail <- err:
+								default:
+								}
+							}
+						}()
+					}
+					wg.Wait()
+				}
+				b.StopTimer()
+				select {
+				case err := <-fail:
+					b.Fatal(err)
+				default:
+				}
+				b.ReportMetric(float64(streams*maxTok*b.N)/b.Elapsed().Seconds(), "tok/s")
+			})
+		}
+	}
+}
+
 // BenchmarkSchemaEncoding measures prompt-module encoding cost (§3.3),
 // the one-time price a schema registration pays.
 func BenchmarkSchemaEncoding(b *testing.B) {

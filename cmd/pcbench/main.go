@@ -7,8 +7,10 @@
 //	pcbench fig3 table2 ...      # run specific experiments
 //	pcbench -csv fig5            # emit CSV instead of a table
 //	pcbench -json BENCH_serve.json serve
-//	                             # serve experiment + machine-readable
-//	                             # points for cross-PR perf tracking
+//	pcbench -json BENCH_decode.json decode
+//	                             # serve/decode experiment + machine-
+//	                             # readable points for cross-PR perf
+//	                             # tracking
 package main
 
 import (
@@ -48,17 +50,26 @@ func main() {
 			args = append(args, e[0])
 		}
 	}
-	// -json is serve-experiment data; refuse to no-op silently when the
-	// arg list would never produce it.
-	if *jsonOut != "" && !slices.Contains(args, "serve") {
-		fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve experiment (got %v)\n", args)
-		os.Exit(2)
+	// -json emits machine-readable perf points; only the serve and decode
+	// experiments produce them, so refuse to no-op silently — and refuse
+	// the ambiguous case where both would overwrite one output file.
+	if *jsonOut != "" {
+		hasServe, hasDecode := slices.Contains(args, "serve"), slices.Contains(args, "decode")
+		switch {
+		case !hasServe && !hasDecode:
+			fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve or decode experiment (got %v)\n", args)
+			os.Exit(2)
+		case hasServe && hasDecode:
+			fmt.Fprintf(os.Stderr, "pcbench: -json with both serve and decode would overwrite %s; run them separately\n", *jsonOut)
+			os.Exit(2)
+		}
 	}
 	failed := false
 	for _, id := range args {
 		var rep *bench.Report
 		var err error
-		if id == "serve" && *jsonOut != "" {
+		switch {
+		case id == "serve" && *jsonOut != "":
 			// Measure once, emit both the table and the JSON trajectory.
 			var points []bench.ServePoint
 			rep, points, err = bench.ServeCachedPrefixRun()
@@ -71,7 +82,19 @@ func main() {
 			if err != nil {
 				rep = nil
 			}
-		} else {
+		case id == "decode" && *jsonOut != "":
+			var points []bench.DecodePoint
+			rep, points, err = bench.DecodeContinuousRun()
+			if err == nil {
+				var data []byte
+				if data, err = bench.DecodePointsJSON(points); err == nil {
+					err = os.WriteFile(*jsonOut, data, 0o644)
+				}
+			}
+			if err != nil {
+				rep = nil
+			}
+		default:
 			rep, err = bench.Run(id)
 		}
 		if err != nil {

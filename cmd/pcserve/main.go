@@ -41,6 +41,7 @@ func main() {
 	vocab := flag.Int("vocab", tokenizer.WordBase+8192, "vocabulary size")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrently open sessions")
 	sessionIdle := flag.Duration("session-idle", server.DefaultSessionIdleTimeout, "idle age after which abandoned sessions are reaped")
+	decodeBatch := flag.Int("decode-batch", promptcache.DefaultMaxDecodeBatch, "continuous-batching decode width: concurrent generations fuse into shared model steps (0 disables the scheduler)")
 	flag.Parse()
 
 	var cfg model.Config
@@ -62,7 +63,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("pcserve: %v", err)
 	}
-	srv := server.New(promptcache.New(m))
+	// One client — and so one decode scheduler — behind every endpoint:
+	// completions, streams and session turns arriving together fuse into
+	// the same batched decode steps.
+	var opts []promptcache.Option
+	if *decodeBatch > 0 {
+		opts = append(opts, promptcache.WithDecodeScheduler(*decodeBatch))
+	}
+	srv := server.New(promptcache.New(m, opts...))
 	srv.MaxSessions = *maxSessions
 	srv.SessionIdleTimeout = *sessionIdle
 	fmt.Printf("pcserve: %s model on %s\n", cfg.Name, *addr)

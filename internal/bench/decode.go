@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/promptcache"
+)
+
+// DecodePoint is one measured (concurrency × mode) cell of the
+// continuous-batching decode experiment, shaped for machine-readable
+// tracking of the perf trajectory across PRs (BENCH_decode.json).
+type DecodePoint struct {
+	Streams      int     `json:"streams"`
+	Mode         string  `json:"mode"` // "fused" | "sequential"
+	NsPerOp      int64   `json:"ns_per_op"`
+	MsPerOp      float64 `json:"ms_per_op"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+}
+
+// decodeBenchTokens is the reply length each stream decodes per op.
+const decodeBenchTokens = 24
+
+// DefaultDecodeStreams are the concurrency levels the interactive
+// experiment measures; bench_test's BenchmarkDecodeContinuous covers the
+// same grid under `go test -bench`.
+var DefaultDecodeStreams = []int{1, 4, 8, 16}
+
+// DecodeContinuousPoints measures end-to-end decode throughput for N
+// concurrent generations, fused (continuous-batching scheduler: one
+// shared model step per token for the whole batch) vs sequential (each
+// request runs its own per-token decode loop). One op = N concurrent
+// requests each serving a cached prompt and decoding decodeBenchTokens
+// tokens; both modes produce identical token streams, so the ratio is
+// pure scheduling.
+func DecodeContinuousPoints(streams []int) ([]DecodePoint, error) {
+	build := func(fused bool) (*promptcache.Client, error) {
+		m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 444))
+		if err != nil {
+			return nil, err
+		}
+		var opts []promptcache.Option
+		if fused {
+			opts = append(opts, promptcache.WithDecodeScheduler(16))
+		}
+		client := promptcache.New(m, opts...)
+		if _, err := client.RegisterSchema(EngineSchema("decode", 256, 4)); err != nil {
+			return nil, err
+		}
+		return client, nil
+	}
+	clients := map[string]*promptcache.Client{}
+	for _, mode := range []string{"fused", "sequential"} {
+		c, err := build(mode == "fused")
+		if err != nil {
+			return nil, err
+		}
+		clients[mode] = c
+	}
+	const prompt = `<prompt schema="decode"><doc/><user>summarize the document</user></prompt>`
+	ctx := context.Background()
+	var out []DecodePoint
+	for _, n := range streams {
+		for _, mode := range []string{"fused", "sequential"} {
+			client := clients[mode]
+			var errMu sync.Mutex
+			var inferErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for s := 0; s < n; s++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							// StopToken -1: untrained-model EOS must not
+							// shorten replies, so every stream decodes the
+							// full count and modes stay comparable.
+							if _, err := client.Infer(ctx, promptcache.Request{
+								Prompt: prompt, MaxTokens: decodeBenchTokens, StopToken: -1,
+							}); err != nil {
+								errMu.Lock()
+								inferErr = err
+								errMu.Unlock()
+							}
+						}()
+					}
+					wg.Wait()
+				}
+			})
+			if inferErr != nil {
+				return nil, fmt.Errorf("bench: decode %s-%d: %w", mode, n, inferErr)
+			}
+			sec := float64(r.NsPerOp()) / 1e9
+			out = append(out, DecodePoint{
+				Streams:      n,
+				Mode:         mode,
+				NsPerOp:      r.NsPerOp(),
+				MsPerOp:      float64(r.NsPerOp()) / 1e6,
+				TokensPerSec: float64(n*decodeBenchTokens) / sec,
+			})
+		}
+	}
+	return out, nil
+}
+
+// DecodeContinuous renders the continuous-batching decode experiment as
+// a Report. The same points serialize to BENCH_decode.json via
+// `pcbench -json BENCH_decode.json decode`.
+func DecodeContinuous() (*Report, error) {
+	rep, _, err := DecodeContinuousRun()
+	return rep, err
+}
+
+// DecodeContinuousRun measures the experiment once and returns both the
+// printable report and the machine-readable points.
+func DecodeContinuousRun() (*Report, []DecodePoint, error) {
+	points, err := DecodeContinuousPoints(DefaultDecodeStreams)
+	if err != nil {
+		return nil, nil, err
+	}
+	return DecodeReport(points), points, nil
+}
+
+// DecodeReport renders measured decode points as a printable Report.
+func DecodeReport(points []DecodePoint) *Report {
+	rep := &Report{
+		ID:     "decode",
+		Title:  "Continuous-batching decode: fused scheduler vs per-request loops",
+		Header: []string{"Streams", "Mode", "ms/op", "tokens/sec"},
+		Notes: []string{
+			fmt.Sprintf("One op = N concurrent requests each decoding %d tokens over a 256-token cached prefix.", decodeBenchTokens),
+			"Fused mode advances all requests one shared model step per token; token streams are bit-identical to sequential.",
+		},
+	}
+	for _, p := range points {
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", p.Streams), p.Mode,
+			fmt.Sprintf("%.2f", p.MsPerOp),
+			fmt.Sprintf("%.0f", p.TokensPerSec),
+		})
+	}
+	return rep
+}
+
+// DecodePointsJSON serializes measured points as indented JSON, the
+// payload of BENCH_decode.json.
+func DecodePointsJSON(points []DecodePoint) ([]byte, error) {
+	return json.MarshalIndent(points, "", "  ")
+}

@@ -132,6 +132,11 @@ type Cache struct {
 
 	compress bool
 
+	// sched, when non-nil, fuses concurrent decode loops into shared
+	// model steps (continuous batching); Generate/GenerateStream route
+	// through it. It synchronizes itself and never takes mu.
+	sched *Scheduler
+
 	mu      sync.Mutex
 	schemas map[string]*schemaEntry
 	// policy ranks module keys ("schema/module") for eviction when the
@@ -168,6 +173,17 @@ func WithEvictionPolicy(p evict.Policy) Option { return func(c *Cache) { c.polic
 // Scaffold states stay full precision (they exist for exactness).
 func WithInt8Modules() Option { return func(c *Cache) { c.compress = true } }
 
+// WithDecodeScheduler enables continuous-batching decode: concurrent
+// Generate/GenerateStream calls (and everything built on them — Infer,
+// sessions, streaming, batches) fuse into shared model steps, so N
+// active generations cost one layer walk per token instead of N.
+// maxBatch bounds the fused-step width (non-positive selects
+// DefaultMaxDecodeBatch); requests beyond it queue and join as lanes
+// retire. Per-request output is bit-identical to solo decoding.
+func WithDecodeScheduler(maxBatch int) Option {
+	return func(c *Cache) { c.sched = newScheduler(c.m, maxBatch) }
+}
+
 // NewCache builds a Prompt Cache around a model.
 func NewCache(m *model.Model, opts ...Option) *Cache {
 	c := &Cache{
@@ -203,6 +219,20 @@ func (c *Cache) Stats() Stats {
 
 // PoolUsed returns the bytes of module states currently resident.
 func (c *Cache) PoolUsed() int64 { return c.pool.Used() }
+
+// SchedEnabled reports whether a decode scheduler is configured — the
+// cheap check for callers that branch on it per request (no lock, no
+// stats snapshot).
+func (c *Cache) SchedEnabled() bool { return c.sched != nil }
+
+// SchedStats returns a snapshot of decode-scheduler activity. With no
+// scheduler configured it returns the zero snapshot (Enabled false).
+func (c *Cache) SchedStats() SchedStats {
+	if c.sched == nil {
+		return SchedStats{}
+	}
+	return c.sched.Stats()
+}
 
 // SchemaNames returns the registered schema names, sorted. It is the
 // authoritative registry; transports list schemas by querying it rather

@@ -655,8 +655,13 @@ func (c *Cache) BaselineServeParsed(ctx context.Context, prompt *pml.Prompt) (*S
 }
 
 // Generate continues autoregressively from a Serve or BaselineServe
-// result. Cancelling ctx aborts between decode steps.
+// result. Cancelling ctx aborts between decode steps. Under a decode
+// scheduler (WithDecodeScheduler) the request decodes as one lane of the
+// shared fused batch, with identical output.
 func (c *Cache) Generate(ctx context.Context, res *ServeResult, opts model.GenerateOpts) ([]int, error) {
+	if c.sched != nil {
+		return c.sched.Generate(ctx, res.KV, res.Logits, opts, nil)
+	}
 	return c.m.Generate(ctx, res.KV, res.Logits, opts)
 }
 
@@ -707,10 +712,16 @@ func (c *Cache) Continue(ctx context.Context, res *ServeResult, userText string)
 
 // GenerateStream generates token by token, calling emit with each
 // token's decoded text as soon as it is sampled; returning false stops.
+// Under a decode scheduler the stream decodes as one lane of the shared
+// fused batch; emit runs on the scheduler goroutine, so a sink that
+// blocks stalls every lane — transports should drop the lane (return
+// false) rather than block when their client stops reading.
 func (c *Cache) GenerateStream(ctx context.Context, res *ServeResult, opts model.GenerateOpts, emit func(text string) bool) ([]int, error) {
-	return c.m.GenerateStream(ctx, res.KV, res.Logits, opts, func(tok int) bool {
-		return emit(c.tok.Decode([]int{tok}))
-	})
+	detok := func(tok int) bool { return emit(c.tok.Decode([]int{tok})) }
+	if c.sched != nil {
+		return c.sched.Generate(ctx, res.KV, res.Logits, opts, detok)
+	}
+	return c.m.GenerateStream(ctx, res.KV, res.Logits, opts, detok)
 }
 
 // GenerateText is Generate plus detokenization.

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kvcache"
+	"repro/internal/model"
+)
+
+// DefaultMaxDecodeBatch is the fused-step width the decode scheduler uses
+// when WithDecodeScheduler is given a non-positive bound.
+const DefaultMaxDecodeBatch = 8
+
+// SchedStats is a snapshot of decode-scheduler activity, the
+// observability surface behind /v1/stats: instantaneous queue/lane
+// gauges, lifetime lane and step counters, and the batch-size histogram
+// that shows whether traffic actually fuses.
+type SchedStats struct {
+	// Enabled reports whether the cache runs a decode scheduler at all.
+	Enabled bool
+	// MaxBatch is the fused-step width bound.
+	MaxBatch int
+	// QueueDepth is the number of requests waiting to join the batch.
+	QueueDepth int
+	// ActiveLanes is the number of sequences currently decoding fused.
+	ActiveLanes int
+	// LanesJoined / LanesRetired / LanesCancelled count lane lifecycle
+	// events; Cancelled is the subset of Retired evicted by their context.
+	LanesJoined, LanesRetired, LanesCancelled int64
+	// Steps counts fused model steps executed; TokensDecoded counts
+	// tokens produced across all lanes (one per lane per step sampled).
+	Steps, TokensDecoded int64
+	// BatchHist[i] counts fused steps that ran with i+1 lanes; its tail
+	// filling up is continuous batching working.
+	BatchHist []int64
+	// DecodeNs is total wall time spent inside fused model steps.
+	DecodeNs int64
+}
+
+// TokensPerSec is the decode-phase throughput: tokens produced per second
+// of fused-step wall time. Zero before any step runs.
+func (s SchedStats) TokensPerSec() float64 {
+	if s.DecodeNs == 0 {
+		return 0
+	}
+	return float64(s.TokensDecoded) / (float64(s.DecodeNs) / 1e9)
+}
+
+// schedLane is one request's sequence inside the scheduler: its KV state,
+// sampler and stop conditions, the emit sink for streaming, and the
+// model-side DecodeLane holding its scratch.
+type schedLane struct {
+	ctx    context.Context
+	kv     kvcache.KV
+	logits []float32 // next-token logits (serve result, then lane scratch)
+	opts   model.GenerateOpts
+	emit   func(tok int) bool // nil for non-streaming requests
+
+	dl   *model.DecodeLane
+	pos  int
+	next int // token sampled this iteration, fed to the fused step
+	out  []int
+	err  error
+	done chan struct{}
+}
+
+// Scheduler fuses concurrent decode loops into shared model steps
+// (continuous batching). Requests join mid-flight after their prefill:
+// each run-loop iteration samples every active lane with its own sampler,
+// retires lanes whose stop condition fired (stop token, MaxTokens,
+// context cancellation, emit refusal), admits waiting lanes up to
+// MaxBatch, and then executes ONE fused model step for all survivors —
+// so N concurrent generations cost one layer walk per token, not N.
+//
+// Determinism: a lane's arithmetic runs on its own scratch in solo order
+// inside the fused step, and sampling uses the request's own sampler
+// state, so a request's token and logit streams are bit-identical whether
+// it decoded alone or fused with any mix of neighbors joining and
+// retiring around it.
+//
+// The run loop starts on demand and exits when no lanes are active or
+// waiting, so an idle scheduler costs nothing and needs no Close.
+type Scheduler struct {
+	m        *model.Model
+	maxBatch int
+
+	mu      sync.Mutex
+	pending []*schedLane
+	active  int // lanes inside the run loop (gauge; loop owns the slice)
+	running bool
+
+	joined, retired, cancelled int64
+	steps, tokens              int64
+	decodeNs                   int64
+	hist                       []int64
+}
+
+// newScheduler builds a scheduler over m with the given fused-step width
+// (non-positive means DefaultMaxDecodeBatch).
+func newScheduler(m *model.Model, maxBatch int) *Scheduler {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxDecodeBatch
+	}
+	return &Scheduler{m: m, maxBatch: maxBatch, hist: make([]int64, maxBatch)}
+}
+
+// Stats returns a snapshot of scheduler activity.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SchedStats{
+		Enabled:        true,
+		MaxBatch:       s.maxBatch,
+		QueueDepth:     len(s.pending),
+		ActiveLanes:    s.active,
+		LanesJoined:    s.joined,
+		LanesRetired:   s.retired,
+		LanesCancelled: s.cancelled,
+		Steps:          s.steps,
+		TokensDecoded:  s.tokens,
+		BatchHist:      append([]int64(nil), s.hist...),
+		DecodeNs:       s.decodeNs,
+	}
+}
+
+// Generate submits one sequence to the scheduler and blocks until it
+// retires, returning the generated ids (semantics identical to
+// model.Generate / model.GenerateStream, including error returns). The
+// caller keeps ownership of kv after return; while the lane is live the
+// scheduler is the one goroutine appending to it.
+func (s *Scheduler) Generate(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts model.GenerateOpts, emit func(tok int) bool) ([]int, error) {
+	opts.Defaults()
+	if kv.Len() == 0 {
+		return nil, fmt.Errorf("model: Generate on empty cache")
+	}
+	if len(lastLogits) != s.m.Cfg.VocabSize {
+		return nil, fmt.Errorf("model: logits width %d != vocab %d", len(lastLogits), s.m.Cfg.VocabSize)
+	}
+	ln := &schedLane{
+		ctx:    ctx,
+		kv:     kv,
+		logits: lastLogits,
+		opts:   opts,
+		emit:   emit,
+		pos:    kv.MaxPos(),
+		done:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, ln)
+	s.joined++
+	if !s.running {
+		s.running = true
+		go s.run()
+	}
+	s.mu.Unlock()
+	// The run loop checks ln.ctx every iteration — active lanes in their
+	// sample phase, queued lanes in the admission sweep — so cancellation
+	// closes done within one fused step; no second wakeup path is needed,
+	// and no goroutine may touch the lane after done closes.
+	<-ln.done
+	return ln.out, ln.err
+}
+
+// run is the scheduler's decode loop. It owns every admitted lane
+// outright — samplers, KV tails, scratch — and takes s.mu only for
+// admission and stats, never across model work or emit callbacks.
+func (s *Scheduler) run() {
+	var active, keep []*schedLane
+	var lanes []*model.DecodeLane
+	var tokens, positions []int
+	var kvs []kvcache.KV
+	var expired []*schedLane
+	for {
+		// Admission: sweep cancelled waiters (a queued request whose
+		// client vanished must not wait for a batch slot to learn it),
+		// then pull survivors into free slots. Joining is cheap (a
+		// DecodeLane from the scratch pool), so requests join the very
+		// next iteration after their prefill finishes.
+		expired = expired[:0]
+		s.mu.Lock()
+		live := s.pending[:0]
+		for _, ln := range s.pending {
+			if ln.ctx.Err() != nil {
+				expired = append(expired, ln)
+				continue
+			}
+			live = append(live, ln)
+		}
+		s.pending = live
+		for len(active) < s.maxBatch && len(s.pending) > 0 {
+			ln := s.pending[0]
+			s.pending = s.pending[1:]
+			ln.dl = s.m.NewDecodeLane()
+			active = append(active, ln)
+		}
+		if len(active) == 0 {
+			// len(pending) is 0 too (admission above drained it), so the
+			// loop parks by exiting; the next Generate restarts it.
+			s.running = false
+			s.active = 0
+			s.mu.Unlock()
+			for _, ln := range expired {
+				s.retire(ln, ln.ctx.Err())
+			}
+			return
+		}
+		s.active = len(active)
+		s.mu.Unlock()
+		for _, ln := range expired {
+			s.retire(ln, ln.ctx.Err())
+		}
+
+		// Sample-and-retire phase: per lane, the exact pre-step sequence
+		// of the solo loop (MaxTokens, ctx, sample, stop token, emit,
+		// MaxSeq), so retirement decisions match solo decoding bit for bit.
+		keep = keep[:0]
+		lanes, tokens, positions, kvs = lanes[:0], tokens[:0], positions[:0], kvs[:0]
+		for _, ln := range active {
+			if stop, err := s.advance(ln); stop {
+				s.retire(ln, err)
+				continue
+			}
+			keep = append(keep, ln)
+			lanes = append(lanes, ln.dl)
+			tokens = append(tokens, ln.next)
+			positions = append(positions, ln.pos)
+			kvs = append(kvs, ln.kv)
+		}
+		active = active[:0]
+		active = append(active, keep...)
+		if len(lanes) == 0 {
+			continue
+		}
+
+		// One fused model step for every surviving lane.
+		start := time.Now()
+		err := s.m.DecodeStepBatch(lanes, tokens, positions, kvs)
+		elapsed := time.Since(start)
+		if err != nil {
+			// Malformed batch call: a scheduler bug, not a lane's fault.
+			// Fail every lane rather than decode from corrupt state.
+			for _, ln := range active {
+				s.retire(ln, err)
+			}
+			active = active[:0]
+			continue
+		}
+		keep = keep[:0]
+		for _, ln := range active {
+			if lerr := ln.dl.Err(); lerr != nil {
+				s.retire(ln, lerr)
+				continue
+			}
+			ln.logits = ln.dl.Logits()
+			keep = append(keep, ln)
+		}
+		active = active[:0]
+		active = append(active, keep...)
+
+		s.mu.Lock()
+		s.steps++
+		s.tokens += int64(len(lanes))
+		s.hist[len(lanes)-1]++
+		s.decodeNs += elapsed.Nanoseconds()
+		s.mu.Unlock()
+	}
+}
+
+// advance runs one lane's pre-step phase — the head of the solo decode
+// loop — and reports whether the lane retires instead of stepping.
+func (s *Scheduler) advance(ln *schedLane) (stop bool, err error) {
+	if len(ln.out) >= ln.opts.MaxTokens {
+		return true, nil
+	}
+	if cerr := ln.ctx.Err(); cerr != nil {
+		return true, cerr
+	}
+	next := ln.opts.Sampler.Sample(ln.logits)
+	if next == ln.opts.StopToken {
+		return true, nil
+	}
+	ln.out = append(ln.out, next)
+	if ln.emit != nil && !ln.emit(next) {
+		return true, nil
+	}
+	ln.pos++
+	if ln.pos >= s.m.Cfg.MaxSeq {
+		return true, nil
+	}
+	ln.next = next
+	return false, nil
+}
+
+// retire removes a lane from the batch: release its scratch, record the
+// outcome, and wake its Generate caller. Lanes cancelled while still
+// queued retire without ever having acquired a DecodeLane. After done
+// closes the scheduler never touches the lane or its KV again.
+func (s *Scheduler) retire(ln *schedLane, err error) {
+	ln.err = err
+	if ln.dl != nil {
+		ln.dl.Close()
+	}
+	s.mu.Lock()
+	s.retired++
+	if err != nil && ln.ctx.Err() != nil {
+		s.cancelled++
+	}
+	s.mu.Unlock()
+	close(ln.done)
+}

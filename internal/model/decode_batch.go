@@ -1,0 +1,159 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/kvcache"
+	"repro/internal/tensor"
+)
+
+// DecodeLane is one sequence's slot in a fused decode batch. It owns the
+// pooled scratch the lane's forward passes run in, so a lane that decodes
+// a whole reply through DecodeStepBatch allocates nothing per token —
+// exactly the property the solo decode loop has. Acquire with
+// NewDecodeLane, release with Close.
+//
+// A lane is not synchronized: it belongs to whichever goroutine is
+// driving the batch (the continuous-batching scheduler, or a solo
+// generation loop using itself as a batch of one).
+type DecodeLane struct {
+	m  *Model
+	sc *scratch
+
+	// per-step state, valid between a DecodeStepBatch call and the next
+	err  error
+	pos  int
+	rows int  // rows to attend over this step (kv.Len() after AppendPos)
+	skip bool // lane failed validation; excluded from the fused walk
+}
+
+// NewDecodeLane acquires a lane backed by pooled scratch.
+func (m *Model) NewDecodeLane() *DecodeLane {
+	return &DecodeLane{m: m, sc: m.getScratch()}
+}
+
+// Close returns the lane's scratch to the model pool. The lane (and any
+// logits it returned) must not be used afterwards. Closing twice is safe.
+func (l *DecodeLane) Close() {
+	if l.sc != nil {
+		l.m.putScratch(l.sc)
+		l.sc = nil
+	}
+}
+
+// Logits returns the lane's next-token logits from the latest
+// DecodeStepBatch call. The slice aliases lane scratch: it is valid until
+// the lane's next step or Close, and must not be mutated.
+func (l *DecodeLane) Logits() []float32 { return l.sc.lgOut }
+
+// Err reports the lane's failure from the latest DecodeStepBatch call,
+// or nil. A failed lane appended nothing to its cache; other lanes in the
+// same batch are unaffected.
+func (l *DecodeLane) Err() error { return l.err }
+
+// DecodeStepBatch runs one fused autoregressive step for every lane:
+// lane i appends tokens[i] at positions[i] to kvs[i] and computes its
+// next-token logits (read them with lanes[i].Logits()). The layer loop
+// runs once for the whole batch — each layer's weights are walked a
+// single time while N sequences pass through it — which is what lets a
+// continuous-batching scheduler charge N concurrent generations one
+// shared model traversal per token instead of N independent ones.
+//
+// Per-lane arithmetic is exactly the solo decodeStep sequence over the
+// lane's own scratch, in the same order, so a lane's logits are
+// bit-identical whether it steps solo or fused with any batch of
+// neighbors. Lane failures (token out of vocab, position out of range)
+// are reported per lane via Err() without disturbing the rest of the
+// batch; the returned error is reserved for malformed calls.
+func (m *Model) DecodeStepBatch(lanes []*DecodeLane, tokens, positions []int, kvs []kvcache.KV) error {
+	if len(lanes) != len(tokens) || len(lanes) != len(positions) || len(lanes) != len(kvs) {
+		return fmt.Errorf("model: DecodeStepBatch lanes=%d tokens=%d positions=%d kvs=%d",
+			len(lanes), len(tokens), len(positions), len(kvs))
+	}
+	cfg := &m.Cfg
+
+	// Embed + validate each lane and record its position before the layer
+	// loop, mirroring the head of step(): after layer l every cache has
+	// exactly len(Pos) rows.
+	for i, ln := range lanes {
+		ln.err = nil
+		ln.skip = false
+		tok, pos := tokens[i], positions[i]
+		if tok < 0 || tok >= cfg.VocabSize {
+			ln.err = fmt.Errorf("model: token %d out of vocab %d", tok, cfg.VocabSize)
+			ln.skip = true
+			continue
+		}
+		if pos < 0 || pos >= cfg.MaxSeq {
+			ln.err = fmt.Errorf("model: position %d out of range [0,%d)", pos, cfg.MaxSeq)
+			ln.skip = true
+			continue
+		}
+		sc := ln.sc
+		copy(sc.x, m.embedding.Row(tok))
+		if cfg.PosEnc == Learned {
+			tensor.Add(sc.x, m.posTable.Row(pos))
+		}
+		kvs[i].AppendPos(pos)
+		ln.pos = pos
+		ln.rows = kvs[i].Len()
+	}
+
+	// The fused walk: layer-outer, lane-inner. Within a lane the operation
+	// sequence is identical to step()'s layer loop; across lanes nothing
+	// is shared but the (read-only) weights, so reordering lanes cannot
+	// change any lane's numbers.
+	for l := range m.layers {
+		ly := &m.layers[l]
+		for i, ln := range lanes {
+			if ln.skip {
+				continue
+			}
+			sc := ln.sc
+			m.norm(sc.h, sc.x, ly.attnNormW, ly.attnNormB)
+
+			matVecT(sc.q, ly.wq, sc.h)
+			matVecT(sc.k, ly.wk, sc.h)
+			matVecT(sc.v, ly.wv, sc.h)
+			if cfg.PosEnc == RoPE {
+				m.applyRope(sc.q, cfg.NHeads, ln.pos)
+				m.applyRope(sc.k, cfg.NKVHeads, ln.pos)
+			}
+			kvs[i].AppendToken(l, sc.k, sc.v)
+
+			m.attend(sc, kvs[i], l, ln.rows, ln.pos)
+
+			matVecT(sc.proj, ly.wo, sc.attnOut)
+			if cfg.ParallelAttn {
+				tensor.Add(sc.x, sc.proj)
+				m.ffn(sc, ly, sc.h)
+			} else {
+				tensor.Add(sc.x, sc.proj)
+				m.norm(sc.h, sc.x, ly.ffnNormW, ly.ffnNormB)
+				m.ffn(sc, ly, sc.h)
+			}
+		}
+	}
+
+	// Output head, batched: the embedding (tied head) is the model's
+	// largest matrix and decode streams all of it per token, so walking
+	// each vocab row once for every lane — instead of once per lane — is
+	// the fused step's main memory-bandwidth win. Per-lane dot products
+	// are unchanged in value and order, preserving bit-identity.
+	var dsts, hs [][]float32
+	for _, ln := range lanes {
+		if ln.skip {
+			continue
+		}
+		sc := ln.sc
+		if sc.lgOut == nil {
+			sc.lgH = make([]float32, cfg.Dim)
+			sc.lgOut = make([]float32, cfg.VocabSize)
+		}
+		m.norm(sc.lgH, sc.x, m.finalNormW, m.finalNormB)
+		dsts = append(dsts, sc.lgOut)
+		hs = append(hs, sc.lgH)
+	}
+	m.logitsBatch(dsts, hs)
+	return nil
+}

@@ -128,7 +128,8 @@ func (m *Model) prefillSequential(ctx context.Context, tokens, positions []int, 
 
 // Decode runs one autoregressive step: it appends token at position pos to
 // kv and returns the next-token logits. The returned slice is freshly
-// allocated; decode loops that can reuse buffers go through decodeStep.
+// allocated; decode loops that can reuse buffers go through a DecodeLane
+// and DecodeStepBatch.
 func (m *Model) Decode(token, pos int, kv kvcache.KV) ([]float32, error) {
 	sc := m.getScratch()
 	defer m.putScratch(sc)
@@ -136,21 +137,6 @@ func (m *Model) Decode(token, pos int, kv kvcache.KV) ([]float32, error) {
 		return nil, err
 	}
 	return m.logits(sc.x), nil
-}
-
-// decodeStep is Decode with caller-owned scratch: generation loops hold
-// one scratch for the whole reply, so per-token cost allocates nothing.
-// The returned logits alias sc.lgOut and are valid until the next call.
-func (m *Model) decodeStep(sc *scratch, token, pos int, kv kvcache.KV) ([]float32, error) {
-	if err := m.step(token, pos, kv, sc); err != nil {
-		return nil, err
-	}
-	if sc.lgOut == nil {
-		sc.lgH = make([]float32, m.Cfg.Dim)
-		sc.lgOut = make([]float32, m.Cfg.VocabSize)
-	}
-	m.logitsInto(sc.lgOut, sc.lgH, sc.x)
-	return sc.lgOut, nil
 }
 
 // step processes a single token through every layer, appending its KV
@@ -368,6 +354,70 @@ func (m *Model) logitsInto(dst, h, x []float32) {
 func (m *Model) logitsRange(dst, h []float32, lo, hi int) {
 	for t := lo; t < hi; t++ {
 		dst[t] = tensor.Dot(m.embedding.Row(t), h)
+	}
+}
+
+// logitsBatch computes the output head for several already-normed hidden
+// states at once (dsts[k][t] = embedding[t] · hs[k]), sharding the vocab
+// scan as logitsInto does. Walking each embedding row once for the whole
+// batch is what makes a fused decode step cheaper than N solo steps:
+// every lane's dot product is the same operation in the same order as
+// solo, so values are bit-identical — only the row traffic is shared.
+func (m *Model) logitsBatch(dsts, hs [][]float32) {
+	if len(hs) == 0 {
+		return
+	}
+	vocab := m.Cfg.VocabSize
+	workers := runtime.GOMAXPROCS(0)
+	if vocab*m.Cfg.Dim*len(hs) < logitsParallelThreshold || workers <= 1 {
+		m.logitsRangeBatch(dsts, hs, 0, vocab)
+		return
+	}
+	if maxW := vocab * m.Cfg.Dim * len(hs) / logitsParallelThreshold; workers > maxW {
+		workers = maxW
+	}
+	chunk := (vocab + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < vocab; lo += chunk {
+		hi := lo + chunk
+		if hi > vocab {
+			hi = vocab
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			m.logitsRangeBatch(dsts, hs, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// logitsRangeBatch computes dsts[k][t] for t in [lo, hi) and every lane
+// k, reading each embedding row exactly once. Lanes go through the
+// widest batched dot kernel that fits (4/2/1): per element the row loads
+// and index arithmetic amortize over the group, which is where the fused
+// step beats N solo steps even when every matrix is cache-resident.
+func (m *Model) logitsRangeBatch(dsts, hs [][]float32, lo, hi int) {
+	k := 0
+	for ; k+4 <= len(hs); k += 4 {
+		d0, d1, d2, d3 := dsts[k], dsts[k+1], dsts[k+2], dsts[k+3]
+		h0, h1, h2, h3 := hs[k], hs[k+1], hs[k+2], hs[k+3]
+		for t := lo; t < hi; t++ {
+			row := m.embedding.Row(t)
+			d0[t], d1[t], d2[t], d3[t] = tensor.Dot4(row, h0, h1, h2, h3)
+		}
+	}
+	if k+2 <= len(hs) {
+		d0, d1 := dsts[k], dsts[k+1]
+		h0, h1 := hs[k], hs[k+1]
+		for t := lo; t < hi; t++ {
+			row := m.embedding.Row(t)
+			d0[t], d1[t] = tensor.Dot2(row, h0, h1)
+		}
+		k += 2
+	}
+	if k < len(hs) {
+		m.logitsRange(dsts[k], hs[k], lo, hi)
 	}
 }
 

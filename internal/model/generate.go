@@ -158,7 +158,11 @@ type GenerateOpts struct {
 	StopToken int
 }
 
-func (o *GenerateOpts) defaults() {
+// Defaults fills unset fields with their documented defaults. Decode
+// loops outside this package (the continuous-batching scheduler in
+// internal/core) apply it so their per-request semantics match a solo
+// Generate exactly.
+func (o *GenerateOpts) Defaults() {
 	if o.MaxTokens <= 0 {
 		o.MaxTokens = 32
 	}
@@ -178,38 +182,7 @@ func (o *GenerateOpts) defaults() {
 // not employed beyond the initial token"). Cancelling ctx aborts between
 // decode steps, returning ctx.Err() alongside the tokens produced so far.
 func (m *Model) Generate(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts GenerateOpts) ([]int, error) {
-	opts.defaults()
-	if kv.Len() == 0 {
-		return nil, fmt.Errorf("model: Generate on empty cache")
-	}
-	if len(lastLogits) != m.Cfg.VocabSize {
-		return nil, fmt.Errorf("model: logits width %d != vocab %d", len(lastLogits), m.Cfg.VocabSize)
-	}
-	var out []int
-	sc := m.getScratch() // one pooled scratch for the whole reply: decode allocates nothing per token
-	defer m.putScratch(sc)
-	logits := lastLogits
-	pos := kv.MaxPos()
-	for len(out) < opts.MaxTokens {
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
-		next := opts.Sampler.Sample(logits)
-		if next == opts.StopToken {
-			break
-		}
-		out = append(out, next)
-		pos++
-		if pos >= m.Cfg.MaxSeq {
-			break
-		}
-		var err error
-		logits, err = m.decodeStep(sc, next, pos, kv)
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return m.generate(ctx, kv, lastLogits, opts, nil)
 }
 
 // GenerateStream is Generate with per-token delivery: emit is called with
@@ -217,16 +190,32 @@ func (m *Model) Generate(ctx context.Context, kv kvcache.KV, lastLogits []float3
 // generation early. The generated ids are also returned. Cancelling ctx
 // aborts between decode steps with ctx.Err().
 func (m *Model) GenerateStream(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts GenerateOpts, emit func(token int) bool) ([]int, error) {
-	opts.defaults()
-	if kv.Len() == 0 {
-		return nil, fmt.Errorf("model: GenerateStream on empty cache")
-	}
 	if emit == nil {
 		return nil, fmt.Errorf("model: GenerateStream requires an emit callback")
 	}
+	return m.generate(ctx, kv, lastLogits, opts, emit)
+}
+
+// generate is the solo decode loop, written as a single-lane client of
+// the fused batch step: one DecodeLane, one-element batches. The
+// continuous-batching scheduler in internal/core runs the same state
+// machine over many lanes at once; keeping the solo path on the exact
+// same step function is what makes "fused ≡ solo" a structural property
+// rather than a test-enforced one.
+func (m *Model) generate(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts GenerateOpts, emit func(token int) bool) ([]int, error) {
+	opts.Defaults()
+	if kv.Len() == 0 {
+		return nil, fmt.Errorf("model: Generate on empty cache")
+	}
+	if len(lastLogits) != m.Cfg.VocabSize {
+		return nil, fmt.Errorf("model: logits width %d != vocab %d", len(lastLogits), m.Cfg.VocabSize)
+	}
 	var out []int
-	sc := m.getScratch()
-	defer m.putScratch(sc)
+	lane := m.NewDecodeLane()
+	defer lane.Close()
+	lanes := []*DecodeLane{lane}
+	toks, poss := make([]int, 1), make([]int, 1)
+	kvs := []kvcache.KV{kv}
 	logits := lastLogits
 	pos := kv.MaxPos()
 	for len(out) < opts.MaxTokens {
@@ -238,18 +227,21 @@ func (m *Model) GenerateStream(ctx context.Context, kv kvcache.KV, lastLogits []
 			break
 		}
 		out = append(out, next)
-		if !emit(next) {
+		if emit != nil && !emit(next) {
 			break
 		}
 		pos++
 		if pos >= m.Cfg.MaxSeq {
 			break
 		}
-		var err error
-		logits, err = m.decodeStep(sc, next, pos, kv)
-		if err != nil {
+		toks[0], poss[0] = next, pos
+		if err := m.DecodeStepBatch(lanes, toks, poss, kvs); err != nil {
 			return out, err
 		}
+		if err := lane.Err(); err != nil {
+			return out, err
+		}
+		logits = lane.Logits()
 	}
 	return out, nil
 }

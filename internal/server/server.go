@@ -4,7 +4,13 @@
 // schemas are uploaded once, prompts derived from them complete with
 // cached attention states, and /v1/sessions carries multi-turn traffic
 // over server-held KV state. Request contexts propagate into the engine,
-// so a client that disconnects aborts its prefill and decode mid-flight.
+// so a client that disconnects aborts its prefill and decode mid-flight
+// — under continuous batching, that evicts the request's scheduler lane
+// without disturbing the rest of the fused batch. Every endpoint shares
+// one Client, so when the client runs a decode scheduler, mixed traffic
+// (/v1/complete, /v1/stream, session sends) fuses into the same batched
+// decode steps; /v1/stats reports the scheduler's queue, lanes and
+// batch-size histogram.
 package server
 
 import (
@@ -87,6 +93,7 @@ func New(client *promptcache.Client) *Server {
 	s.mux.HandleFunc("PUT /vocab", s.handleVocabPut)
 	s.mux.HandleFunc("POST /vocab", s.handleVocabPut)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
 
@@ -198,12 +205,23 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, completeResponse(resp))
 }
 
+// streamTokenBuffer bounds how far decoding may run ahead of a stream
+// client's reads. Under the decode scheduler, a client that falls
+// further behind than this has its lane dropped (generation ends early,
+// the done event still flushes) rather than letting its backpressure
+// stall the shared decode batch; without a scheduler, generation simply
+// paces to the client's reads as before.
+const streamTokenBuffer = 256
+
 // handleStream serves a completion as server-sent events: one
 // `data: {"token": "..."}` event per generated token, then a final
 // `data: {"done": true, ...}` event with the reuse statistics. TTFT is
 // visible to clients as the delay before the first event — the quantity
 // Prompt Cache improves. A disconnecting client cancels the request
-// context, which aborts the decode loop inside the engine.
+// context, which aborts the decode loop inside the engine (under the
+// decode scheduler: evicts the request's lane without disturbing the
+// batch); a connected-but-stalled client is dropped once it falls
+// streamTokenBuffer tokens behind.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.reapIdle()
 	var req CompleteRequest
@@ -226,15 +244,54 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	// Token delivery is decoupled from decoding: under the shared decode
+	// scheduler the Stream callback runs on the scheduler goroutine, so
+	// it must never write to (or block on) the connection — a dead or
+	// slow client would stall every other lane in the batch. The
+	// callback only hands tokens to a buffered channel; this writer
+	// goroutine owns the actual SSE writes.
+	tokens := make(chan string, streamTokenBuffer)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for text := range tokens {
+			send(map[string]string{"token": text})
+		}
+	}()
+	fused := s.client.SchedulerEnabled()
 	resp, err := s.client.Infer(r.Context(), promptcache.Request{
 		Prompt:    req.Prompt,
 		Baseline:  req.Baseline,
 		MaxTokens: req.MaxTokens,
 		Stream: func(text string) bool {
-			send(map[string]string{"token": text})
-			return true
+			// Drop the lane the moment the client disconnects.
+			if r.Context().Err() != nil {
+				return false
+			}
+			if !fused {
+				// Solo decode: emit runs on this request's own goroutine,
+				// so pacing generation to the client's reads (the
+				// pre-scheduler behavior) blocks nobody else.
+				select {
+				case tokens <- text:
+					return true
+				case <-r.Context().Done():
+					return false
+				}
+			}
+			// Fused decode: this callback runs on the shared scheduler
+			// goroutine. A client that stops reading must cost its own
+			// lane, never the batch — drop rather than block.
+			select {
+			case tokens <- text:
+				return true
+			default:
+				return false
+			}
 		},
 	})
+	close(tokens)
+	<-writerDone // all token events flushed; done/error events are ours
 	if err != nil {
 		if headerSent {
 			send(map[string]string{"error": err.Error()})
@@ -516,7 +573,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	open := len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"modules_encoded":  st.ModulesEncoded,
 		"modules_reused":   st.ModulesReused,
 		"modules_evicted":  st.ModulesEvicted,
@@ -525,7 +582,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"tokens_reused":    st.TokensReused,
 		"pool_bytes":       s.client.Engine().PoolUsed(),
 		"open_sessions":    open,
-	})
+	}
+	if ss := s.client.SchedulerStats(); ss.Enabled {
+		// Decode-scheduler observability: whether mixed HTTP traffic is
+		// actually fusing (batch_hist beyond index 0), how deep the join
+		// queue runs, and decode-phase throughput.
+		body["scheduler"] = map[string]any{
+			"max_batch":       ss.MaxBatch,
+			"queue_depth":     ss.QueueDepth,
+			"active_lanes":    ss.ActiveLanes,
+			"lanes_joined":    ss.LanesJoined,
+			"lanes_retired":   ss.LanesRetired,
+			"lanes_cancelled": ss.LanesCancelled,
+			"fused_steps":     ss.Steps,
+			"tokens_decoded":  ss.TokensDecoded,
+			"batch_hist":      ss.BatchHist,
+			"tokens_per_sec":  ss.TokensPerSec(),
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func readJSON(r *http.Request, dst any) error {

@@ -492,3 +492,101 @@ func TestStats(t *testing.T) {
 		t.Fatalf("no token reuse counted: %v", out)
 	}
 }
+
+// newSchedServer builds a server whose client runs the continuous-
+// batching decode scheduler, returning both so tests can observe lanes.
+func newSchedServer(t *testing.T) (*Server, *promptcache.Client) {
+	t.Helper()
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := promptcache.New(m, promptcache.WithDecodeScheduler(4))
+	return New(client), client
+}
+
+// TestStreamClientDisconnectRetiresLane is the regression test for
+// streaming under continuous batching: a client that kills its SSE
+// connection mid-reply must have its scheduler lane retired promptly
+// (via r.Context() or the emit refusal), not decode on toward
+// max_tokens while other lanes share its batch.
+func TestStreamClientDisconnectRetiresLane(t *testing.T) {
+	s, client := newSchedServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	_ = json.NewEncoder(&buf).Encode(SchemaRequest{PML: testSchema})
+	if resp, err := ts.Client().Post(ts.URL+"/schemas", "application/json", &buf); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %v %v", err, resp)
+	}
+
+	// max_tokens asks for far more decode than MaxSeq even allows; only a
+	// prompt per-lane abort keeps tokens_decoded small.
+	buf.Reset()
+	_ = json.NewEncoder(&buf).Encode(CompleteRequest{
+		Prompt:    `<prompt schema="docs"><contract/>Summarize at length.</prompt>`,
+		MaxTokens: 1 << 20,
+	})
+	resp, err := ts.Client().Post(ts.URL+"/v1/stream", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one token event, then kill the connection.
+	one := make([]byte, 64)
+	if _, err := resp.Body.Read(one); err != nil {
+		t.Fatalf("first event: %v", err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := client.SchedulerStats()
+		if st.LanesJoined > 0 && st.LanesJoined == st.LanesRetired && st.ActiveLanes == 0 && st.QueueDepth == 0 {
+			if st.TokensDecoded > 4000 {
+				t.Fatalf("lane decoded %d tokens after disconnect; abort was not prompt", st.TokensDecoded)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lane never retired after client disconnect: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStatsSchedulerBlock: /v1/stats (and /stats) must expose the decode
+// scheduler's observability block when the scheduler is enabled, and
+// omit it when it is not.
+func TestStatsSchedulerBlock(t *testing.T) {
+	s, _ := newSchedServer(t)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	prompt := `<prompt schema="docs"><contract/>Summarize.</prompt>`
+	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+	_, out := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	sched, ok := out["scheduler"].(map[string]any)
+	if !ok {
+		t.Fatalf("no scheduler block in /v1/stats: %v", out)
+	}
+	if sched["max_batch"].(float64) != 4 {
+		t.Fatalf("scheduler block = %v", sched)
+	}
+	if sched["tokens_decoded"].(float64) != 4 {
+		t.Fatalf("tokens_decoded = %v, want 4", sched["tokens_decoded"])
+	}
+	if sched["lanes_joined"].(float64) != 1 || sched["lanes_retired"].(float64) != 1 {
+		t.Fatalf("lane lifecycle: %v", sched)
+	}
+	hist, ok := sched["batch_hist"].([]any)
+	if !ok || len(hist) != 4 || hist[0].(float64) == 0 {
+		t.Fatalf("batch_hist = %v", sched["batch_hist"])
+	}
+
+	// Unscheduled server: no block.
+	plain := newServer(t)
+	doJSON(t, plain, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	_, out = doJSON(t, plain, http.MethodGet, "/v1/stats", nil)
+	if _, has := out["scheduler"]; has {
+		t.Fatalf("scheduler block present without scheduler: %v", out)
+	}
+}

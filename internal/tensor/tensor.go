@@ -157,6 +157,41 @@ func Dot(a, b []float32) float32 {
 	return s
 }
 
+// Dot2 computes a·b0 and a·b1 in a single pass over a. Each sum
+// accumulates in exactly the order Dot(a, bK) would, so the results are
+// bit-identical to two solo calls; sharing the walk loads each element
+// of a once for both sums — the inner kernel of the batched-decode
+// output head.
+func Dot2(a, b0, b1 []float32) (float32, float32) {
+	if len(b0) != len(a) || len(b1) != len(a) {
+		panic(fmt.Sprintf("tensor: Dot2 length mismatch %d/%d vs %d", len(b0), len(b1), len(a)))
+	}
+	b0, b1 = b0[:len(a)], b1[:len(a)]
+	var s0, s1 float32
+	for i, av := range a {
+		s0 += av * b0[i]
+		s1 += av * b1[i]
+	}
+	return s0, s1
+}
+
+// Dot4 is Dot2 over four right-hand sides: one pass over a, four
+// bit-identical sums.
+func Dot4(a, b0, b1, b2, b3 []float32) (float32, float32, float32, float32) {
+	if len(b0) != len(a) || len(b1) != len(a) || len(b2) != len(a) || len(b3) != len(a) {
+		panic(fmt.Sprintf("tensor: Dot4 length mismatch vs %d", len(a)))
+	}
+	b0, b1, b2, b3 = b0[:len(a)], b1[:len(a)], b2[:len(a)], b3[:len(a)]
+	var s0, s1, s2, s3 float32
+	for i, av := range a {
+		s0 += av * b0[i]
+		s1 += av * b1[i]
+		s2 += av * b2[i]
+		s3 += av * b3[i]
+	}
+	return s0, s1, s2, s3
+}
+
 // Add computes dst[i] += src[i].
 func Add(dst, src []float32) {
 	if len(dst) != len(src) {

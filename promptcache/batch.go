@@ -2,6 +2,7 @@ package promptcache
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -49,6 +50,29 @@ func (c *Client) InferBatch(ctx context.Context, req BatchRequest) (*BatchRespon
 		MaxTokens:   req.MaxTokens,
 		Sampler:     req.Sampler,
 		StopToken:   req.StopToken,
+	}
+	// Under a decode scheduler, generate every member concurrently so the
+	// whole batch decodes as simultaneous lanes of the fused steps — but
+	// only with the stateless default sampler: the request's one Sampler
+	// is shared across members, and concurrent lanes would consume its
+	// state in nondeterministic member order.
+	if c.cache.SchedEnabled() && !req.PrefillOnly && req.Sampler == nil && len(results) > 1 {
+		errs := make([]error, len(results))
+		var wg sync.WaitGroup
+		for i, res := range results {
+			wg.Add(1)
+			go func(i int, res *core.ServeResult) {
+				defer wg.Done()
+				out.Results[i], errs[i] = c.generate(ctx, res, one)
+			}(i, res)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
 	}
 	for i, res := range results {
 		resp, err := c.generate(ctx, res, one)

@@ -40,3 +40,17 @@ func WithEvictionPolicy(name string) (Option, error) {
 	}
 	return core.WithEvictionPolicy(p), nil
 }
+
+// DefaultMaxDecodeBatch is the fused-step width used when
+// WithDecodeScheduler is given a non-positive bound.
+const DefaultMaxDecodeBatch = core.DefaultMaxDecodeBatch
+
+// WithDecodeScheduler enables continuous-batching decode: concurrent
+// generations through this Client — Infer, Session.Send, streaming
+// requests, batch members — fuse into shared model steps, so N active
+// replies cost one layer walk per token instead of N. maxBatch bounds
+// how many sequences one fused step carries (non-positive selects
+// DefaultMaxDecodeBatch); excess requests queue and join as lanes
+// retire. Each request's token stream is bit-identical to what it would
+// produce decoding solo: same sampler state, same logits.
+func WithDecodeScheduler(maxBatch int) Option { return core.WithDecodeScheduler(maxBatch) }

@@ -26,7 +26,18 @@
 // them — Infer releases its pins after generation, Sessions hold theirs
 // until Close (Session.Materialize releases them early by copying the
 // state into owned storage). InferBatch fans its prompts
-// out over a bounded worker pool sharing one paged block pool. Schema
+// out over a bounded worker pool sharing one paged block pool.
+//
+// With WithDecodeScheduler the decode phase is continuous-batched:
+// concurrent generations join a shared token scheduler after their
+// prefills and advance together, one fused model step per token for the
+// whole batch. Requests join mid-flight, retire independently (stop
+// token, MaxTokens, context cancellation), and each produces exactly the
+// token stream it would have produced decoding alone — the scheduler
+// changes throughput, never output. SchedulerStats exposes queue depth,
+// active lanes and the batch-size histogram.
+//
+// Schema
 // registration and prefetch encode module states under the engine lock
 // (encoding is the deliberate one-time cost): requests already past
 // planning are unaffected, but a request that starts while a
@@ -111,6 +122,21 @@ func (c *Client) Schemas() []string { return c.cache.SchemaNames() }
 
 // Stats returns a snapshot of cache activity counters.
 func (c *Client) Stats() core.Stats { return c.cache.Stats() }
+
+// SchedStats is a snapshot of decode-scheduler activity: queue depth,
+// active lanes, fused-step counters and the batch-size histogram. It is
+// an alias of the engine's type, like Option and Sampler.
+type SchedStats = core.SchedStats
+
+// SchedulerStats returns a snapshot of the decode scheduler's activity.
+// Without WithDecodeScheduler it returns the zero snapshot
+// (Enabled false).
+func (c *Client) SchedulerStats() SchedStats { return c.cache.SchedStats() }
+
+// SchedulerEnabled reports whether this client decodes through a
+// continuous-batching scheduler (WithDecodeScheduler), without the
+// locking and copying of a full SchedulerStats snapshot.
+func (c *Client) SchedulerEnabled() bool { return c.cache.SchedEnabled() }
 
 // Infer runs one inference request end to end: serve the prompt (cached
 // reuse or full-prefill baseline), then generate unless the request is

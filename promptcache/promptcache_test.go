@@ -352,3 +352,113 @@ func TestInferBatchSharing(t *testing.T) {
 		t.Fatalf("empty batch: %v", err)
 	}
 }
+
+// TestSchedulerRoutesAllPaths: with WithDecodeScheduler every decode —
+// Infer, streaming, session turns — runs as a lane of the shared fused
+// batch and must produce exactly the text of an unscheduled client.
+func TestSchedulerRoutesAllPaths(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(testVocab, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(m)
+	m2, err := model.New(model.LlamaStyle(testVocab, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := New(m2, WithDecodeScheduler(4))
+	for _, c := range []*Client{plain, fused} {
+		if _, err := c.RegisterSchema(testSchema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	prompt := `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`
+
+	run := func(c *Client) (infer, streamed, turn string) {
+		t.Helper()
+		resp, err := c.Infer(ctx, Request{Prompt: prompt, MaxTokens: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		infer = resp.Text
+		var sb strings.Builder
+		if _, err = c.Infer(ctx, Request{Prompt: prompt, MaxTokens: 8, Stream: func(text string) bool {
+			sb.WriteString(text)
+			return true
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		streamed = sb.String()
+		sess, _, err := c.NewSession(ctx, Request{Prompt: prompt, MaxTokens: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		reply, err := sess.Send(ctx, "tell me more")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return infer, streamed, reply.Text
+	}
+
+	wantInfer, wantStream, wantTurn := run(plain)
+	gotInfer, gotStream, gotTurn := run(fused)
+	if gotInfer != wantInfer || gotStream != wantStream || gotTurn != wantTurn {
+		t.Fatalf("scheduled output diverged:\ninfer  %q vs %q\nstream %q vs %q\nturn   %q vs %q",
+			gotInfer, wantInfer, gotStream, wantStream, gotTurn, wantTurn)
+	}
+	st := fused.SchedulerStats()
+	if !st.Enabled || st.LanesJoined < 4 || st.LanesJoined != st.LanesRetired {
+		t.Fatalf("scheduler did not carry the decodes: %+v", st)
+	}
+	if plainStats := plain.SchedulerStats(); plainStats.Enabled {
+		t.Fatalf("unscheduled client reports a scheduler: %+v", plainStats)
+	}
+}
+
+// TestSchedulerBatchDecodeFuses: InferBatch under a scheduler decodes
+// its members as concurrent lanes, with results identical to the
+// sequential (unscheduled) batch.
+func TestSchedulerBatchDecodeFuses(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(testVocab, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := New(m)
+	m2, err := model.New(model.LlamaStyle(testVocab, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := New(m2, WithDecodeScheduler(4))
+	for _, c := range []*Client{plain, fused} {
+		if _, err := c.RegisterSchema(testSchema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := BatchRequest{
+		Prompts: []string{
+			`<prompt schema="travel"><miami/>One.</prompt>`,
+			`<prompt schema="travel"><tokyo/>Two.</prompt>`,
+			`<prompt schema="travel"><trip-plan duration="two days"/><miami/>Three.</prompt>`,
+		},
+		MaxTokens: 8,
+	}
+	ctx := context.Background()
+	want, err := plain.InferBatch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fused.InferBatch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Results {
+		if got.Results[i].Text != want.Results[i].Text {
+			t.Fatalf("batch member %d diverged: %q vs %q", i, got.Results[i].Text, want.Results[i].Text)
+		}
+	}
+	if st := fused.SchedulerStats(); st.LanesJoined < int64(len(req.Prompts)) {
+		t.Fatalf("batch members did not decode through the scheduler: %+v", st)
+	}
+}

@@ -1,0 +1,132 @@
+// Command benchdiff compares two machine-readable benchmark files
+// (BENCH_serve.json / BENCH_decode.json, as written by `pcbench -json`)
+// and reports metric regressions beyond a threshold.
+//
+// It is the warn-only half of a CI perf-regression gate: run the bench
+// on a PR, diff against the checked-in baseline, and annotate the run
+// (GitHub `::warning::` lines) when a point regressed more than the
+// threshold. By default it always exits 0 — perf noise on shared CI
+// runners should flag, not block; -strict turns regressions into a
+// nonzero exit for when the gate hardens.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] [-strict] baseline.json current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metricDirection: +1 means higher is worse (latency, allocations),
+// -1 means lower is worse (throughput). Unknown numeric fields are
+// ignored rather than guessed.
+var metricDirection = map[string]int{
+	"ns_per_op":      +1,
+	"ms_per_op":      +1,
+	"bytes_per_op":   +1,
+	"allocs_per_op":  +1,
+	"tokens_per_sec": -1,
+}
+
+// identityKeys name a point within a file; everything else numeric is a
+// candidate metric.
+var identityKeys = []string{"mode", "prefix_tokens", "streams"}
+
+type point = map[string]any
+
+func load(path string) ([]point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pts []point
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pts, nil
+}
+
+// identity renders a point's identity fields as a stable key/label.
+func identity(p point) string {
+	var parts []string
+	for _, k := range identityKeys {
+		if v, ok := p[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "relative regression that triggers a warning (0.20 = 20%)")
+	strict := flag.Bool("strict", false, "exit nonzero when any metric regresses past the threshold (hard gate)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold f] [-strict] baseline.json current.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseline := map[string]point{}
+	for _, p := range base {
+		baseline[identity(p)] = p
+	}
+	regressions := 0
+	compared := 0
+	for _, p := range cur {
+		id := identity(p)
+		b, ok := baseline[id]
+		if !ok {
+			fmt.Printf("benchdiff: %s: new point, no baseline\n", id)
+			continue
+		}
+		for metric, dir := range metricDirection {
+			curV, okC := asFloat(p[metric])
+			baseV, okB := asFloat(b[metric])
+			if !okC || !okB || baseV == 0 {
+				continue
+			}
+			compared++
+			// delta > 0 means worse, regardless of direction.
+			delta := (curV - baseV) / baseV * float64(dir)
+			if delta > *threshold {
+				regressions++
+				fmt.Printf("::warning title=bench regression::%s %s regressed %.1f%% (%.4g -> %.4g, threshold %.0f%%)\n",
+					id, metric, delta*100, baseV, curV, *threshold*100)
+			} else if delta < -*threshold {
+				fmt.Printf("benchdiff: %s %s improved %.1f%% (%.4g -> %.4g)\n",
+					id, metric, -delta*100, baseV, curV)
+			}
+		}
+	}
+	fmt.Printf("benchdiff: %d metrics compared, %d regressed beyond %.0f%%\n",
+		compared, regressions, *threshold*100)
+	if *strict && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}

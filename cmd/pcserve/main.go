@@ -16,6 +16,14 @@
 // Example:
 //
 //	pcserve -addr :8080 -arch llama &
+//
+// With -cache-dir the server is restart-durable: evicted modules spill
+// to disk (quantized per -cache-codec) instead of dropping, SIGINT/
+// SIGTERM snapshots every registered schema's states, and the next boot
+// warm-restores them — the first cached request after a restart pays no
+// re-encoding:
+//
+//	pcserve -cache-dir /var/lib/pcserve -cache-codec int8
 //	curl -d '{"pml":"<schema name=\"s\"><module name=\"m\">hi</module></schema>"}' localhost:8080/schemas
 //	curl -d '{"prompt":"<prompt schema=\"s\"><m/>go</prompt>","max_tokens":16}' localhost:8080/v1/complete
 //	curl -d '{"prompt":"<prompt schema=\"s\"><m/><user>hi</user></prompt>"}' localhost:8080/v1/sessions
@@ -23,10 +31,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/server"
@@ -42,6 +56,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrently open sessions")
 	sessionIdle := flag.Duration("session-idle", server.DefaultSessionIdleTimeout, "idle age after which abandoned sessions are reaped")
 	decodeBatch := flag.Int("decode-batch", promptcache.DefaultMaxDecodeBatch, "continuous-batching decode width: concurrent generations fuse into shared model steps (0 disables the scheduler)")
+	cacheDir := flag.String("cache-dir", "", "durable cache directory: evicted modules spill here instead of dropping, and registered schemas persist across restarts (SIGINT/SIGTERM snapshots, next boot warm-restores)")
+	cacheCodec := flag.String("cache-codec", "int8", "disk-tier codec: fp32 (bit-exact), int8 or int4")
 	flag.Parse()
 
 	var cfg model.Config
@@ -70,9 +86,66 @@ func main() {
 	if *decodeBatch > 0 {
 		opts = append(opts, promptcache.WithDecodeScheduler(*decodeBatch))
 	}
-	srv := server.New(promptcache.New(m, opts...))
+	var codec promptcache.Codec
+	if *cacheDir != "" {
+		var err error
+		if codec, err = promptcache.ParseCodec(*cacheCodec); err != nil {
+			log.Fatalf("pcserve: %v", err)
+		}
+		opts = append(opts, promptcache.WithDiskTier(*cacheDir, codec))
+	}
+
+	// With a cache dir, a previous run's snapshot warm-restores: every
+	// schema it held serves its first cached request without re-encoding.
+	var client *promptcache.Client
+	if *cacheDir != "" && promptcache.HasSnapshot(*cacheDir) {
+		var err error
+		if client, err = promptcache.Open(m, *cacheDir, opts...); err != nil {
+			// A damaged or mismatched snapshot must not crash-loop the
+			// server under a supervisor: degrade to a cold start (schemas
+			// re-register and re-encode as they arrive) and keep the dir
+			// for spills and the next snapshot.
+			log.Printf("pcserve: restoring %s failed (%v); starting cold", *cacheDir, err)
+		}
+	}
+	if client != nil {
+		fmt.Printf("pcserve: warm restart from %s (%d schemas)\n", *cacheDir, len(client.Schemas()))
+	} else {
+		client = promptcache.New(m, opts...)
+	}
+
+	srv := server.New(client)
 	srv.MaxSessions = *maxSessions
 	srv.SessionIdleTimeout = *sessionIdle
 	fmt.Printf("pcserve: %s model on %s\n", cfg.Name, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	if *cacheDir == "" {
+		log.Fatal(httpSrv.ListenAndServe())
+		return
+	}
+	// SIGINT/SIGTERM: stop accepting traffic, snapshot the cache, exit —
+	// the write half of the warm-restart loop.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("pcserve: drain timed out after 10s; snapshotting with requests still in flight")
+		} else {
+			log.Printf("pcserve: shutdown: %v", err)
+		}
+	}
+	if err := client.SaveAll(*cacheDir); err != nil {
+		log.Fatalf("pcserve: saving %s: %v", *cacheDir, err)
+	}
+	fmt.Printf("pcserve: cache saved to %s (%s codec)\n", *cacheDir, codec)
 }

@@ -45,6 +45,29 @@
 // BenchmarkDecodeContinuous and `pcbench -json BENCH_decode.json
 // decode` track fused-vs-sequential throughput.
 //
+// # Storage tiers & persistence
+//
+// Module states live in a three-level hierarchy — device pool
+// (WithDeviceCapacity), host pool (WithHostTier), and a durable disk
+// tier (WithDiskTier) — each larger, slower and cheaper than the one
+// above, and every level cheaper than re-encoding. Eviction demotes
+// device→host; when the host tier is absent or full the module spills
+// to a content-addressed file instead of dropping, quantized per the
+// tier's codec (CodecFP32 bit-exact, CodecInt8 ~3.9× smaller, CodecInt4
+// ~7×). The next serve reads the blob back outside the engine lock and
+// promotes it like any host-tier hit: no capacity error, no re-encode.
+// /v1/stats exposes per-tier occupancy and movement counters.
+//
+// The same blob store backs warm restarts: Client.SaveAll(dir) persists
+// every registered schema (PML source, module and scaffold states, the
+// tokenizer's learned vocabulary) and promptcache.Open(m, dir) restores
+// it all with zero prompt encoding — modules come back disk-resident
+// and promote lazily, so a restarted server's first cached request is a
+// cache hit. `pcserve -cache-dir` wires the loop end to end (SIGTERM
+// snapshots, next boot warm-restores). Snapshots validate model shape,
+// module rosters and token counts before restoring, and corrupt blobs
+// degrade to a transparent re-encode, never a crash.
+//
 // # Concurrency
 //
 // Serving is parallel: the engine lock guards only metadata (schema
@@ -64,8 +87,9 @@
 // internal/kvcache), the Prompt Markup Language and its position-layout
 // compiler (internal/pml), a prompt-program front end (internal/
 // promptlang), the prompt cache itself — schema encoding, scaffolding,
-// cached inference, LRU eviction (internal/core) — simulated GPU/CPU
-// memory tiers (internal/memory), calibrated hardware latency models
+// cached inference, LRU eviction, tiered storage and warm-restart
+// snapshots (internal/core) — simulated GPU/CPU/disk memory tiers
+// (internal/memory), calibrated hardware latency models
 // (internal/hw), synthetic LongBench workloads (internal/longbench),
 // evaluation metrics (internal/metrics), an HTTP serving layer over the
 // public API (internal/server) and the experiment harness that

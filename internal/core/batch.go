@@ -216,7 +216,14 @@ func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	if err != nil {
 		return nil, err
 	}
-	defer c.unpinModules(plan.pinned)
+	// Resolve pending disk-tier parts before assembly (the registry needs
+	// materialized states); this may append to plan.pinned, so the defer
+	// must re-read the slice rather than capture it now.
+	if err := c.resolveDiskParts(plan, prompt.SchemaName); err != nil {
+		c.unpinModules(plan.pinned)
+		return nil, err
+	}
+	defer func() { c.unpinModules(plan.pinned) }()
 
 	seq := c.m.NewSeq(plan.tailCap)
 	for _, part := range plan.parts {

@@ -56,6 +56,10 @@ const (
 	stateDemoted
 	// stateDropped: states are gone; reuse must re-encode.
 	stateDropped
+	// stateDisk: states were evicted to the durable disk tier (quantized
+	// per the tier's codec); reuse reads them back and promotes without
+	// re-encoding.
+	stateDisk
 )
 
 // Bytes returns the storage footprint: compressed size under int8
@@ -92,6 +96,9 @@ type schemaEntry struct {
 	layout    *pml.Layout
 	modules   map[string]*EncodedModule
 	scaffolds map[string]*EncodedScaffold
+	// src is the schema's PML source, kept so SaveAll can persist a
+	// restartable snapshot (OpenDir re-compiles the layout from it).
+	src string
 }
 
 // Stats counts cache activity.
@@ -105,6 +112,11 @@ type Stats struct {
 	ModulesPromoted int // demoted modules pulled back on reuse
 	TokensEncoded   int // tokens run through prefill during encoding
 	TokensReused    int // cached tokens spliced into served prompts
+
+	ModulesSpilled    int // evictions that wrote states to the disk tier
+	DiskHits          int // module states read back from the disk tier
+	DiskLoadErrors    int // unreadable disk blobs (fell back to re-encode)
+	TierAccountErrors int // tier bookkeeping failures; nonzero means occupancy counters drifted
 }
 
 // Cache is the Prompt Cache: it owns a model, a tokenizer, a chat
@@ -129,6 +141,11 @@ type Cache struct {
 	// hostPool, when set, receives evicted module states instead of
 	// dropping them (two-tier §4.1); nil disables demotion.
 	hostPool *memory.Pool
+	// disk, when set, is the durable third tier below the host pool:
+	// modules that would otherwise drop spill to content-addressed files
+	// (quantized per the tier's codec) and read back on reuse instead of
+	// re-encoding. nil disables spilling.
+	disk *diskTier
 
 	compress bool
 
@@ -166,6 +183,17 @@ func WithHostPool(p *memory.Pool) Option { return func(c *Cache) { c.hostPool = 
 // WithEvictionPolicy selects the cache-replacement policy for module
 // states under a capacity-limited pool (default: evict.NewLRU()).
 func WithEvictionPolicy(p evict.Policy) Option { return func(c *Cache) { c.policy = p } }
+
+// WithDiskTier adds a durable disk tier below the host pool (or directly
+// below the device pool when no host tier is configured): a module whose
+// eviction would otherwise drop its states spills them to a
+// content-addressed file under dir, quantized per codec (CodecFP32 for
+// bit-exact spills), and the next serve that needs it reads the file back
+// and promotes it like any host-tier hit — no re-encode. The same dir is
+// what SaveAll/OpenDir persist warm-restart snapshots into.
+func WithDiskTier(dir string, codec Codec) Option {
+	return func(c *Cache) { c.disk = newDiskTier(dir, codec) }
+}
 
 // WithInt8Modules stores module states quantized to int8 with per-row
 // scales (§6's compression direction): ~3.8× less storage and copy
@@ -220,6 +248,38 @@ func (c *Cache) Stats() Stats {
 // PoolUsed returns the bytes of module states currently resident.
 func (c *Cache) PoolUsed() int64 { return c.pool.Used() }
 
+// HostUsed returns the bytes of module states currently demoted to the
+// host tier (0 when no host pool is configured).
+func (c *Cache) HostUsed() int64 {
+	if c.hostPool == nil {
+		return 0
+	}
+	return c.hostPool.Used()
+}
+
+// DiskTierEnabled reports whether a disk tier is configured.
+func (c *Cache) DiskTierEnabled() bool { return c.disk != nil }
+
+// DiskUsed returns the bytes of module blobs tracked by the disk tier
+// (0 when no disk tier is configured).
+func (c *Cache) DiskUsed() int64 {
+	if c.disk == nil {
+		return 0
+	}
+	return c.disk.pool.Used()
+}
+
+// DiskModules returns the number of modules with a durable blob in the
+// disk tier.
+func (c *Cache) DiskModules() int {
+	if c.disk == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.disk.index)
+}
+
 // SchedEnabled reports whether a decode scheduler is configured — the
 // cheap check for callers that branch on it per request (no lock, no
 // stats snapshot).
@@ -270,6 +330,7 @@ func (c *Cache) RegisterSchema(src string) (*pml.Layout, error) {
 		layout:    layout,
 		modules:   make(map[string]*EncodedModule),
 		scaffolds: make(map[string]*EncodedScaffold),
+		src:       src,
 	}
 
 	c.mu.Lock()
@@ -293,22 +354,36 @@ func (c *Cache) RegisterSchema(src string) (*pml.Layout, error) {
 	return layout, nil
 }
 
+// freeTracked releases a pool reservation, counting (rather than
+// silently discarding) bookkeeping failures: a failed Free means the
+// tier's occupancy counter no longer reflects reality, and
+// TierAccountErrors is how that drift surfaces in /v1/stats instead of
+// going unnoticed.
+func (c *Cache) freeTracked(p *memory.Pool, key string) {
+	if err := p.Free(key); err != nil {
+		c.stats.TierAccountErrors++
+	}
+}
+
 // dropSchemaLocked releases all pool reservations of a schema.
 func (c *Cache) dropSchemaLocked(name string, e *schemaEntry) {
 	for mod := range e.modules {
 		key := name + "/" + mod
 		if c.pool.Has(key) {
-			_ = c.pool.Free(key)
+			c.freeTracked(c.pool, key)
 		}
 		if c.hostPool != nil && c.hostPool.Has(key) {
-			_ = c.hostPool.Free(key)
+			c.freeTracked(c.hostPool, key)
+		}
+		if c.disk != nil {
+			c.removeDiskLocked(key)
 		}
 		c.policy.Remove(key)
 	}
 	for sc := range e.scaffolds {
 		key := name + "/scaffold/" + sc
 		if c.pool.Has(key) {
-			_ = c.pool.Free(key)
+			c.freeTracked(c.pool, key)
 		}
 	}
 	delete(c.schemas, name)
@@ -456,18 +531,24 @@ func (c *Cache) evictOneLocked(loading string) bool {
 		}
 		em := c.moduleForKeyLocked(key)
 		if em != nil {
-			// Prefer demotion to the host tier; drop only when the host
-			// pool is absent or full.
-			if c.hostPool != nil && c.hostPool.Alloc(key, em.Bytes()) == nil {
+			// Prefer demotion to the host tier; below it, spill to the
+			// disk tier; drop only when both are absent or full.
+			switch {
+			case c.hostPool != nil && c.hostPool.Alloc(key, em.Bytes()) == nil:
 				em.state = stateDemoted
 				c.stats.ModulesDemoted++
-			} else {
+			case c.disk != nil && c.spillLocked(key, em) == nil:
+				em.KV = nil
+				em.Quant = nil
+				em.state = stateDisk
+				c.stats.ModulesSpilled++
+			default:
 				em.KV = nil
 				em.Quant = nil
 				em.state = stateDropped
 			}
 		}
-		_ = c.pool.Free(key)
+		c.freeTracked(c.pool, key)
 		c.stats.ModulesEvicted++
 		return true
 	}
@@ -483,12 +564,14 @@ func splitKey(key string) (schema, mod string, ok bool) {
 }
 
 // promoteLocked moves a demoted module back into the primary pool
-// (evicting others if needed) and releases its host reservation.
+// (evicting others if needed) and releases its host reservation. A
+// failed host-pool release is counted in TierAccountErrors rather than
+// discarded, so the host occupancy counter cannot drift silently.
 func (c *Cache) promoteLocked(key string, em *EncodedModule) error {
 	if err := c.reserveLocked(key, em.Bytes()); err != nil {
 		return err
 	}
-	_ = c.hostPool.Free(key)
+	c.freeTracked(c.hostPool, key)
 	em.state = stateResident
 	c.stats.ModulesPromoted++
 	return nil
@@ -508,6 +591,21 @@ func (c *Cache) getModuleLocked(schemaName string, e *schemaEntry, name string) 
 		return c.encodeModuleLocked(schemaName, e, name)
 	case stateDemoted:
 		if err := c.promoteLocked(key, em); err != nil {
+			return nil, err
+		}
+	case stateDisk:
+		// Warming path (Prefetch, snapshots): the blob read happens under
+		// the lock, like encoding. Serves use the off-lock resolve in
+		// engine.go instead.
+		kv, lerr := c.diskLoadLocked(key, em)
+		if lerr != nil {
+			// Unreadable blob: degrade to a re-encode. Corruption also
+			// deletes the blob; a transient IO error keeps it for retry.
+			c.diskLoadFailedLocked(key, em, lerr)
+			c.stats.ModulesReloaded++
+			return c.encodeModuleLocked(schemaName, e, name)
+		}
+		if err := c.installDiskStatesLocked(key, em, kv); err != nil {
 			return nil, err
 		}
 	}
@@ -534,20 +632,7 @@ func (c *Cache) acquireModuleLocked(schemaName string, e *schemaEntry, name stri
 	key := schemaName + "/" + name
 	switch em.state {
 	case stateDropped:
-		c.stats.ModulesReloaded++
-		em2, err := c.encodeModuleLocked(schemaName, e, name)
-		if err == nil {
-			em2.pins++
-			return servePart{key: key, em: em2}, nil
-		}
-		if !errors.Is(err, ErrCapacity) {
-			return servePart{}, err
-		}
-		kv, terr := c.encodeTransientLocked(schemaName, e, name)
-		if terr != nil {
-			return servePart{}, terr
-		}
-		return servePart{key: key, kv: kv}, nil
+		return c.reencodeForServeLocked(schemaName, e, name, key)
 	case stateDemoted:
 		if err := c.promoteLocked(key, em); err != nil {
 			if !errors.Is(err, ErrCapacity) {
@@ -560,11 +645,36 @@ func (c *Cache) acquireModuleLocked(schemaName string, e *schemaEntry, name stri
 			c.stats.ModulesReused++
 			return servePart{key: key, kv: em.States()}, nil
 		}
+	case stateDisk:
+		// The blob read is disk IO and must not run under the cache-wide
+		// lock: return a pending part; the serve resolves it off-lock
+		// (resolveDiskParts) and re-locks briefly to promote and pin.
+		return servePart{key: key, disk: em}, nil
 	}
 	c.policy.Touch(key, em.Bytes())
 	c.stats.ModulesReused++
 	em.pins++
 	return servePart{key: key, em: em}, nil
+}
+
+// reencodeForServeLocked serves a module whose states are unavailable
+// (dropped, or a disk blob that failed to read) by re-encoding: pinned
+// and resident when the pool holds it, transient otherwise.
+func (c *Cache) reencodeForServeLocked(schemaName string, e *schemaEntry, name, key string) (servePart, error) {
+	c.stats.ModulesReloaded++
+	em2, err := c.encodeModuleLocked(schemaName, e, name)
+	if err == nil {
+		em2.pins++
+		return servePart{key: key, em: em2}, nil
+	}
+	if !errors.Is(err, ErrCapacity) {
+		return servePart{}, err
+	}
+	kv, terr := c.encodeTransientLocked(schemaName, e, name)
+	if terr != nil {
+		return servePart{}, terr
+	}
+	return servePart{key: key, kv: kv}, nil
 }
 
 // encodeTransientLocked re-encodes a dropped module without storing it:

@@ -126,6 +126,12 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	if err != nil {
 		return nil, err
 	}
+	// Disk-tier modules were planned as pending parts; read their blobs
+	// back outside the lock and promote (pinning) or read through.
+	if err := c.resolveDiskParts(plan, prompt.SchemaName); err != nil {
+		c.unpinModules(plan.pinned)
+		return nil, err
+	}
 	ps := &pinSet{cache: c, pins: plan.pinned}
 
 	// Stitch the cached prefix outside the lock: O(#segments) slice
@@ -154,9 +160,13 @@ type servePart struct {
 	// the cache lock until the pin is released.
 	em *EncodedModule
 	// kv is an immutable snapshot — scaffold states, or module states
-	// read through from the host tier or a transient re-encode — used
-	// when em is nil.
+	// read through from the host tier, the disk tier or a transient
+	// re-encode — used when em is nil.
 	kv *kvcache.Cache
+	// disk marks a pending disk-tier load: the module's states live only
+	// in its blob, which resolveDiskParts reads outside the cache lock
+	// before assembly. A resolved plan has no disk parts left.
+	disk *EncodedModule
 }
 
 // states materializes the part's attention states. Safe outside the

@@ -87,6 +87,7 @@ func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout
 		layout:    layout,
 		modules:   make(map[string]*EncodedModule),
 		scaffolds: make(map[string]*EncodedScaffold),
+		src:       src,
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -24,6 +24,135 @@ func (r SimResult) HitRate() float64 {
 	return float64(r.Hits) / float64(total)
 }
 
+// TieredResult summarizes a trace-driven simulation of the full storage
+// hierarchy: device (capacity-limited, policy-governed), host
+// (capacity-limited, FIFO overflow to disk) and disk (unbounded,
+// durable). It answers the planning question the three-tier design
+// raises: how much traffic lands in each tier, and how many bytes move
+// between them.
+type TieredResult struct {
+	Policy string
+	// DeviceHits served straight from the device tier; HostHits and
+	// DiskHits found the entry demoted and promoted it back; ColdMisses
+	// found it nowhere and paid the full re-encode.
+	DeviceHits, HostHits, DiskHits, ColdMisses int
+	Demotions                                  int   // device → host movements
+	Spills                                     int   // movements onto disk (host overflow or direct)
+	BytesPromoted                              int64 // host/disk → device upload volume
+	BytesSpilled                               int64 // bytes written to disk
+}
+
+// HitRate returns the fraction of accesses served without re-encoding.
+func (r TieredResult) HitRate() float64 {
+	total := r.DeviceHits + r.HostHits + r.DiskHits + r.ColdMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.DeviceHits+r.HostHits+r.DiskHits) / float64(total)
+}
+
+// SimulateTiered replays a trace against the device→host→disk waterfall:
+// device evictions (per the policy) demote to the host tier, host
+// overflow spills to disk (oldest demoted first), and disk holds
+// everything durably. hostCap <= 0 disables the host tier (evictions
+// spill straight to disk); entries larger than devCap always miss, as in
+// Simulate.
+func SimulateTiered(p Policy, devCap, hostCap int64, trace []Access) TieredResult {
+	res := TieredResult{Policy: p.Name()}
+	device := map[string]int64{}
+	host := map[string]int64{}
+	disk := map[string]int64{}
+	var hostOrder []string // FIFO spill order for host overflow
+	var devUsed, hostUsed int64
+
+	demote := func(key string, size int64) {
+		// Host first; spill to disk when the host tier is absent or the
+		// entry cannot fit even after pushing older residents to disk.
+		if hostCap > 0 && size <= hostCap {
+			for hostUsed+size > hostCap && len(hostOrder) > 0 {
+				old := hostOrder[0]
+				hostOrder = hostOrder[1:]
+				sz, ok := host[old]
+				if !ok {
+					continue
+				}
+				delete(host, old)
+				hostUsed -= sz
+				if _, dup := disk[old]; !dup {
+					disk[old] = sz
+					res.Spills++
+					res.BytesSpilled += sz
+				}
+			}
+			if hostUsed+size <= hostCap {
+				host[key] = size
+				hostUsed += size
+				hostOrder = append(hostOrder, key)
+				res.Demotions++
+				return
+			}
+		}
+		if _, dup := disk[key]; !dup {
+			disk[key] = size
+			res.Spills++
+			res.BytesSpilled += size
+		}
+	}
+
+	for _, a := range trace {
+		if _, ok := device[a.Key]; ok {
+			res.DeviceHits++
+			p.Touch(a.Key, a.Size)
+			continue
+		}
+		fromHost, inHost := host[a.Key]
+		fromDisk, inDisk := disk[a.Key]
+		switch {
+		case inHost:
+			res.HostHits++
+			res.BytesPromoted += fromHost
+		case inDisk:
+			res.DiskHits++
+			res.BytesPromoted += fromDisk
+		default:
+			res.ColdMisses++
+		}
+		if a.Size > devCap {
+			continue // cannot ever reside on device
+		}
+		for devUsed+a.Size > devCap {
+			victim, ok := p.Victim()
+			if !ok {
+				break
+			}
+			sz := device[victim]
+			delete(device, victim)
+			devUsed -= sz
+			p.Remove(victim)
+			demote(victim, sz)
+		}
+		if inHost {
+			delete(host, a.Key)
+			hostUsed -= fromHost
+			// Drop the key's FIFO slot too: a later re-demotion must
+			// re-enter the order as newest, not inherit this stale slot
+			// and spill ahead of genuinely older residents.
+			for i, k := range hostOrder {
+				if k == a.Key {
+					hostOrder = append(hostOrder[:i], hostOrder[i+1:]...)
+					break
+				}
+			}
+			// The disk copy, if any, stays: it is durable and re-spilling
+			// is free (content addressing), matching the engine.
+		}
+		device[a.Key] = a.Size
+		devUsed += a.Size
+		p.Touch(a.Key, a.Size)
+	}
+	return res
+}
+
 // Simulate replays a trace against a capacity-limited cache governed by
 // the policy. Entries larger than the capacity bypass the cache (counted
 // as misses, no evictions).

@@ -29,6 +29,11 @@ const (
 
 // WriteTo serializes the cache. It returns the number of bytes written.
 func (c *Cache) WriteTo(w io.Writer) (int64, error) {
+	if c.NLayers > maxSerializedLayers || c.KVDim > maxSerializedDim || c.Len() > maxSerializedTokens ||
+		int64(c.NLayers)*int64(c.KVDim)*int64(c.Len()) > maxSerializedElements {
+		return 0, fmt.Errorf("kvcache: payload %d×%d×%d exceeds the serializable bounds",
+			c.NLayers, c.KVDim, c.Len())
+	}
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(v any) error {
@@ -73,6 +78,22 @@ func writeFloats(w io.Writer, xs []float32, n *int64) error {
 // maxSerializedTokens bounds deserialization against corrupt headers.
 const maxSerializedTokens = 1 << 24
 
+// Per-field shape caps. They exist for overflow safety as much as
+// plausibility: with layers ≤ 2^12, kvDim ≤ 2^20 and tokens ≤ 2^24 the
+// three-way product below stays ≤ 2^56, so it cannot wrap int64 and
+// sneak a huge allocation past the total bound.
+const (
+	maxSerializedLayers = 1 << 12
+	maxSerializedDim    = 1 << 20
+)
+
+// maxSerializedElements bounds the total payload (layers × kvDim ×
+// tokens), so a corrupt header cannot demand a multi-gigabyte
+// allocation before its payload read fails. WriteTo enforces the same
+// bounds, so serialization never produces a stream it would refuse to
+// read back.
+const maxSerializedElements = 1 << 30
+
 // ReadFrom deserializes a cache produced by WriteTo.
 func ReadFrom(r io.Reader) (*Cache, error) {
 	br := bufio.NewReader(r)
@@ -89,8 +110,12 @@ func ReadFrom(r io.Reader) (*Cache, error) {
 		return nil, fmt.Errorf("kvcache: unsupported version %d", hdr[1])
 	}
 	nLayers, kvDim, tokens := int(hdr[2]), int(hdr[3]), int(hdr[4])
-	if nLayers <= 0 || kvDim <= 0 || tokens < 0 || tokens > maxSerializedTokens {
+	if nLayers <= 0 || nLayers > maxSerializedLayers || kvDim <= 0 || kvDim > maxSerializedDim ||
+		tokens < 0 || tokens > maxSerializedTokens {
 		return nil, fmt.Errorf("kvcache: implausible header layers=%d kvDim=%d tokens=%d", nLayers, kvDim, tokens)
+	}
+	if int64(nLayers)*int64(kvDim)*int64(tokens) > maxSerializedElements {
+		return nil, fmt.Errorf("kvcache: implausible payload %d×%d×%d", nLayers, kvDim, tokens)
 	}
 	c := New(nLayers, kvDim, tokens)
 	for i := 0; i < tokens; i++ {

@@ -1,0 +1,101 @@
+package kvcache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSerializeRoundTripProperty: WriteTo→ReadFrom is the identity over a
+// spread of random shapes, including empty caches and discontinuous
+// position streams.
+func TestSerializeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		layers := 1 + rng.Intn(4)
+		dim := 1 + rng.Intn(12)
+		tokens := rng.Intn(40)
+		kv := New(layers, dim, tokens)
+		k := make([]float32, dim)
+		v := make([]float32, dim)
+		pos := 0
+		for i := 0; i < tokens; i++ {
+			for l := 0; l < layers; l++ {
+				for j := range k {
+					k[j] = float32(rng.NormFloat64())
+					v[j] = float32(rng.NormFloat64())
+				}
+				kv.AppendToken(l, k, v)
+			}
+			pos += 1 + rng.Intn(5)
+			kv.AppendPos(pos)
+		}
+		var buf bytes.Buffer
+		n, err := kv.WriteTo(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(buf.Len()) {
+			t.Fatalf("trial %d: reported %d bytes, wrote %d", trial, n, buf.Len())
+		}
+		got, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.NLayers != layers || got.KVDim != dim || got.Len() != tokens {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i, p := range kv.Pos {
+			if got.Pos[i] != p {
+				t.Fatalf("trial %d: pos[%d] differs", trial, i)
+			}
+		}
+		for l := 0; l < layers; l++ {
+			for i := range kv.K[l] {
+				if got.K[l][i] != kv.K[l][i] || got.V[l][i] != kv.V[l][i] {
+					t.Fatalf("trial %d: payload differs at layer %d elem %d", trial, l, i)
+				}
+			}
+		}
+	}
+}
+
+// FuzzReadFrom: arbitrary bytes must never panic the deserializer —
+// corrupt and truncated input returns an error or a structurally valid
+// cache.
+func FuzzReadFrom(f *testing.F) {
+	kv := New(2, 3, 4)
+	k := []float32{1, 2, 3}
+	v := []float32{4, 5, 6}
+	for i := 0; i < 4; i++ {
+		for l := 0; l < 2; l++ {
+			kv.AppendToken(l, k, v)
+		}
+		kv.AppendPos(i * 7)
+	}
+	var buf bytes.Buffer
+	if _, err := kv.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:11])
+	f.Add([]byte{})
+	f.Add([]byte("VCKP not quite the magic"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil cache without error")
+		}
+		if c.Len() != len(c.Pos) {
+			t.Fatal("inconsistent decoded cache")
+		}
+		for l := 0; l < c.NLayers; l++ {
+			if len(c.K[l]) != c.Len()*c.KVDim || len(c.V[l]) != c.Len()*c.KVDim {
+				t.Fatalf("layer %d buffers inconsistent with token count", l)
+			}
+		}
+	})
+}

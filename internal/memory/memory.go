@@ -22,11 +22,18 @@ const (
 	DRAM Kind = iota
 	// HBM is GPU device memory (fast but capacity-limited).
 	HBM
+	// Disk is durable block storage (NVMe/SSD): effectively unbounded,
+	// behind a read that is slower than any memcpy but far cheaper than
+	// re-running prompt module encoding. The third tier below §4.1's two.
+	Disk
 )
 
 func (k Kind) String() string {
-	if k == HBM {
+	switch k {
+	case HBM:
 		return "HBM"
+	case Disk:
+		return "Disk"
 	}
 	return "DRAM"
 }
@@ -173,6 +180,15 @@ func HostToDevice() Link {
 // DeviceToDevice returns the on-GPU copy path (HBM → HBM).
 func DeviceToDevice() Link {
 	return Link{Name: "device-to-device", BW: float64(anchorBytes) / 0.23e-3, Latency: 10 * time.Microsecond}
+}
+
+// DiskToHost returns the durable-tier read path (NVMe → DRAM): ~3.5 GB/s
+// sequential read with ~80 µs submission latency, a mid-range datacenter
+// NVMe drive. Slower than any DRAM path, but loading a spilled module
+// still beats re-encoding it by orders of magnitude — the trade the disk
+// tier exists to make.
+func DiskToHost() Link {
+	return Link{Name: "disk-to-host", BW: 3.5e9, Latency: 80 * time.Microsecond}
 }
 
 // ScaledLink returns a link with bandwidth scaled by factor (e.g. a

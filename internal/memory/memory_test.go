@@ -182,3 +182,27 @@ func TestLatencyDominatesSmallCopies(t *testing.T) {
 		t.Fatalf("small copy = %v", small)
 	}
 }
+
+// TestDiskKindAndLink: the disk tier's device kind and its NVMe read
+// link — slower than every DRAM path, faster than re-encoding.
+func TestDiskKindAndLink(t *testing.T) {
+	if Disk.String() != "Disk" {
+		t.Fatalf("Disk kind prints %q", Disk.String())
+	}
+	p := NewPool(Device{Name: "nvme", Kind: Disk})
+	if err := p.Alloc("m", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 1<<20 {
+		t.Fatalf("used = %d", p.Used())
+	}
+	const size = 64 << 20
+	disk := DiskToHost().TransferTime(size)
+	host := HostToHost().TransferTime(size)
+	if disk <= host {
+		t.Fatalf("disk read %v should be slower than host memcpy %v", disk, host)
+	}
+	if disk <= 0 {
+		t.Fatal("transfer time must be positive")
+	}
+}

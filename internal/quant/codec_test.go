@@ -1,0 +1,206 @@
+package quant
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kvcache"
+)
+
+func randomKV(t testing.TB, layers, dim, tokens int, seed int64) *kvcache.Cache {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	kv := kvcache.New(layers, dim, tokens)
+	k := make([]float32, dim)
+	v := make([]float32, dim)
+	for i := 0; i < tokens; i++ {
+		for l := 0; l < layers; l++ {
+			for j := 0; j < dim; j++ {
+				k[j] = float32(rng.NormFloat64())
+				v[j] = float32(rng.NormFloat64() * 3)
+			}
+			kv.AppendToken(l, k, v)
+		}
+		kv.AppendPos(i*3 + 1) // discontinuous positions, as modules have
+	}
+	return kv
+}
+
+// TestCodecRoundTripFP32: the fp32 codec is bit-lossless.
+func TestCodecRoundTripFP32(t *testing.T) {
+	kv := randomKV(t, 3, 8, 17, 1)
+	var buf bytes.Buffer
+	n, err := EncodeKV(&buf, kv, CodecFP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, codec, err := DecodeKV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codec != CodecFP32 {
+		t.Fatalf("codec = %v", codec)
+	}
+	if got.Len() != kv.Len() || got.NLayers != kv.NLayers || got.KVDim != kv.KVDim {
+		t.Fatalf("shape mismatch: %d/%d/%d", got.Len(), got.NLayers, got.KVDim)
+	}
+	for l := 0; l < kv.NLayers; l++ {
+		for i := range kv.K[l] {
+			if got.K[l][i] != kv.K[l][i] || got.V[l][i] != kv.V[l][i] {
+				t.Fatalf("layer %d element %d differs", l, i)
+			}
+		}
+	}
+	for i, p := range kv.Pos {
+		if got.Pos[i] != p {
+			t.Fatalf("pos[%d] = %d, want %d", i, got.Pos[i], p)
+		}
+	}
+}
+
+// TestCodecRoundTripQuantized: int8/int4 decode reproduces exactly the
+// in-memory compress→decompress result (serialization adds no error),
+// and the total error against the original stays within the codec's own
+// measured bound (MaxError / MaxErrorInt4).
+func TestCodecRoundTripQuantized(t *testing.T) {
+	kv := randomKV(t, 2, 6, 23, 2)
+	for _, codec := range []Codec{CodecInt8, CodecInt4} {
+		t.Run(codec.String(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if _, err := EncodeKV(&buf, kv, codec); err != nil {
+				t.Fatal(err)
+			}
+			got, c, err := DecodeKV(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != codec {
+				t.Fatalf("codec = %v, want %v", c, codec)
+			}
+			var want *kvcache.Cache
+			var bound float32
+			if codec == CodecInt8 {
+				want = Compress(kv).Decompress()
+				bound, err = MaxError(kv)
+			} else {
+				want = CompressInt4(kv).Decompress()
+				bound, err = MaxErrorInt4(kv)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for l := 0; l < kv.NLayers; l++ {
+				for i := range kv.K[l] {
+					if got.K[l][i] != want.K[l][i] || got.V[l][i] != want.V[l][i] {
+						t.Fatalf("%v: serialization added error at layer %d elem %d", codec, l, i)
+					}
+					if d := absDiff(got.K[l][i], kv.K[l][i]); d > bound {
+						t.Fatalf("%v: K error %v exceeds bound %v", codec, d, bound)
+					}
+					if d := absDiff(got.V[l][i], kv.V[l][i]); d > bound {
+						t.Fatalf("%v: V error %v exceeds bound %v", codec, d, bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCodecSizeOrdering: int4 < int8 < fp32 on real payloads.
+func TestCodecSizeOrdering(t *testing.T) {
+	kv := randomKV(t, 4, 16, 64, 3)
+	sizes := map[Codec]int{}
+	for _, codec := range []Codec{CodecFP32, CodecInt8, CodecInt4} {
+		var buf bytes.Buffer
+		if _, err := EncodeKV(&buf, kv, codec); err != nil {
+			t.Fatal(err)
+		}
+		sizes[codec] = buf.Len()
+	}
+	if !(sizes[CodecInt4] < sizes[CodecInt8] && sizes[CodecInt8] < sizes[CodecFP32]) {
+		t.Fatalf("size ordering violated: %v", sizes)
+	}
+}
+
+// TestCodecCorruptInput: corrupt and truncated payloads return errors,
+// never panic, for every codec and at every truncation point.
+func TestCodecCorruptInput(t *testing.T) {
+	kv := randomKV(t, 2, 4, 9, 4)
+	for _, codec := range []Codec{CodecFP32, CodecInt8, CodecInt4} {
+		var buf bytes.Buffer
+		if _, err := EncodeKV(&buf, kv, codec); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		// Truncations at a spread of points, including mid-header.
+		for _, n := range []int{0, 1, 4, 8, 11, 12, 20, len(full) / 2, len(full) - 1} {
+			if n > len(full) {
+				continue
+			}
+			if _, _, err := DecodeKV(bytes.NewReader(full[:n])); err == nil {
+				t.Fatalf("%v: truncation at %d decoded successfully", codec, n)
+			}
+		}
+		// Flipped magic, version, codec and shape fields.
+		for _, off := range []int{0, 4, 8, 12, 16, 20} {
+			if off+4 > len(full) {
+				continue
+			}
+			bad := append([]byte(nil), full...)
+			bad[off] ^= 0xff
+			bad[off+3] ^= 0x7f
+			// A bit flip may still decode (e.g. in float payloads); it
+			// must simply never panic.
+			_, _, _ = DecodeKV(bytes.NewReader(bad))
+		}
+	}
+}
+
+// TestParseCodec: names round-trip and junk is rejected.
+func TestParseCodec(t *testing.T) {
+	for _, codec := range []Codec{CodecFP32, CodecInt8, CodecInt4} {
+		got, err := ParseCodec(codec.String())
+		if err != nil || got != codec {
+			t.Fatalf("ParseCodec(%q) = %v, %v", codec.String(), got, err)
+		}
+	}
+	if _, err := ParseCodec("fp16"); err == nil {
+		t.Fatal("unknown codec should fail")
+	}
+}
+
+// FuzzDecodeKV: arbitrary bytes must never panic the decoder — they
+// either fail with an error or decode to a structurally valid cache.
+func FuzzDecodeKV(f *testing.F) {
+	for _, codec := range []Codec{CodecFP32, CodecInt8, CodecInt4} {
+		kv := randomKV(f, 2, 4, 5, int64(codec))
+		var buf bytes.Buffer
+		if _, err := EncodeKV(&buf, kv, codec); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SQCP garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kv, _, err := DecodeKV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if kv == nil {
+			t.Fatal("nil cache without error")
+		}
+		if kv.Len() != len(kv.Pos) {
+			t.Fatalf("inconsistent decoded cache: len %d, pos %d", kv.Len(), len(kv.Pos))
+		}
+		for l := 0; l < kv.NLayers; l++ {
+			if len(kv.K[l]) != kv.Len()*kv.KVDim || len(kv.V[l]) != kv.Len()*kv.KVDim {
+				t.Fatalf("layer %d buffers inconsistent with token count", l)
+			}
+		}
+	})
+}

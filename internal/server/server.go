@@ -573,6 +573,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	open := len(s.sessions)
 	s.mu.Unlock()
+	eng := s.client.Engine()
 	body := map[string]any{
 		"modules_encoded":  st.ModulesEncoded,
 		"modules_reused":   st.ModulesReused,
@@ -580,8 +581,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"modules_reloaded": st.ModulesReloaded,
 		"tokens_encoded":   st.TokensEncoded,
 		"tokens_reused":    st.TokensReused,
-		"pool_bytes":       s.client.Engine().PoolUsed(),
+		"pool_bytes":       eng.PoolUsed(),
 		"open_sessions":    open,
+		// Storage-tier accounting: occupancy per tier plus the traffic
+		// between tiers (demotion/promotion for host, spill/hit for
+		// disk). tier_account_errors nonzero means a pool release failed
+		// and an occupancy number above can no longer be trusted.
+		"tiers": map[string]any{
+			"device_bytes":        eng.PoolUsed(),
+			"host_bytes":          eng.HostUsed(),
+			"disk_bytes":          eng.DiskUsed(),
+			"disk_modules":        eng.DiskModules(),
+			"modules_demoted":     st.ModulesDemoted,
+			"modules_promoted":    st.ModulesPromoted,
+			"modules_spilled":     st.ModulesSpilled,
+			"disk_hits":           st.DiskHits,
+			"disk_load_errors":    st.DiskLoadErrors,
+			"tier_account_errors": st.TierAccountErrors,
+		},
 	}
 	if ss := s.client.SchedulerStats(); ss.Enabled {
 		// Decode-scheduler observability: whether mixed HTTP traffic is

@@ -590,3 +590,69 @@ func TestStatsSchedulerBlock(t *testing.T) {
 		t.Fatalf("scheduler block present without scheduler: %v", out)
 	}
 }
+
+// TestStatsTierCounters: /v1/stats exposes the storage-tier block, and a
+// disk spill followed by a promoting serve is visible in it — the
+// eviction acceptance path seen from the transport.
+func TestStatsTierCounters(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := promptcache.New(m)
+	if _, err := probe.RegisterSchema(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	need := probe.Engine().PoolUsed()
+
+	dir := t.TempDir()
+	// One byte short of the full schema: the pool holds either module
+	// but never both, so registration spills and each serve promotes.
+	client := promptcache.New(m,
+		promptcache.WithDeviceCapacity(need-1),
+		promptcache.WithDiskTier(dir, promptcache.CodecFP32),
+	)
+	s := New(client)
+	rec, _ := doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("register: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec, out := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	tiers, ok := out["tiers"].(map[string]any)
+	if !ok {
+		t.Fatalf("no tiers block in %v", out)
+	}
+	if tiers["modules_spilled"].(float64) == 0 {
+		t.Fatalf("registration over a tight pool should spill: %v", tiers)
+	}
+	if tiers["disk_bytes"].(float64) == 0 || tiers["disk_modules"].(float64) == 0 {
+		t.Fatalf("disk occupancy should be nonzero: %v", tiers)
+	}
+
+	// Serving both modules forces at least one disk promotion; no 503,
+	// no re-encode.
+	for _, mod := range []string{"contract", "rider"} {
+		rec, _ = doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{
+			Prompt:    `<prompt schema="docs"><` + mod + `/><user>Summarize.</user></prompt>`,
+			MaxTokens: 4,
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("complete %s: %d %s", mod, rec.Code, rec.Body.String())
+		}
+	}
+	_, out = doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	tiers = out["tiers"].(map[string]any)
+	if tiers["disk_hits"].(float64) == 0 {
+		t.Fatalf("serving spilled modules should promote from disk: %v", tiers)
+	}
+	if tiers["tier_account_errors"].(float64) != 0 {
+		t.Fatalf("tier accounting drifted: %v", tiers)
+	}
+	if out["modules_reloaded"].(float64) != 0 {
+		t.Fatalf("disk tier should prevent re-encodes: %v", out)
+	}
+}

@@ -17,6 +17,31 @@ type Option = core.Option
 // reconstruction error paid on each use.
 func WithInt8Modules() Option { return core.WithInt8Modules() }
 
+// Codec selects the disk tier's storage precision: CodecFP32 is the
+// bit-exact passthrough for deployments that cannot tolerate
+// quantization error, CodecInt8 (~3.9× smaller) and CodecInt4 (~7×)
+// trade bounded reconstruction error for blob size.
+type Codec = core.Codec
+
+// The available disk-tier codecs.
+const (
+	CodecFP32 = core.CodecFP32
+	CodecInt8 = core.CodecInt8
+	CodecInt4 = core.CodecInt4
+)
+
+// ParseCodec maps a codec name ("fp32", "int8", "int4") to its Codec —
+// the form configuration flags arrive in.
+func ParseCodec(s string) (Codec, error) { return core.ParseCodec(s) }
+
+// WithDiskTier adds a durable disk tier below the memory tiers: a module
+// whose eviction would otherwise drop its states spills them to a
+// content-addressed file under dir, quantized per codec, and the next
+// request that needs it reads the file back and promotes it — a disk hit
+// instead of a re-encode. The same dir holds SaveAll/Open warm-restart
+// snapshots.
+func WithDiskTier(dir string, codec Codec) Option { return core.WithDiskTier(dir, codec) }
+
 // WithDeviceCapacity caps the primary (GPU-modelled) module pool at
 // capacity bytes, enabling eviction when schemas outgrow it.
 func WithDeviceCapacity(capacity int64) Option {

@@ -74,6 +74,28 @@ func New(m *model.Model, opts ...Option) *Client {
 // snapshot-restored a core.Cache directly.
 func Wrap(cache *core.Cache) *Client { return &Client{cache: cache} }
 
+// Open builds a Client from a SaveAll warm-restart snapshot in dir:
+// every schema the snapshot holds is registered with its module states
+// left on disk, so opening performs no prompt encoding and the first
+// request per module is a disk hit, not a re-encode. The client keeps
+// dir as its disk tier for future evictions and snapshots. HasSnapshot
+// reports whether dir holds something Open can restore.
+func Open(m *model.Model, dir string, opts ...Option) (*Client, error) {
+	cache, err := core.OpenDir(m, dir, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{cache: cache}, nil
+}
+
+// HasSnapshot reports whether dir holds a SaveAll snapshot.
+func HasSnapshot(dir string) bool { return core.HasSnapshot(dir) }
+
+// SaveAll persists every registered schema — layout plus all module and
+// scaffold states, quantized per the disk tier's codec when one is
+// configured — into dir as a warm-restart snapshot for Open.
+func (c *Client) SaveAll(dir string) error { return c.cache.SaveAll(dir) }
+
 // Engine exposes the underlying core.Cache for advanced uses the public
 // API does not cover (snapshots, prefetching, direct inspection).
 func (c *Client) Engine() *core.Cache { return c.cache }

@@ -462,3 +462,76 @@ func TestSchedulerBatchDecodeFuses(t *testing.T) {
 		t.Fatalf("batch members did not decode through the scheduler: %+v", st)
 	}
 }
+
+// TestWarmRestartViaOpen: SaveAll then Open restores a client that
+// serves its first cached request without re-encoding, matching the
+// pre-restart response exactly under the default fp32 snapshot codec.
+func TestWarmRestartViaOpen(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(testVocab, 909))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := New(m)
+	if _, err := orig.RegisterSchema(testSchema); err != nil {
+		t.Fatal(err)
+	}
+	req := Request{
+		Prompt:    `<prompt schema="travel"><tokyo/><user>Plan a temple walk.</user></prompt>`,
+		MaxTokens: 8,
+	}
+	want, err := orig.Infer(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if HasSnapshot(dir) {
+		t.Fatal("empty dir should have no snapshot")
+	}
+	if err := orig.SaveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !HasSnapshot(dir) {
+		t.Fatal("snapshot should be visible after SaveAll")
+	}
+
+	restored, err := Open(m, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Schemas(), orig.Schemas(); len(got) != len(want) || got[0] != want[0] {
+		t.Fatalf("schemas = %v, want %v", got, want)
+	}
+	got, err := restored.Infer(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := restored.Stats()
+	if st.ModulesEncoded != 0 {
+		t.Fatalf("restart re-encoded: %+v", st)
+	}
+	if st.DiskHits == 0 {
+		t.Fatal("first request should hit the disk tier")
+	}
+	if got.Text != want.Text || got.CachedTokens != want.CachedTokens || got.NewTokens != want.NewTokens {
+		t.Fatalf("restart response differs: got %q (%d/%d), want %q (%d/%d)",
+			got.Text, got.CachedTokens, got.NewTokens, want.Text, want.CachedTokens, want.NewTokens)
+	}
+}
+
+// TestDiskTierCodecFlagShapes: the codec round-trips through its flag
+// form, the shape configuration arrives in.
+func TestDiskTierCodecFlagShapes(t *testing.T) {
+	for _, name := range []string{"fp32", "int8", "int4"} {
+		c, err := ParseCodec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.String() != name {
+			t.Fatalf("codec %q round-tripped to %q", name, c.String())
+		}
+	}
+	if _, err := ParseCodec("bf16"); err == nil {
+		t.Fatal("unknown codec should fail")
+	}
+}

@@ -9,9 +9,15 @@
 // runners should flag, not block; -strict turns regressions into a
 // nonzero exit for when the gate hardens.
 //
+// Metrics differ in noise: allocation counts are deterministic while
+// wall-clock throughput jitters on shared runners. -tolerances points at
+// a JSON file of per-metric overrides ({"ns_per_op": 0.30,
+// "allocs_per_op": 0.02, ...}); metrics it does not name fall back to
+// -threshold.
+//
 // Usage:
 //
-//	benchdiff [-threshold 0.20] [-strict] baseline.json current.json
+//	benchdiff [-threshold 0.20] [-tolerances tol.json] [-strict] baseline.json current.json
 package main
 
 import (
@@ -64,11 +70,37 @@ func identity(p point) string {
 	return strings.Join(parts, " ")
 }
 
+// loadTolerances reads per-metric threshold overrides: a JSON object
+// mapping metric name to allowed relative regression. Unknown metric
+// names are rejected — a typo would otherwise silently re-enable the
+// default threshold. Non-positive tolerances are rejected for the same
+// reason.
+func loadTolerances(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tol := map[string]float64{}
+	if err := json.Unmarshal(data, &tol); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	for name, v := range tol {
+		if _, ok := metricDirection[name]; !ok {
+			return nil, fmt.Errorf("%s: unknown metric %q", path, name)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("%s: tolerance for %q must be > 0 (got %v)", path, name, v)
+		}
+	}
+	return tol, nil
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.20, "relative regression that triggers a warning (0.20 = 20%)")
-	strict := flag.Bool("strict", false, "exit nonzero when any metric regresses past the threshold (hard gate)")
+	tolerances := flag.String("tolerances", "", "JSON file of per-metric tolerance overrides; unnamed metrics use -threshold")
+	strict := flag.Bool("strict", false, "exit nonzero when any metric regresses past its tolerance (hard gate)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold f] [-strict] baseline.json current.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold f] [-tolerances file] [-strict] baseline.json current.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,6 +117,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
+	}
+	tol := map[string]float64{}
+	if *tolerances != "" {
+		if tol, err = loadTolerances(*tolerances); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	limitFor := func(metric string) float64 {
+		if v, ok := tol[metric]; ok {
+			return v
+		}
+		return *threshold
 	}
 
 	baseline := map[string]point{}
@@ -107,20 +152,21 @@ func main() {
 				continue
 			}
 			compared++
+			limit := limitFor(metric)
 			// delta > 0 means worse, regardless of direction.
 			delta := (curV - baseV) / baseV * float64(dir)
-			if delta > *threshold {
+			if delta > limit {
 				regressions++
-				fmt.Printf("::warning title=bench regression::%s %s regressed %.1f%% (%.4g -> %.4g, threshold %.0f%%)\n",
-					id, metric, delta*100, baseV, curV, *threshold*100)
-			} else if delta < -*threshold {
+				fmt.Printf("::warning title=bench regression::%s %s regressed %.1f%% (%.4g -> %.4g, tolerance %.0f%%)\n",
+					id, metric, delta*100, baseV, curV, limit*100)
+			} else if delta < -limit {
 				fmt.Printf("benchdiff: %s %s improved %.1f%% (%.4g -> %.4g)\n",
 					id, metric, -delta*100, baseV, curV)
 			}
 		}
 	}
-	fmt.Printf("benchdiff: %d metrics compared, %d regressed beyond %.0f%%\n",
-		compared, regressions, *threshold*100)
+	fmt.Printf("benchdiff: %d metrics compared, %d regressed beyond tolerance\n",
+		compared, regressions)
 	if *strict && regressions > 0 {
 		os.Exit(1)
 	}

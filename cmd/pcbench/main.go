@@ -11,6 +11,10 @@
 //	                             # serve/decode experiment + machine-
 //	                             # readable points for cross-PR perf
 //	                             # tracking
+//	pcbench -count 5 -json BENCH_serve.json serve
+//	                             # run 5 times, emit the per-metric
+//	                             # median point — de-noised numbers for
+//	                             # the CI perf gate
 package main
 
 import (
@@ -25,11 +29,16 @@ import (
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.String("json", "", "write the serve experiment's measured points to this file (e.g. BENCH_serve.json)")
+	count := flag.Int("count", 1, "run the serve/decode measurement this many times and report per-metric medians")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pcbench [-csv] [-json file] <experiment>... | all | list\n")
+		fmt.Fprintf(os.Stderr, "usage: pcbench [-csv] [-json file] [-count n] <experiment>... | all | list\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintf(os.Stderr, "pcbench: -count must be >= 1 (got %d)\n", *count)
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
@@ -69,26 +78,47 @@ func main() {
 		var rep *bench.Report
 		var err error
 		switch {
-		case id == "serve" && *jsonOut != "":
-			// Measure once, emit both the table and the JSON trajectory.
+		case id == "serve" && (*jsonOut != "" || *count > 1):
+			// Measure -count times, collapse to per-metric medians, and
+			// emit both the table and (with -json) the JSON trajectory.
 			var points []bench.ServePoint
-			rep, points, err = bench.ServeCachedPrefixRun()
+			runs := make([][]bench.ServePoint, 0, *count)
+			for i := 0; i < *count && err == nil; i++ {
+				points, err = bench.ServeCachedPrefixPoints(bench.DefaultServeSizes)
+				runs = append(runs, points)
+			}
+			if err == nil && *count > 1 {
+				points, err = bench.MedianServePoints(runs)
+			}
 			if err == nil {
-				var data []byte
-				if data, err = bench.ServePointsJSON(points); err == nil {
-					err = os.WriteFile(*jsonOut, data, 0o644)
+				rep = bench.ServeReport(points)
+				if *jsonOut != "" {
+					var data []byte
+					if data, err = bench.ServePointsJSON(points); err == nil {
+						err = os.WriteFile(*jsonOut, data, 0o644)
+					}
 				}
 			}
 			if err != nil {
 				rep = nil
 			}
-		case id == "decode" && *jsonOut != "":
+		case id == "decode" && (*jsonOut != "" || *count > 1):
 			var points []bench.DecodePoint
-			rep, points, err = bench.DecodeContinuousRun()
+			runs := make([][]bench.DecodePoint, 0, *count)
+			for i := 0; i < *count && err == nil; i++ {
+				points, err = bench.DecodeContinuousPoints(bench.DefaultDecodeStreams)
+				runs = append(runs, points)
+			}
+			if err == nil && *count > 1 {
+				points, err = bench.MedianDecodePoints(runs)
+			}
 			if err == nil {
-				var data []byte
-				if data, err = bench.DecodePointsJSON(points); err == nil {
-					err = os.WriteFile(*jsonOut, data, 0o644)
+				rep = bench.DecodeReport(points)
+				if *jsonOut != "" {
+					var data []byte
+					if data, err = bench.DecodePointsJSON(points); err == nil {
+						err = os.WriteFile(*jsonOut, data, 0o644)
+					}
 				}
 			}
 			if err != nil {

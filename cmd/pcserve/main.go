@@ -23,6 +23,11 @@
 // warm-restores them — the first cached request after a restart pays no
 // re-encoding:
 //
+// With -mine the cache grows itself: the engine watches the uncached
+// token streams requests send, promotes hot shared prefixes to
+// anonymous cached modules, and splices them bit-exactly into later
+// requests — the "mining" block of GET /stats tracks the win.
+//
 //	pcserve -cache-dir /var/lib/pcserve -cache-codec int8
 //	curl -d '{"pml":"<schema name=\"s\"><module name=\"m\">hi</module></schema>"}' localhost:8080/schemas
 //	curl -d '{"prompt":"<prompt schema=\"s\"><m/>go</prompt>","max_tokens":16}' localhost:8080/v1/complete
@@ -58,6 +63,11 @@ func main() {
 	decodeBatch := flag.Int("decode-batch", promptcache.DefaultMaxDecodeBatch, "continuous-batching decode width: concurrent generations fuse into shared model steps (0 disables the scheduler)")
 	cacheDir := flag.String("cache-dir", "", "durable cache directory: evicted modules spill here instead of dropping, and registered schemas persist across restarts (SIGINT/SIGTERM snapshots, next boot warm-restores)")
 	cacheCodec := flag.String("cache-codec", "int8", "disk-tier codec: fp32 (bit-exact), int8 or int4")
+	mine := flag.Bool("mine", false, "automatic module mining: observe uncached token streams and promote hot shared prefixes to anonymous cached modules")
+	mineMinHits := flag.Float64("mine-min-hits", 0, "mining: observations before a prefix is promoted (0 = default)")
+	mineMinTokens := flag.Int("mine-min-tokens", 0, "mining: shortest prefix worth promoting (0 = default)")
+	mineMaxMods := flag.Int("mine-max-modules", 0, "mining: live mined-module budget (0 = default)")
+	mineHalfLife := flag.Float64("mine-half-life", 0, "mining: reuse-score half-life in observed serves (0 = default)")
 	flag.Parse()
 
 	var cfg model.Config
@@ -85,6 +95,14 @@ func main() {
 	var opts []promptcache.Option
 	if *decodeBatch > 0 {
 		opts = append(opts, promptcache.WithDecodeScheduler(*decodeBatch))
+	}
+	if *mine {
+		opts = append(opts, promptcache.WithModuleMining(promptcache.MiningOpts{
+			MinHits:    *mineMinHits,
+			MinTokens:  *mineMinTokens,
+			MaxModules: *mineMaxMods,
+			HalfLife:   *mineHalfLife,
+		}))
 	}
 	var codec promptcache.Codec
 	if *cacheDir != "" {

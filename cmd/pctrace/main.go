@@ -3,10 +3,18 @@
 // capacity-limited HBM tier in front of host DRAM and a pluggable
 // replacement policy.
 //
+// With -mine the trace is also replayed through a module-mining
+// observer to report the would-be win of automatic prefix promotion:
+// how many requests would have spliced a mined prefix, and what token
+// volume that saves. Mining needs suffix token streams in the trace —
+// generate them with -shared-prefixes, or replay a recorded trace that
+// carries suffix_toks.
+//
 // Usage:
 //
 //	pctrace -requests 5000 -modules 80 -hbm-gib 4 -policy gdsf
 //	pctrace -compare            # all policies + reference points
+//	pctrace -shared-prefixes 4 -mine   # offline mining report
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"repro/internal/evict"
 	"repro/internal/hw"
+	"repro/internal/mining"
 	"repro/internal/serving"
 )
 
@@ -34,6 +43,14 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare all policies plus reference points")
 		record   = flag.String("record", "", "write the generated request trace to this JSONL file")
 		replay   = flag.String("replay", "", "replay a JSONL trace instead of generating a stream")
+
+		sharedPrefixes = flag.Int("shared-prefixes", 0, "pooled undeclared suffix prefixes in generated traces (0 = no suffix streams)")
+		sharedTokens   = flag.Int("shared-prefix-tokens", 0, "tokens per pooled prefix (0 = half the suffix)")
+		mine           = flag.Bool("mine", false, "replay the trace through a module-mining observer and report the would-be hit rate")
+		mineMinHits    = flag.Float64("mine-min-hits", 0, "mining: observations before a prefix is promoted (0 = default)")
+		mineMinTokens  = flag.Int("mine-min-tokens", 0, "mining: shortest prefix worth promoting (0 = default)")
+		mineMaxMods    = flag.Int("mine-max-modules", 0, "mining: live mined-module budget (0 = default)")
+		mineHalfLife   = flag.Float64("mine-half-life", 0, "mining: reuse-score half-life in observed serves (0 = default)")
 	)
 	flag.Parse()
 
@@ -61,6 +78,9 @@ func main() {
 		SuffixTokens:      *suffix,
 		ZipfS:             *zipf,
 		Seed:              *seed,
+
+		SharedPrefixes:     *sharedPrefixes,
+		SharedPrefixTokens: *sharedTokens,
 	}
 	capacity := int64(*hbmGiB * (1 << 30))
 
@@ -107,28 +127,55 @@ func main() {
 		fmt.Printf("recorded %d requests to %s\n", len(trace), *record)
 	}
 
-	var st serving.Stats
+	// -mine and -replay both want the stream as an explicit trace;
+	// otherwise the generator-backed Run avoids materializing one.
+	var trace []serving.Request
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		trace, err := serving.ReadTrace(f)
+		trace, err = serving.ReadTrace(f)
+		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err = serving.RunTrace(base, trace)
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		st, err = serving.Run(base)
+	} else if *mine {
+		trace, err = serving.GenerateTrace(base)
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
+
+	var st serving.Stats
+	if trace != nil {
+		st, err = serving.RunTrace(base, trace)
+	} else {
+		st, err = serving.Run(base)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("device=%s policy=%s hbm=%.1fGiB\n", dev.Name, *policy, *hbmGiB)
 	printStats(*policy, st)
 	fmt.Printf("baseline (no reuse) mean TTFT: %.1f ms\n", st.BaselineMeanTTFT.Seconds()*1e3)
+
+	if *mine {
+		ms, err := serving.MineTrace(mining.Config{
+			MinHits:    *mineMinHits,
+			MinTokens:  *mineMinTokens,
+			MaxModules: *mineMaxMods,
+			HalfLife:   *mineHalfLife,
+		}, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("mining: streams=%d/%d promotions=%d demotions=%d live=%d\n",
+			ms.Streams, ms.Requests, ms.Promotions, ms.Demotions, ms.LiveModules)
+		fmt.Printf("mining: hits=%d (%.1f%% of streams) tokens saved=%d/%d (%.1f%%)\n",
+			ms.Hits, 100*ms.HitRate(), ms.HitTokens, ms.SuffixTokens, 100*ms.TokensSavedFrac())
+		if ms.Streams == 0 {
+			fmt.Println("mining: trace carries no suffix token streams; generate with -shared-prefixes or record suffix_toks")
+		}
+	}
 }

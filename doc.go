@@ -68,6 +68,22 @@
 // module rosters and token counts before restoring, and corrupt blobs
 // degrade to a transparent re-encode, never a crash.
 //
+// # Automatic module mining
+//
+// With promptcache.WithModuleMining the module inventory grows beyond
+// what schemas declare: a radix tree observes the uncached token stream
+// of every cached serve and promotes hot shared prefixes (undeclared
+// system prompts, RAG boilerplate, few-shot headers) to anonymous mined
+// modules. Mined and explicit modules coexist in one inventory — the
+// same pinning, eviction, host demotion, disk spill and warm-restart
+// paths — and a request whose suffix opens with a mined prefix splices
+// its states zero-copy, bit-identically to serving cold: prefixes are
+// scoped to a serving class (schema + imports + exclusions, i.e. one
+// attention context) and mined states stay fp32 end to end. `pcserve
+// -mine` wires it into the server (the /v1/stats "mining" block tracks
+// promotions, demotions and tokens saved); `pctrace -mine` replays
+// recorded traces offline to size the win first.
+//
 // # Concurrency
 //
 // Serving is parallel: the engine lock guards only metadata (schema

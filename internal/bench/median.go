@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Single benchmark runs on shared CI machines are noisy; the perf gate
+// wants a stable point, not a lucky or unlucky sample. MedianServePoints
+// and MedianDecodePoints collapse N runs of the same experiment into one
+// point list: per identity (mode + size), each metric independently
+// takes its median across runs — the usual way to de-noise benchmark
+// repetitions without letting one stalled run drag the mean.
+
+func medianInt64(v []int64) int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}
+
+func medianFloat64(v []float64) float64 {
+	sort.Float64s(v)
+	return v[len(v)/2]
+}
+
+// MedianServePoints merges N runs of the serve experiment. Every run
+// must report the same points (same modes and prefix sizes) in the same
+// order — they come from the same config, so a mismatch is a bug.
+func MedianServePoints(runs [][]ServePoint) ([]ServePoint, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bench: no runs to merge")
+	}
+	out := append([]ServePoint(nil), runs[0]...)
+	for i := range out {
+		ns := make([]int64, 0, len(runs))
+		bs := make([]int64, 0, len(runs))
+		as := make([]int64, 0, len(runs))
+		ms := make([]float64, 0, len(runs))
+		for _, run := range runs {
+			if len(run) != len(out) || run[i].Mode != out[i].Mode || run[i].PrefixTokens != out[i].PrefixTokens {
+				return nil, fmt.Errorf("bench: serve runs disagree on point %d", i)
+			}
+			ns = append(ns, run[i].NsPerOp)
+			bs = append(bs, run[i].BytesPerOp)
+			as = append(as, run[i].AllocsPerOp)
+			ms = append(ms, run[i].MsPerOp)
+		}
+		out[i].NsPerOp = medianInt64(ns)
+		out[i].BytesPerOp = medianInt64(bs)
+		out[i].AllocsPerOp = medianInt64(as)
+		out[i].MsPerOp = medianFloat64(ms)
+	}
+	return out, nil
+}
+
+// MedianDecodePoints merges N runs of the decode experiment.
+func MedianDecodePoints(runs [][]DecodePoint) ([]DecodePoint, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bench: no runs to merge")
+	}
+	out := append([]DecodePoint(nil), runs[0]...)
+	for i := range out {
+		ns := make([]int64, 0, len(runs))
+		ms := make([]float64, 0, len(runs))
+		ts := make([]float64, 0, len(runs))
+		for _, run := range runs {
+			if len(run) != len(out) || run[i].Mode != out[i].Mode || run[i].Streams != out[i].Streams {
+				return nil, fmt.Errorf("bench: decode runs disagree on point %d", i)
+			}
+			ns = append(ns, run[i].NsPerOp)
+			ms = append(ms, run[i].MsPerOp)
+			ts = append(ts, run[i].TokensPerSec)
+		}
+		out[i].NsPerOp = medianInt64(ns)
+		out[i].MsPerOp = medianFloat64(ms)
+		out[i].TokensPerSec = medianFloat64(ts)
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import "testing"
+
+func TestMedianServePoints(t *testing.T) {
+	mk := func(ns, bs, as int64, ms float64) []ServePoint {
+		return []ServePoint{
+			{PrefixTokens: 64, Mode: "cached", NsPerOp: ns, BytesPerOp: bs, AllocsPerOp: as, MsPerOp: ms},
+			{PrefixTokens: 64, Mode: "baseline", NsPerOp: ns * 10, BytesPerOp: bs, AllocsPerOp: as, MsPerOp: ms * 10},
+		}
+	}
+	got, err := MedianServePoints([][]ServePoint{
+		mk(300, 30, 3, 0.3), // one slow outlier run...
+		mk(100, 10, 1, 0.1),
+		mk(120, 12, 2, 0.12),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...must not drag the result: the median picks the middle sample.
+	if got[0].NsPerOp != 120 || got[0].BytesPerOp != 12 || got[0].AllocsPerOp != 2 || got[0].MsPerOp != 0.12 {
+		t.Fatalf("cached median = %+v", got[0])
+	}
+	if got[1].NsPerOp != 1200 || got[1].Mode != "baseline" {
+		t.Fatalf("baseline median = %+v", got[1])
+	}
+}
+
+func TestMedianServePointsMismatch(t *testing.T) {
+	a := []ServePoint{{PrefixTokens: 64, Mode: "cached"}}
+	b := []ServePoint{{PrefixTokens: 128, Mode: "cached"}}
+	if _, err := MedianServePoints([][]ServePoint{a, b}); err == nil {
+		t.Fatal("mismatched runs should fail")
+	}
+	if _, err := MedianServePoints(nil); err == nil {
+		t.Fatal("no runs should fail")
+	}
+}
+
+func TestMedianDecodePoints(t *testing.T) {
+	mk := func(ns int64, ts float64) []DecodePoint {
+		return []DecodePoint{{Streams: 4, Mode: "fused", NsPerOp: ns, MsPerOp: float64(ns) / 1e6, TokensPerSec: ts}}
+	}
+	got, err := MedianDecodePoints([][]DecodePoint{mk(500, 50), mk(100, 900), mk(200, 200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metrics take medians independently: ns and tokens/sec need not
+	// come from the same run.
+	if got[0].NsPerOp != 200 || got[0].TokensPerSec != 200 {
+		t.Fatalf("median = %+v", got[0])
+	}
+	if _, err := MedianDecodePoints([][]DecodePoint{mk(1, 1), {}}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}

@@ -225,6 +225,22 @@ func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	}
 	defer func() { c.unpinModules(plan.pinned) }()
 
+	newToks, newPos, err := c.gatherNewTokens(plan.layout, prompt, plan.bindings, plan.included)
+	if err != nil {
+		return nil, err
+	}
+	// Module mining sees batch traffic too: the mined part flows through
+	// the registry like any module (keyed "schema/~mined/N"), so sibling
+	// prompts hitting the same prefix share one block copy.
+	fullToks, fullPos := newToks, newPos
+	var class, minedName string
+	if c.miner != nil {
+		class = servingClass(prompt.SchemaName, plan)
+		var n int
+		minedName, n = c.spliceMined(plan, prompt.SchemaName, class, newToks, newPos)
+		newToks, newPos = newToks[n:], newPos[n:]
+	}
+
 	seq := c.m.NewSeq(plan.tailCap)
 	for _, part := range plan.parts {
 		ids, err := reg.acquire(part)
@@ -238,11 +254,27 @@ func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeO
 		if err != nil {
 			return nil, err
 		}
+		excl := plan.excluded
+		if part.noExclude {
+			excl = nil
+		}
 		for _, pay := range payloads {
-			addViews(seq, pay, plan.excluded)
+			addViews(seq, pay, excl)
 		}
 	}
-	return c.finishServe(ctx, prompt, plan, seq)
+	res, err := c.finishServe(ctx, plan, seq, newToks, newPos)
+	if err != nil {
+		return nil, err
+	}
+	if minedName != "" {
+		res.Modules = append(res.Modules[:len(res.Modules):len(res.Modules)], minedName)
+	}
+	if c.miner != nil {
+		// Observe before the deferred unpin: a promotion copies rows out
+		// of the still-stable views.
+		c.observeServe(prompt.SchemaName, class, fullToks, fullPos, seq)
+	}
+	return res, nil
 }
 
 // GenerateBatch continues every result greedily, returning the generated

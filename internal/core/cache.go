@@ -15,6 +15,7 @@ import (
 	"repro/internal/evict"
 	"repro/internal/kvcache"
 	"repro/internal/memory"
+	"repro/internal/mining"
 	"repro/internal/model"
 	"repro/internal/pml"
 	"repro/internal/quant"
@@ -33,9 +34,16 @@ type EncodedModule struct {
 	// Quant is the compressed form (§6 compression direction); non-nil
 	// only under WithInt8Modules.
 	Quant *quant.Compressed
-	// Layout is the module's compiled layout entry.
+	// Layout is the module's compiled layout entry; nil for mined
+	// (anonymous) modules, which have no PML source.
 	Layout *pml.ModuleLayout
-	state  moduleState
+	// Mined marks an anonymous module promoted by the traffic observer
+	// (WithModuleMining): it records the serving class and the
+	// (token, position) stream prefix the states reproduce. Mined states
+	// are always fp32 (they exist for exactness) and cannot re-encode —
+	// eviction past the last tier removes the module instead.
+	Mined *MinedPrefix
+	state moduleState
 	// pins counts open serves whose KV views read this module's states
 	// outside the cache lock. Guarded by Cache.mu; evictOneLocked never
 	// selects a pinned module as a victim, so the viewed buffers stay
@@ -117,6 +125,12 @@ type Stats struct {
 	DiskHits          int // module states read back from the disk tier
 	DiskLoadErrors    int // unreadable disk blobs (fell back to re-encode)
 	TierAccountErrors int // tier bookkeeping failures; nonzero means occupancy counters drifted
+
+	MinedPromotions      int // hot prefixes promoted to anonymous modules (WithModuleMining)
+	MinedDemotions       int // mined modules garbage-collected (cold, evicted, or schema dropped)
+	MinedHits            int // serves that spliced a mined module's states
+	MinedHitTokens       int // prefill tokens skipped by mined splices
+	MinedSnapshotSkipped int // mined modules not round-tripped through SaveAll/OpenDir
 }
 
 // Cache is the Prompt Cache: it owns a model, a tokenizer, a chat
@@ -154,8 +168,17 @@ type Cache struct {
 	// through it. It synchronizes itself and never takes mu.
 	sched *Scheduler
 
+	// miner, when non-nil, observes serve-time token streams and
+	// promotes hot shared prefixes to anonymous modules
+	// (WithModuleMining). It synchronizes itself and never calls back
+	// into the cache, so it may be used both under and outside mu.
+	miner *mining.Miner
+
 	mu      sync.Mutex
 	schemas map[string]*schemaEntry
+	// minedSeq names promoted modules ~mined/0, ~mined/1, ... within
+	// this cache's lifetime (warm restarts advance it past restored ids).
+	minedSeq int
 	// policy ranks module keys ("schema/module") for eviction when the
 	// pool fills (§6's cache-replacement direction; default LRU).
 	// Scaffold states are pinned: they exist for output exactness.
@@ -367,6 +390,13 @@ func (c *Cache) freeTracked(p *memory.Pool, key string) {
 
 // dropSchemaLocked releases all pool reservations of a schema.
 func (c *Cache) dropSchemaLocked(name string, e *schemaEntry) {
+	if c.miner != nil {
+		// Forget the schema's observed traffic; mined modules counted
+		// here are also in e.modules and release their tiers below.
+		for range c.miner.DropClassPrefix(classPrefix(name)) {
+			c.stats.MinedDemotions++
+		}
+	}
 	for mod := range e.modules {
 		key := name + "/" + mod
 		if c.pool.Has(key) {
@@ -550,6 +580,13 @@ func (c *Cache) evictOneLocked(loading string) bool {
 		}
 		c.freeTracked(c.pool, key)
 		c.stats.ModulesEvicted++
+		if em != nil && em.Mined != nil && em.state == stateDropped {
+			// A mined module cannot re-encode, so a drop past the last
+			// tier is terminal: remove it and tell the observer.
+			if schema, _, ok := splitKey(key); ok {
+				c.dropMinedLocked(key, schema, em)
+			}
+		}
 		return true
 	}
 }

@@ -139,7 +139,13 @@ func (c *Cache) spillLocked(key string, em *EncodedModule) error {
 	if _, ok := c.disk.index[key]; ok {
 		return nil
 	}
-	entry, err := c.disk.writeBlob(em.States(), c.disk.codec)
+	codec := c.disk.codec
+	if em.Mined != nil {
+		// Mined modules are bit-exact by contract (splice vs cold serve
+		// must produce identical logits); never quantize their spills.
+		codec = CodecFP32
+	}
+	entry, err := c.disk.writeBlob(em.States(), codec)
 	if err != nil {
 		return err
 	}
@@ -198,6 +204,9 @@ func (c *Cache) diskLoadLocked(key string, em *EncodedModule) (*kvcache.Cache, e
 			return nil, fmt.Errorf("core: disk blob %s has %d tokens, layout expects %d: %w",
 				key, kv.Len(), len(toks), errCorruptBlob)
 		}
+	} else if em.Mined != nil && kv.Len() != len(em.Mined.Toks) {
+		return nil, fmt.Errorf("core: disk blob %s has %d tokens, mined prefix expects %d: %w",
+			key, kv.Len(), len(em.Mined.Toks), errCorruptBlob)
 	}
 	return kv, nil
 }
@@ -271,6 +280,10 @@ type manifestSchema struct {
 	PML       string           `json:"pml"`
 	Modules   []manifestModule `json:"modules"` // in layout order
 	Scaffolds []manifestModule `json:"scaffolds,omitempty"`
+	// Mined persists anonymous modules promoted by the traffic observer.
+	// They have no PML source, so the manifest carries the prefix itself;
+	// restoring without mining enabled skips them (counted).
+	Mined []manifestMined `json:"mined,omitempty"`
 }
 
 type manifestModule struct {
@@ -279,6 +292,15 @@ type manifestModule struct {
 	Codec  string `json:"codec"`
 	Bytes  int64  `json:"bytes"`
 	Tokens int    `json:"tokens"`
+}
+
+// manifestMined is a mined module's manifest entry: the blob reference
+// plus the class and (token, position) prefix the states reproduce.
+type manifestMined struct {
+	manifestModule
+	Class string `json:"class"`
+	Toks  []int  `json:"toks"`
+	Pos   []int  `json:"pos"`
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
@@ -360,6 +382,38 @@ func (c *Cache) SaveAll(dir string) error {
 			}
 			ms.Scaffolds = append(ms.Scaffolds, manifestEntry(sc.Name, entry))
 		}
+		// Mined modules persist with their prefix (always fp32); one that
+		// cannot be snapshotted is skipped with a counted stat rather
+		// than failing the snapshot — it will simply re-mine after the
+		// restart.
+		var minedNames []string
+		for mod, em := range e.modules {
+			if em.Mined != nil {
+				minedNames = append(minedNames, mod)
+			}
+		}
+		sort.Strings(minedNames)
+		for _, mod := range minedNames {
+			em := e.modules[mod]
+			key := name + "/" + mod
+			if em.state == stateDisk && c.disk != nil && c.disk.dir == dir {
+				if entry, ok := c.disk.index[key]; ok {
+					ms.Mined = append(ms.Mined, manifestMinedEntry(mod, entry, em.Mined))
+					continue
+				}
+			}
+			kv, err := c.snapshotMinedStatesLocked(key, em)
+			if err != nil {
+				c.stats.MinedSnapshotSkipped++
+				continue
+			}
+			entry, err := tier.writeBlob(kv, CodecFP32)
+			if err != nil {
+				c.stats.MinedSnapshotSkipped++
+				continue
+			}
+			ms.Mined = append(ms.Mined, manifestMinedEntry(mod, entry, em.Mined))
+		}
 		man.Schemas = append(man.Schemas, ms)
 	}
 
@@ -384,6 +438,29 @@ func manifestEntry(name string, entry diskEntry) manifestModule {
 		Codec:  entry.codec.String(),
 		Bytes:  entry.bytes,
 		Tokens: entry.tokens,
+	}
+}
+
+func manifestMinedEntry(name string, entry diskEntry, mp *MinedPrefix) manifestMined {
+	return manifestMined{
+		manifestModule: manifestEntry(name, entry),
+		Class:          mp.Class,
+		Toks:           mp.Toks,
+		Pos:            mp.Pos,
+	}
+}
+
+// snapshotMinedStatesLocked materializes a mined module's states for
+// persistence without changing its residency. Unlike declared modules,
+// a mined module cannot re-encode, so a dropped one is unsnapshotable.
+func (c *Cache) snapshotMinedStatesLocked(key string, em *EncodedModule) (*kvcache.Cache, error) {
+	switch em.state {
+	case stateResident, stateDemoted:
+		return em.States(), nil
+	case stateDisk:
+		return c.diskLoadLocked(key, em)
+	default:
+		return nil, fmt.Errorf("core: mined module %s has no states to snapshot", key)
 	}
 }
 
@@ -565,6 +642,13 @@ func (c *Cache) restoreSchemaLocked(ms manifestSchema) error {
 		}
 		entry.scaffolds[sc.Name] = &EncodedScaffold{Name: sc.Name, Members: sc.Modules, KV: kv}
 		c.stats.ModulesRestored++
+	}
+	// Mined modules restore lazily like declared ones (stateDisk), and
+	// the observer adopts their prefixes so lookups match immediately.
+	// A cache opened without mining skips them with a counted stat —
+	// the blobs stay on disk for a later mining-enabled open.
+	for _, mm := range ms.Mined {
+		c.adoptMinedLocked(entry, schema.Name, mm)
 	}
 	return nil
 }

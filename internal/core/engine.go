@@ -132,6 +132,25 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 		c.unpinModules(plan.pinned)
 		return nil, err
 	}
+	newToks, newPos, err := c.gatherNewTokens(plan.layout, prompt, plan.bindings, plan.included)
+	if err != nil {
+		c.unpinModules(plan.pinned)
+		return nil, err
+	}
+
+	// Module mining: the uncached stream may start with a previously
+	// promoted prefix; splice its states like a schema hit and prefill
+	// only the remainder. The untrimmed stream feeds the observer after
+	// the serve. The pin set is built after the splice — a resident
+	// mined hit appends its own pin.
+	fullToks, fullPos := newToks, newPos
+	var class, minedName string
+	if c.miner != nil {
+		class = servingClass(prompt.SchemaName, plan)
+		var n int
+		minedName, n = c.spliceMined(plan, prompt.SchemaName, class, newToks, newPos)
+		newToks, newPos = newToks[n:], newPos[n:]
+	}
 	ps := &pinSet{cache: c, pins: plan.pinned}
 
 	// Stitch the cached prefix outside the lock: O(#segments) slice
@@ -139,12 +158,25 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	// states stay intact while the views are readable.
 	seq := c.m.NewSeq(plan.tailCap)
 	for _, part := range plan.parts {
-		addViews(seq, part.states(), plan.excluded)
+		excl := plan.excluded
+		if part.noExclude {
+			excl = nil
+		}
+		addViews(seq, part.states(), excl)
 	}
-	res, err := c.finishServe(ctx, prompt, plan, seq)
+	res, err := c.finishServe(ctx, plan, seq, newToks, newPos)
 	if err != nil {
 		ps.release()
 		return nil, err
+	}
+	if minedName != "" {
+		// Copy-on-append: res.Modules aliases plan.included.
+		res.Modules = append(res.Modules[:len(res.Modules):len(res.Modules)], minedName)
+	}
+	if c.miner != nil {
+		// Observe while the pins are held, so a promotion can copy its
+		// rows out of the still-stable views.
+		c.observeServe(prompt.SchemaName, class, fullToks, fullPos, seq)
 	}
 	res.pins = ps
 	return res, nil
@@ -167,6 +199,10 @@ type servePart struct {
 	// in its blob, which resolveDiskParts reads outside the cache lock
 	// before assembly. A resolved plan has no disk parts left.
 	disk *EncodedModule
+	// noExclude marks a part whose rows must not be filtered against the
+	// plan's excluded positions: a mined prefix already contains the
+	// serve-computed states at those positions.
+	noExclude bool
 }
 
 // states materializes the part's attention states. Safe outside the
@@ -316,21 +352,18 @@ func (c *Cache) planServeLocked(prompt *pml.Prompt, opts ServeOpts, shared func(
 	return plan, nil
 }
 
-// finishServe completes a planned serve outside the cache lock: gather
-// the uncached token/position streams (parameter arguments at their slot
-// positions, new text per §3.4), run the prefill into the view's tail,
-// and fold the reuse stats back in under a brief re-lock.
-func (c *Cache) finishServe(ctx context.Context, prompt *pml.Prompt, plan *servePlan, kv kvcache.KV) (*ServeResult, error) {
+// finishServe completes a planned serve outside the cache lock: run the
+// already-gathered uncached stream (parameter arguments at their slot
+// positions, new text per §3.4; minus any mined prefix the caller
+// spliced) through the prefill into the view's tail, and fold the reuse
+// stats back in under a brief re-lock.
+func (c *Cache) finishServe(ctx context.Context, plan *servePlan, kv kvcache.KV, newToks, newPos []int) (*ServeResult, error) {
 	res := &ServeResult{
 		Modules:      plan.included,
 		Scaffolds:    plan.scaffolds,
 		CachedTokens: kv.Len(),
+		NewTokens:    len(newToks),
 	}
-	newToks, newPos, err := c.gatherNewTokens(plan.layout, prompt, plan.bindings, plan.included)
-	if err != nil {
-		return nil, err
-	}
-	res.NewTokens = len(newToks)
 	if len(newToks) == 0 {
 		return nil, fmt.Errorf("%w: prompt adds no new tokens; add instruction text or parameter arguments", ErrBadPrompt)
 	}

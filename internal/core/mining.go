@@ -1,0 +1,482 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/kvcache"
+	"repro/internal/mining"
+)
+
+// Module mining (automatic prefix promotion) glues the observer in
+// internal/mining into the serve path. The paper's reuse is explicit —
+// a PML schema declares what is shared — but live traffic is full of
+// undeclared shared prefixes. With WithModuleMining, every cached
+// serve's uncached (token, position) stream feeds a radix-tree
+// observer; prefixes hot enough to clear the configured thresholds are
+// promoted into *anonymous modules* — EncodedModules named "~mined/N",
+// registered into the owning schema's entry so they flow through the
+// existing pin/refcount, eviction, host-demotion, disk-spill and
+// warm-restart machinery unchanged. A later serve whose stream starts
+// with a mined prefix splices the module's pinned states exactly like a
+// schema hit and prefills only the remainder.
+//
+// Correctness: a serve's uncached-token states depend on everything the
+// tail attends to, so streams are only compared within a *class* —
+// schema plus included modules, applied scaffolds and excluded
+// positions — and keyed by (token, position) pairs. Within a class the
+// spliced rows are bit-identical to what the serve would have computed,
+// so mined hits change latency, never output. To keep that guarantee
+// absolute, mined states are always stored and spilled fp32, even under
+// WithInt8Modules (like scaffolds, they exist for exactness).
+
+// minedPrefixTag prefixes every anonymous mined module's name. PML tag
+// names cannot contain '~' or '/', so mined names never collide with a
+// schema's declared modules.
+const minedPrefixTag = "~mined/"
+
+// classFieldSep/classGroupSep build class keys. Neither byte can appear
+// in schema or module names (PML tags are letters, digits, '-', '_',
+// '.'), so keys cannot collide across field boundaries.
+const (
+	classFieldSep = "\x1f"
+	classGroupSep = "\x1e"
+)
+
+// MiningOpts configures automatic module mining; it is an alias of the
+// observer's config so promptcache can re-export it without leaking
+// internals. Zero fields take the mining package's documented defaults.
+type MiningOpts = mining.Config
+
+// WithModuleMining enables automatic module mining: cached serves feed
+// a radix-tree traffic observer, and prefixes that clear opts'
+// thresholds are promoted to anonymous modules spliced into later
+// matching serves. See MiningOpts for the knobs.
+func WithModuleMining(opts MiningOpts) Option {
+	return func(c *Cache) { c.miner = mining.New(opts) }
+}
+
+// MinedPrefix records what an anonymous mined module caches: the class
+// it is valid in and the (token, position) stream prefix its states
+// reproduce. It is the mined counterpart of Layout.
+type MinedPrefix struct {
+	Class string
+	Toks  []int
+	Pos   []int
+}
+
+// MiningStats is a snapshot of mining activity: the observer's tree
+// statistics plus the engine's mined-serving counters.
+type MiningStats struct {
+	Enabled bool `json:"enabled"`
+	// Observed counts streams fed to the observer.
+	Observed uint64 `json:"observed"`
+	// Classes and Nodes size the radix tree.
+	Classes int `json:"classes"`
+	Nodes   int `json:"nodes"`
+	// Candidates counts tree nodes past the promotion threshold but not
+	// yet promoted.
+	Candidates int `json:"candidates"`
+	// LiveModules is the number of mined modules currently registered.
+	LiveModules int `json:"live_modules"`
+	// Promotions and Demotions are lifetime counts of mined modules
+	// created and garbage-collected.
+	Promotions int `json:"promotions"`
+	Demotions  int `json:"demotions"`
+	// Hits counts serves that spliced a mined module; HitTokens is the
+	// prefill tokens those splices skipped (the saving).
+	Hits      int `json:"hits"`
+	HitTokens int `json:"hit_tokens_saved"`
+	// SnapshotSkipped counts mined modules dropped at SaveAll/OpenDir
+	// boundaries (no states to persist, or restoring without mining).
+	SnapshotSkipped int `json:"snapshot_skipped"`
+}
+
+// MiningEnabled reports whether this cache mines modules from traffic.
+func (c *Cache) MiningEnabled() bool { return c.miner != nil }
+
+// MiningStats returns a snapshot of mining activity. Without
+// WithModuleMining it returns the zero snapshot (Enabled false).
+func (c *Cache) MiningStats() MiningStats {
+	if c.miner == nil {
+		return MiningStats{}
+	}
+	ts := c.miner.Stats()
+	c.mu.Lock()
+	s := c.stats
+	c.mu.Unlock()
+	return MiningStats{
+		Enabled:         true,
+		Observed:        ts.Observed,
+		Classes:         ts.Classes,
+		Nodes:           ts.Nodes,
+		Candidates:      ts.Candidates,
+		LiveModules:     ts.Promoted,
+		Promotions:      s.MinedPromotions,
+		Demotions:       s.MinedDemotions,
+		Hits:            s.MinedHits,
+		HitTokens:       s.MinedHitTokens,
+		SnapshotSkipped: s.MinedSnapshotSkipped,
+	}
+}
+
+// servingClass derives the stream-comparison class of a planned serve:
+// everything that determines the attention context the uncached tokens
+// see. Two serves in the same class with the same (token, position)
+// stream prefix compute bit-identical states for that prefix — the
+// precondition for splicing mined states.
+func servingClass(schemaName string, plan *servePlan) string {
+	var b strings.Builder
+	b.WriteString(schemaName)
+	b.WriteString(classFieldSep)
+	for _, m := range plan.included {
+		b.WriteString(m)
+		b.WriteString(classFieldSep)
+	}
+	b.WriteString(classGroupSep)
+	for _, s := range plan.scaffolds {
+		b.WriteString(s)
+		b.WriteString(classFieldSep)
+	}
+	b.WriteString(classGroupSep)
+	ex := make([]int, 0, len(plan.excluded))
+	for p := range plan.excluded {
+		ex = append(ex, p)
+	}
+	sort.Ints(ex)
+	for _, p := range ex {
+		b.WriteString(strconv.Itoa(p))
+		b.WriteString(classFieldSep)
+	}
+	return b.String()
+}
+
+// classPrefix is the class-key prefix shared by every class of one
+// schema — what dropSchemaLocked hands the observer to forget a
+// schema's traffic.
+func classPrefix(schemaName string) string { return schemaName + classFieldSep }
+
+// spliceMined finds the longest promoted mined prefix of the serve's
+// uncached stream and appends its module to the plan as a no-exclusion
+// part (mined rows include computed argument states at excluded
+// positions and must not be filtered). It returns the module name and
+// matched token count; the caller trims the stream by n and prefills
+// the rest. A mined splice never fails a serve: any trouble — module
+// vanished, blob unreadable, pool full — degrades to a miss (n = 0).
+func (c *Cache) spliceMined(plan *servePlan, schemaName, class string, toks, pos []int) (string, int) {
+	if len(toks) < 2 {
+		return "", 0 // the serve must keep at least one uncached token
+	}
+	name, n, ok := c.miner.Lookup(class, toks, pos, len(toks)-1)
+	if !ok || n <= 0 {
+		return "", 0
+	}
+	key := schemaName + "/" + name
+
+	c.mu.Lock()
+	em := c.minedModuleLocked(schemaName, name)
+	if em == nil || len(em.Mined.Toks) != n {
+		c.mu.Unlock()
+		// The cache no longer holds what the observer promised (schema
+		// replaced, module GC'd mid-lookup): stop matching it.
+		c.miner.Demoted(name)
+		return "", 0
+	}
+	switch em.state {
+	case stateResident:
+		c.policy.Touch(key, em.Bytes())
+		em.pins++
+		c.recordMinedHitLocked(n)
+		plan.pinned = append(plan.pinned, em)
+		plan.parts = append(plan.parts, servePart{key: key, em: em, noExclude: true})
+		c.mu.Unlock()
+		return name, n
+	case stateDemoted:
+		if err := c.promoteLocked(key, em); err != nil {
+			if !errors.Is(err, ErrCapacity) {
+				c.mu.Unlock()
+				return "", 0
+			}
+			// Host-tier read-through without promotion.
+			c.recordMinedHitLocked(n)
+			plan.parts = append(plan.parts, servePart{key: key, kv: em.States(), noExclude: true})
+			c.mu.Unlock()
+			return name, n
+		}
+		c.policy.Touch(key, em.Bytes())
+		em.pins++
+		c.recordMinedHitLocked(n)
+		plan.pinned = append(plan.pinned, em)
+		plan.parts = append(plan.parts, servePart{key: key, em: em, noExclude: true})
+		c.mu.Unlock()
+		return name, n
+	case stateDisk:
+		entry, ok := c.disk.index[key]
+		c.mu.Unlock()
+		if !ok {
+			return "", 0
+		}
+		return c.spliceMinedFromDisk(plan, schemaName, key, name, n, em, entry)
+	default: // stateDropped: mined states cannot re-encode; GC and miss
+		c.dropMinedLocked(key, schemaName, em)
+		c.mu.Unlock()
+		return "", 0
+	}
+}
+
+// spliceMinedFromDisk completes a mined splice whose states live in a
+// disk blob: the read happens off-lock (disk IO must never serialize
+// planning), then a brief re-lock installs the states, handling the
+// same races resolveDiskParts does — another serve may have promoted
+// the module first, or eviction may have cycled it.
+func (c *Cache) spliceMinedFromDisk(plan *servePlan, schemaName, key, name string, n int, em *EncodedModule, entry diskEntry) (string, int) {
+	kv, loadErr := c.disk.readBlob(entry)
+	if loadErr == nil && (kv.NLayers != c.m.Cfg.NLayers || kv.KVDim != c.m.Cfg.KVDim() || kv.Len() != n) {
+		loadErr = fmt.Errorf("core: mined blob %s has unexpected shape: %w", key, errCorruptBlob)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.minedModuleLocked(schemaName, name) != em {
+		return "", 0 // GC'd or schema replaced while we read
+	}
+	if loadErr != nil {
+		if em.state == stateDisk {
+			c.diskLoadFailedLocked(key, em, loadErr)
+		}
+		if em.state == stateDropped {
+			c.dropMinedLocked(key, schemaName, em)
+		}
+		return "", 0
+	}
+	switch em.state {
+	case stateResident:
+		// Another serve promoted it while we read; share its states.
+		c.policy.Touch(key, em.Bytes())
+		em.pins++
+		c.recordMinedHitLocked(n)
+		plan.pinned = append(plan.pinned, em)
+		plan.parts = append(plan.parts, servePart{key: key, em: em, noExclude: true})
+		return name, n
+	case stateDemoted:
+		if err := c.promoteLocked(key, em); err != nil {
+			if !errors.Is(err, ErrCapacity) {
+				return "", 0
+			}
+			c.recordMinedHitLocked(n)
+			plan.parts = append(plan.parts, servePart{key: key, kv: em.States(), noExclude: true})
+			return name, n
+		}
+		c.policy.Touch(key, em.Bytes())
+		em.pins++
+		c.recordMinedHitLocked(n)
+		plan.pinned = append(plan.pinned, em)
+		plan.parts = append(plan.parts, servePart{key: key, em: em, noExclude: true})
+		return name, n
+	case stateDisk:
+		if err := c.installDiskStatesLocked(key, em, kv); err != nil {
+			if !errors.Is(err, ErrCapacity) {
+				return "", 0
+			}
+			// Pool cannot hold the working set: serve the loaded copy
+			// without residency. Mined states are fp32; no codec round
+			// trip needed for exactness.
+			c.stats.DiskHits++
+			c.recordMinedHitLocked(n)
+			plan.parts = append(plan.parts, servePart{key: key, kv: kv, noExclude: true})
+			return name, n
+		}
+		c.policy.Touch(key, em.Bytes())
+		em.pins++
+		c.recordMinedHitLocked(n)
+		plan.pinned = append(plan.pinned, em)
+		plan.parts = append(plan.parts, servePart{key: key, em: em, noExclude: true})
+		return name, n
+	default: // stateDropped: our blob copy is good, serve it transiently
+		c.stats.DiskHits++
+		c.recordMinedHitLocked(n)
+		plan.parts = append(plan.parts, servePart{key: key, kv: kv, noExclude: true})
+		return name, n
+	}
+}
+
+// minedModuleLocked resolves a mined module by schema and name, nil
+// when it (or its schema) is gone.
+func (c *Cache) minedModuleLocked(schemaName, name string) *EncodedModule {
+	e := c.schemas[schemaName]
+	if e == nil {
+		return nil
+	}
+	em := e.modules[name]
+	if em == nil || em.Mined == nil {
+		return nil
+	}
+	return em
+}
+
+// recordMinedHitLocked folds one mined splice into the stats. The
+// spliced rows also land in TokensReused via CachedTokens, like any
+// cached prefix; MinedHitTokens isolates the mined share.
+func (c *Cache) recordMinedHitLocked(n int) {
+	c.stats.MinedHits++
+	c.stats.MinedHitTokens += n
+	c.stats.ModulesReused++
+}
+
+// observeServe feeds one successful cached serve to the observer and
+// acts on its verdicts: promoting a nominated prefix by copying its
+// rows out of this serve's assembled KV (zero extra prefill) and
+// garbage-collecting mined modules that went cold. Runs off the cache
+// lock, after the prefill, while the serve's pins are still held (so
+// the KV's view rows are stable). toks/pos are the full uncached
+// stream, before any mined trim.
+func (c *Cache) observeServe(schemaName, class string, toks, pos []int, kv kvcache.KV) {
+	res := c.miner.Observe(class, toks, pos)
+	if res.Promote != nil {
+		c.promoteMined(schemaName, res.Promote, toks, kv)
+	}
+	for _, name := range res.Demote {
+		c.demoteMined(schemaName, name)
+	}
+}
+
+// promoteMined turns a nomination into a registered anonymous module by
+// copying the candidate prefix's attention states out of the serve's
+// KV. Row j of the observed stream is row kv.Len()-len(toks)+j: the
+// uncached stream lands contiguously at the end of the sequence (a
+// mined view, when one was spliced, sits immediately before the tail),
+// so the copy is uniform whether a prefix row came from this serve's
+// prefill or from an earlier mined splice.
+func (c *Cache) promoteMined(schemaName string, cand *mining.Candidate, toks []int, kv kvcache.KV) {
+	d := len(cand.Toks)
+	if d == 0 || d > len(toks) || d > kv.Len() {
+		cand.PromoteFailed()
+		return
+	}
+	base := kv.Len() - len(toks)
+	states := kvcache.New(c.m.Cfg.NLayers, c.m.Cfg.KVDim(), d)
+	for j := 0; j < d; j++ {
+		for l := 0; l < c.m.Cfg.NLayers; l++ {
+			states.AppendToken(l, kv.KeyRow(l, base+j), kv.ValueRow(l, base+j))
+		}
+		states.AppendPos(cand.Pos[j])
+	}
+
+	c.mu.Lock()
+	e := c.schemas[schemaName]
+	if e == nil {
+		c.mu.Unlock()
+		cand.PromoteFailed()
+		return
+	}
+	name := minedPrefixTag + strconv.Itoa(c.minedSeq)
+	key := schemaName + "/" + name
+	em := &EncodedModule{
+		Name:   name,
+		Schema: schemaName,
+		KV:     states, // fp32 always: mined states exist for exactness
+		Mined:  &MinedPrefix{Class: cand.Class, Toks: cand.Toks, Pos: cand.Pos},
+	}
+	if err := c.reserveLocked(key, em.Bytes()); err != nil {
+		c.mu.Unlock()
+		cand.PromoteFailed()
+		return
+	}
+	c.minedSeq++
+	e.modules[name] = em
+	c.policy.Touch(key, em.Bytes())
+	c.stats.MinedPromotions++
+	c.mu.Unlock()
+	cand.Promoted(name)
+}
+
+// demoteMined garbage-collects one cold mined module. A pinned module
+// (an open serve still views its states) is left alone; the observer
+// re-offers it on a later observation.
+func (c *Cache) demoteMined(schemaName, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	em := c.minedModuleLocked(schemaName, name)
+	if em == nil {
+		// Already gone from the cache; make sure the observer agrees.
+		c.miner.Demoted(name)
+		return
+	}
+	if em.pins > 0 {
+		return
+	}
+	c.dropMinedLocked(schemaName+"/"+name, schemaName, em)
+}
+
+// dropMinedLocked removes a mined module from every tier and confirms
+// the removal to the observer. Unlike declared modules, a mined module
+// cannot re-encode (its states came from a live serve), so removal is
+// its terminal state.
+func (c *Cache) dropMinedLocked(key, schemaName string, em *EncodedModule) {
+	if c.pool.Has(key) {
+		c.freeTracked(c.pool, key)
+	}
+	if c.hostPool != nil && c.hostPool.Has(key) {
+		c.freeTracked(c.hostPool, key)
+	}
+	if c.disk != nil {
+		c.removeDiskLocked(key)
+	}
+	c.policy.Remove(key)
+	if e := c.schemas[schemaName]; e != nil {
+		delete(e.modules, em.Name)
+	}
+	em.KV = nil
+	em.Quant = nil
+	em.state = stateDropped
+	if c.miner != nil {
+		c.miner.Demoted(em.Name)
+	}
+	c.stats.MinedDemotions++
+}
+
+// adoptMinedLocked re-registers one persisted mined module from a
+// snapshot manifest: states stay on disk (like declared modules) and
+// the observer adopts the prefix so lookups match again. Returns false
+// (with the skip counted) when the entry cannot be adopted.
+func (c *Cache) adoptMinedLocked(e *schemaEntry, schemaName string, mm manifestMined) bool {
+	if c.miner == nil {
+		c.stats.MinedSnapshotSkipped++
+		return false
+	}
+	if !strings.HasPrefix(mm.Name, minedPrefixTag) ||
+		len(mm.Toks) != len(mm.Pos) || len(mm.Toks) != mm.Tokens || mm.Tokens == 0 {
+		c.stats.MinedSnapshotSkipped++
+		return false
+	}
+	if err := c.miner.Adopt(mm.Class, mm.Toks, mm.Pos, mm.Name); err != nil {
+		c.stats.MinedSnapshotSkipped++
+		return false
+	}
+	mcodec, err := ParseCodec(mm.Codec)
+	if err != nil {
+		c.stats.MinedSnapshotSkipped++
+		return false
+	}
+	key := schemaName + "/" + mm.Name
+	c.disk.index[key] = diskEntry{hash: mm.Hash, codec: mcodec, bytes: mm.Bytes, tokens: mm.Tokens}
+	if err := c.disk.pool.Alloc(key, mm.Bytes); err != nil {
+		c.stats.TierAccountErrors++
+	}
+	e.modules[mm.Name] = &EncodedModule{
+		Name:   mm.Name,
+		Schema: schemaName,
+		Mined:  &MinedPrefix{Class: mm.Class, Toks: mm.Toks, Pos: mm.Pos},
+		state:  stateDisk,
+	}
+	// Keep the name sequence past every restored id so new promotions
+	// cannot collide.
+	if id, err := strconv.Atoi(strings.TrimPrefix(mm.Name, minedPrefixTag)); err == nil && id >= c.minedSeq {
+		c.minedSeq = id + 1
+	}
+	c.stats.ModulesRestored++
+	return true
+}

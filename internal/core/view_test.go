@@ -134,7 +134,11 @@ func TestSeqServeBitIdenticalToMaterialized(t *testing.T) {
 			for _, part := range plan.parts {
 				appendFiltered(flat, part.states(), plan.excluded)
 			}
-			viaFlat, err := c.finishServe(context.Background(), prompt, plan, flat)
+			newToks, newPos, err := c.gatherNewTokens(plan.layout, prompt, plan.bindings, plan.included)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaFlat, err := c.finishServe(context.Background(), plan, flat, newToks, newPos)
 			c.unpinModules(plan.pinned)
 			if err != nil {
 				t.Fatal(err)

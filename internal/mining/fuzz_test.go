@@ -1,0 +1,117 @@
+package mining
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzMiner drives insert/lookup/decay/promote/demote on arbitrary
+// token streams. Invariants:
+//
+//   - no operation panics, whatever the stream shape;
+//   - every promotion candidate's (Toks, Pos) is exactly a prefix of
+//     the stream whose observation nominated it — i.e. the
+//     concatenation of edge labels along the nominated node's root
+//     path reproduces observed traffic;
+//   - a Lookup hit never exceeds its token budget and always reports
+//     a name that was actually promoted.
+func FuzzMiner(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4}, uint8(2), uint8(2))
+	f.Add([]byte{0xff, 0, 0xff, 0, 7, 7, 7}, uint8(1), uint8(3))
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 8, 8, 8, 8, 8, 8, 8, 8}, uint8(3), uint8(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, minHits, minTokens uint8) {
+		m := New(Config{
+			MinHits:         float64(minHits%8) + 1,
+			MinTokens:       int(minTokens%8) + 1,
+			MaxModules:      8,
+			HalfLife:        16,
+			MaxNodes:        128,
+			MaxStreamTokens: 32,
+		})
+		promoted := map[string]bool{}
+		seq := 0
+
+		// Interpret data as a series of streams: each byte is a token,
+		// a zero byte ends the current stream. Low bit of the stream
+		// index picks one of two classes; every third stream is looked
+		// up instead of observed; positions are sequential from a small
+		// offset so the tree sees both matching and drifting positions.
+		var toks, pos []int
+		stream := 0
+		flush := func() {
+			if len(toks) == 0 {
+				return
+			}
+			class := fmt.Sprintf("class-%d", stream&1)
+			switch stream % 3 {
+			case 0, 1:
+				res := m.Observe(class, toks, pos)
+				if c := res.Promote; c != nil {
+					if len(c.Toks) == 0 || len(c.Toks) != len(c.Pos) {
+						t.Fatalf("malformed candidate: %d toks, %d pos", len(c.Toks), len(c.Pos))
+					}
+					if len(c.Toks) > len(toks) {
+						t.Fatalf("candidate longer (%d) than observed stream (%d)", len(c.Toks), len(toks))
+					}
+					for j := range c.Toks {
+						if c.Toks[j] != toks[j] || c.Pos[j] != pos[j] {
+							t.Fatalf("candidate[%d] = (%d,%d), stream has (%d,%d)",
+								j, c.Toks[j], c.Pos[j], toks[j], pos[j])
+						}
+					}
+					if stream%2 == 0 {
+						name := fmt.Sprintf("~mined/%d", seq)
+						seq++
+						c.Promoted(name)
+						promoted[name] = true
+					} else {
+						c.PromoteFailed()
+					}
+				}
+				for _, name := range res.Demote {
+					if !promoted[name] {
+						t.Fatalf("demote nominated unknown module %q", name)
+					}
+					if stream%2 == 0 {
+						m.Demoted(name)
+						delete(promoted, name)
+					}
+				}
+			case 2:
+				budget := len(toks)
+				if stream%5 == 0 && budget > 1 {
+					budget /= 2
+				}
+				if name, n, ok := m.Lookup(class, toks, pos, budget); ok {
+					if n > budget {
+						t.Fatalf("lookup hit %d tokens past budget %d", n, budget)
+					}
+					if !promoted[name] {
+						t.Fatalf("lookup returned unknown module %q", name)
+					}
+				}
+			}
+			stream++
+			toks, pos = nil, nil
+		}
+		for _, b := range data {
+			if b == 0 {
+				flush()
+				continue
+			}
+			toks = append(toks, int(b))
+			pos = append(pos, len(pos)+stream%2) // occasional position offset
+		}
+		flush()
+
+		st := m.Stats()
+		if st.Nodes > 128 {
+			t.Fatalf("tree grew to %d nodes past MaxNodes", st.Nodes)
+		}
+		if st.Promoted != len(promoted) {
+			t.Fatalf("stats.Promoted = %d, tracked %d", st.Promoted, len(promoted))
+		}
+	})
+}

@@ -1,0 +1,310 @@
+package mining
+
+import (
+	"fmt"
+	"testing"
+)
+
+// seqStream builds a stream of n tokens tok0..tok0+n-1 at sequential
+// positions starting at base.
+func seqStream(tok0, base, n int) (toks, pos []int) {
+	for i := 0; i < n; i++ {
+		toks = append(toks, tok0+i)
+		pos = append(pos, base+i)
+	}
+	return toks, pos
+}
+
+func TestPromoteAfterMinHits(t *testing.T) {
+	m := New(Config{MinHits: 3, MinTokens: 4})
+	toks, pos := seqStream(100, 0, 8)
+
+	for i := 1; i <= 2; i++ {
+		if res := m.Observe("c", toks, pos); res.Promote != nil {
+			t.Fatalf("observation %d nominated prematurely", i)
+		}
+	}
+	res := m.Observe("c", toks, pos)
+	if res.Promote == nil {
+		t.Fatal("third observation did not nominate")
+	}
+	c := res.Promote
+	if c.Class != "c" {
+		t.Fatalf("candidate class = %q", c.Class)
+	}
+	// Nominations cap one short of the observed stream: a serve matching
+	// the full stream would have nothing left to prefill.
+	if len(c.Toks) != 7 || c.Toks[0] != 100 || c.Pos[6] != 6 {
+		t.Fatalf("candidate stream = %v @ %v", c.Toks, c.Pos)
+	}
+
+	// Pending: re-observing must not double-nominate.
+	if res := m.Observe("c", toks, pos); res.Promote != nil {
+		t.Fatal("nominated while a candidate was pending")
+	}
+	c.Promoted("~mined/0")
+
+	name, n, ok := m.Lookup("c", toks, pos, len(toks))
+	if !ok || name != "~mined/0" || n != 7 {
+		t.Fatalf("Lookup = %q, %d, %v", name, n, ok)
+	}
+	st := m.Stats()
+	if st.Promotions != 1 || st.Promoted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPromoteFailedAllowsRetry(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	toks, pos := seqStream(5, 0, 4)
+	m.Observe("c", toks, pos)
+	res := m.Observe("c", toks, pos)
+	if res.Promote == nil {
+		t.Fatal("no nomination")
+	}
+	res.Promote.PromoteFailed()
+	res = m.Observe("c", toks, pos)
+	if res.Promote == nil {
+		t.Fatal("no re-nomination after PromoteFailed")
+	}
+}
+
+func TestClassIsolation(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	toks, pos := seqStream(5, 0, 4)
+	m.Observe("a", toks, pos)
+	res := m.Observe("a", toks, pos)
+	if res.Promote == nil {
+		t.Fatal("no nomination in class a")
+	}
+	res.Promote.Promoted("~mined/0")
+	if _, _, ok := m.Lookup("b", toks, pos, len(toks)); ok {
+		t.Fatal("class b saw class a's promotion")
+	}
+}
+
+func TestPositionMismatchIsDifferentPrefix(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	toks, pos := seqStream(5, 0, 4)
+	m.Observe("c", toks, pos)
+	res := m.Observe("c", toks, pos)
+	res.Promote.Promoted("~mined/0")
+
+	_, shifted := seqStream(5, 10, 4) // same tokens, positions 10..13
+	if _, _, ok := m.Lookup("c", toks, shifted, len(toks)); ok {
+		t.Fatal("Lookup matched despite position drift")
+	}
+}
+
+func TestEdgeSplitPromotesSharedPrefix(t *testing.T) {
+	m := New(Config{MinHits: 3, MinTokens: 4})
+	// Streams share 6 tokens then diverge; the shared node (created by
+	// an edge split) accumulates all hits and must be the nominee.
+	aT, aP := seqStream(100, 0, 10)
+	bT := append(append([]int{}, aT[:6]...), 900, 901, 902, 903)
+	m.Observe("c", aT, aP)
+	m.Observe("c", bT, aP)
+	res := m.Observe("c", aT, aP)
+	if res.Promote == nil {
+		t.Fatal("shared prefix not nominated")
+	}
+	if len(res.Promote.Toks) != 6 {
+		t.Fatalf("nominated %d tokens, want the 6 shared", len(res.Promote.Toks))
+	}
+}
+
+func TestDeepestQualifyingNodeWins(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	short, shortPos := seqStream(5, 0, 4)
+	long, longPos := seqStream(5, 0, 8) // extends short
+	m.Observe("c", short, shortPos)
+	m.Observe("c", long, longPos)
+	res := m.Observe("c", long, longPos)
+	if res.Promote == nil {
+		t.Fatal("no nomination")
+	}
+	// The 4-token node has 3 hits, the 8-token extension 2: both
+	// qualify, the deeper one must win (capped at stream length - 1).
+	if len(res.Promote.Toks) != 7 {
+		t.Fatalf("nominated %d tokens, want 7 (deepest qualifying)", len(res.Promote.Toks))
+	}
+}
+
+func TestDecayDemotesCold(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2, HalfLife: 4})
+	toks, pos := seqStream(5, 0, 4)
+	m.Observe("c", toks, pos)
+	res := m.Observe("c", toks, pos)
+	res.Promote.Promoted("~mined/0")
+
+	// Unrelated traffic advances the clock; the promoted node decays
+	// below MinHits and must be nominated for demotion.
+	var demoted bool
+	for i := 0; i < 64 && !demoted; i++ {
+		oT, oP := seqStream(1000+i*10, 0, 3)
+		r := m.Observe("c", oT, oP)
+		for _, name := range r.Demote {
+			if name == "~mined/0" {
+				demoted = true
+			}
+		}
+	}
+	if !demoted {
+		t.Fatal("cold promoted prefix never nominated for demotion")
+	}
+
+	m.Demoted("~mined/0")
+	if _, _, ok := m.Lookup("c", toks, pos, len(toks)); ok {
+		t.Fatal("Lookup still matches after Demoted")
+	}
+	if st := m.Stats(); st.Demotions != 1 || st.Promoted != 0 {
+		t.Fatalf("stats after demotion = %+v", st)
+	}
+}
+
+func TestLookupKeepsPromotedWarm(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2, HalfLife: 8})
+	toks, pos := seqStream(5, 0, 4)
+	m.Observe("c", toks, pos)
+	res := m.Observe("c", toks, pos)
+	res.Promote.Promoted("~mined/0")
+
+	// Interleave lookups with unrelated traffic: the promoted node must
+	// stay warm (no demotion nomination) because lookups touch it.
+	for i := 0; i < 64; i++ {
+		if _, _, ok := m.Lookup("c", toks, pos, len(toks)); !ok {
+			t.Fatalf("lookup %d missed", i)
+		}
+		oT, oP := seqStream(1000+i*10, 0, 3)
+		if r := m.Observe("c", oT, oP); len(r.Demote) != 0 {
+			t.Fatalf("hot module nominated for demotion at %d", i)
+		}
+	}
+}
+
+func TestLookupMaxTokens(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	toks, pos := seqStream(5, 0, 8)
+	m.Observe("c", toks, pos)
+	res := m.Observe("c", toks, pos)
+	res.Promote.Promoted("~mined/0")
+
+	// A budget shorter than the promoted depth must not match (the
+	// serve cannot afford the full splice). The promoted prefix is 7
+	// tokens (one short of the observed 8-token stream).
+	if _, _, ok := m.Lookup("c", toks, pos, 4); ok {
+		t.Fatal("Lookup matched past its token budget")
+	}
+	if _, n, ok := m.Lookup("c", toks, pos, 7); !ok || n != 7 {
+		t.Fatalf("Lookup with exact budget = %d, %v", n, ok)
+	}
+}
+
+func TestMaxModulesCap(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2, MaxModules: 1, HalfLife: 1 << 20})
+	aT, aP := seqStream(5, 0, 4)
+	m.Observe("c", aT, aP)
+	res := m.Observe("c", aT, aP)
+	res.Promote.Promoted("~mined/0")
+
+	// A second hot prefix must not be nominated while the cap is full
+	// and the incumbent is warm.
+	bT, bP := seqStream(500, 0, 4)
+	m.Observe("c", bT, bP)
+	if res := m.Observe("c", bT, bP); res.Promote != nil {
+		t.Fatal("nominated past MaxModules with a warm incumbent")
+	}
+}
+
+func TestMaxNodesBoundsTree(t *testing.T) {
+	m := New(Config{MaxNodes: 16, MaxStreamTokens: 8})
+	for i := 0; i < 1000; i++ {
+		toks, pos := seqStream(i*100, 0, 8)
+		m.Observe("c", toks, pos)
+	}
+	if st := m.Stats(); st.Nodes > 16 {
+		t.Fatalf("tree grew to %d nodes past MaxNodes 16", st.Nodes)
+	}
+}
+
+func TestAdoptRestoresLookup(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	toks, pos := seqStream(5, 0, 6)
+	if err := m.Adopt("c", toks, pos, "~mined/7"); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	name, n, ok := m.Lookup("c", toks, pos, len(toks))
+	if !ok || name != "~mined/7" || n != 6 {
+		t.Fatalf("Lookup after Adopt = %q, %d, %v", name, n, ok)
+	}
+	// Adopt of a conflicting name on the same prefix must fail.
+	if err := m.Adopt("c", toks, pos, "~mined/8"); err == nil {
+		t.Fatal("conflicting Adopt succeeded")
+	}
+}
+
+func TestDropClassPrefix(t *testing.T) {
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	toks, pos := seqStream(5, 0, 4)
+	m.Observe("s1\x1fx", toks, pos)
+	res := m.Observe("s1\x1fx", toks, pos)
+	res.Promote.Promoted("~mined/0")
+	m.Observe("s2\x1fx", toks, pos)
+
+	dropped := m.DropClassPrefix("s1\x1f")
+	if len(dropped) != 1 || dropped[0] != "~mined/0" {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if _, _, ok := m.Lookup("s1\x1fx", toks, pos, len(toks)); ok {
+		t.Fatal("dropped class still matches")
+	}
+	st := m.Stats()
+	if st.Classes != 1 || st.Promoted != 0 {
+		t.Fatalf("stats after drop = %+v", st)
+	}
+}
+
+func TestPromotedPrefixEqualsRootPath(t *testing.T) {
+	// Mixed streams force edge splits; every nomination must still
+	// reproduce exactly a prefix of some observed stream.
+	m := New(Config{MinHits: 2, MinTokens: 2})
+	streams := [][]int{}
+	for i := 0; i < 8; i++ {
+		s, _ := seqStream(i%3*50, 0, 6+i%4)
+		streams = append(streams, s)
+	}
+	seq := 0
+	for round := 0; round < 4; round++ {
+		for _, s := range streams {
+			pos := make([]int, len(s))
+			for j := range pos {
+				pos[j] = j
+			}
+			res := m.Observe("c", s, pos)
+			if res.Promote == nil {
+				continue
+			}
+			c := res.Promote
+			if len(c.Toks) > len(s) {
+				t.Fatalf("candidate longer than observed stream")
+			}
+			for j := range c.Toks {
+				if c.Toks[j] != s[j] || c.Pos[j] != j {
+					t.Fatalf("candidate diverges from stream at %d: (%d,%d) vs (%d,%d)",
+						j, c.Toks[j], c.Pos[j], s[j], j)
+				}
+			}
+			c.Promoted(fmt.Sprintf("~mined/%d", seq))
+			seq++
+		}
+	}
+}
+
+func TestObserveEmptyAndMismatched(t *testing.T) {
+	m := New(Config{})
+	m.Observe("c", nil, nil)
+	m.Observe("c", []int{1, 2, 3}, []int{0}) // pos shorter than toks
+	if st := m.Stats(); st.Observed != 2 {
+		t.Fatalf("observed = %d", st.Observed)
+	}
+}

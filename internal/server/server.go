@@ -600,6 +600,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"tier_account_errors": st.TierAccountErrors,
 		},
 	}
+	if ms := s.client.MiningStatsSnapshot(); ms.Enabled {
+		// Module-mining observability: the observer tree's size, how many
+		// prefixes are past threshold but unpromoted, the mined-module
+		// inventory, and the prefill tokens mined hits actually saved.
+		body["mining"] = map[string]any{
+			"observed":         ms.Observed,
+			"classes":          ms.Classes,
+			"nodes":            ms.Nodes,
+			"candidates":       ms.Candidates,
+			"live_modules":     ms.LiveModules,
+			"promotions":       ms.Promotions,
+			"demotions":        ms.Demotions,
+			"hits":             ms.Hits,
+			"hit_tokens_saved": ms.HitTokens,
+			"snapshot_skipped": ms.SnapshotSkipped,
+		}
+	}
 	if ss := s.client.SchedulerStats(); ss.Enabled {
 		// Decode-scheduler observability: whether mixed HTTP traffic is
 		// actually fusing (batch_hist beyond index 0), how deep the join

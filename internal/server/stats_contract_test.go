@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/promptcache"
+)
+
+// The /v1/stats JSON document is a monitoring contract: dashboards and
+// alerts key on its field names and types, so a rename or a type change
+// is a breaking change even when every Go test still passes. The golden
+// maps below pin the full document — top level, tiers, scheduler and
+// mining blocks. Adding a field requires touching the golden (visible in
+// review); removing or renaming one fails the test.
+
+// kindOf names a decoded JSON value's type the way the contract sees it.
+func kindOf(v any) string {
+	switch v.(type) {
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	case []any:
+		return "array"
+	case map[string]any:
+		return "object"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func checkBlock(t *testing.T, label string, got map[string]any, want map[string]string) {
+	t.Helper()
+	var keys []string
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		wantKind, ok := want[k]
+		if !ok {
+			t.Errorf("%s: field %q is not in the stats contract — extend the golden if it is intentional", label, k)
+			continue
+		}
+		if kind := kindOf(got[k]); kind != wantKind {
+			t.Errorf("%s: field %q is %s, contract says %s", label, k, kind, wantKind)
+		}
+	}
+	for k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("%s: contract field %q missing from response", label, k)
+		}
+	}
+}
+
+var statsTopContract = map[string]string{
+	"modules_encoded":  "number",
+	"modules_reused":   "number",
+	"modules_evicted":  "number",
+	"modules_reloaded": "number",
+	"tokens_encoded":   "number",
+	"tokens_reused":    "number",
+	"pool_bytes":       "number",
+	"open_sessions":    "number",
+	"tiers":            "object",
+	"scheduler":        "object",
+	"mining":           "object",
+}
+
+var statsTiersContract = map[string]string{
+	"device_bytes":        "number",
+	"host_bytes":          "number",
+	"disk_bytes":          "number",
+	"disk_modules":        "number",
+	"modules_demoted":     "number",
+	"modules_promoted":    "number",
+	"modules_spilled":     "number",
+	"disk_hits":           "number",
+	"disk_load_errors":    "number",
+	"tier_account_errors": "number",
+}
+
+var statsSchedulerContract = map[string]string{
+	"max_batch":       "number",
+	"queue_depth":     "number",
+	"active_lanes":    "number",
+	"lanes_joined":    "number",
+	"lanes_retired":   "number",
+	"lanes_cancelled": "number",
+	"fused_steps":     "number",
+	"tokens_decoded":  "number",
+	"batch_hist":      "array",
+	"tokens_per_sec":  "number",
+}
+
+var statsMiningContract = map[string]string{
+	"observed":         "number",
+	"classes":          "number",
+	"nodes":            "number",
+	"candidates":       "number",
+	"live_modules":     "number",
+	"promotions":       "number",
+	"demotions":        "number",
+	"hits":             "number",
+	"hit_tokens_saved": "number",
+	"snapshot_skipped": "number",
+}
+
+func TestStatsContractGolden(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every optional block enabled at once, so the contract covers the
+	// full document.
+	client := promptcache.New(m,
+		promptcache.WithDecodeScheduler(4),
+		promptcache.WithDiskTier(t.TempDir(), promptcache.CodecFP32),
+		promptcache.WithModuleMining(promptcache.MiningOpts{MinHits: 2, MinTokens: 4}),
+	)
+	s := New(client)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	prompt := `<prompt schema="docs"><contract/>Summarize the duties and list every obligation in order.</prompt>`
+	for i := 0; i < 3; i++ {
+		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("complete %d: %d %v", i, rec.Code, out)
+		}
+	}
+
+	rec, out := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	checkBlock(t, "stats", out, statsTopContract)
+	if tiers, ok := out["tiers"].(map[string]any); ok {
+		checkBlock(t, "tiers", tiers, statsTiersContract)
+	}
+	if sched, ok := out["scheduler"].(map[string]any); ok {
+		checkBlock(t, "scheduler", sched, statsSchedulerContract)
+	}
+	if mining, ok := out["mining"].(map[string]any); ok {
+		checkBlock(t, "mining", mining, statsMiningContract)
+	}
+}
+
+// TestStatsMiningBlock is the transport-level mining acceptance: a
+// server started with mining enabled promotes a repeated undeclared
+// suffix and reports the hit through /v1/stats — what an operator
+// watching pcserve -mine sees. Without mining the block is absent.
+func TestStatsMiningBlock(t *testing.T) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := promptcache.New(m,
+		promptcache.WithModuleMining(promptcache.MiningOpts{MinHits: 2, MinTokens: 4}),
+	)
+	s := New(client)
+	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	prompt := `<prompt schema="docs"><contract/>Summarize the duties and list every obligation in order.</prompt>`
+	for i := 0; i < 4; i++ {
+		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("complete %d: %d %v", i, rec.Code, out)
+		}
+	}
+	_, out := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
+	mining, ok := out["mining"].(map[string]any)
+	if !ok {
+		t.Fatalf("no mining block in /v1/stats: %v", out)
+	}
+	if mining["promotions"].(float64) < 1 {
+		t.Fatalf("repeated suffix never promoted: %v", mining)
+	}
+	if mining["hits"].(float64) < 1 || mining["hit_tokens_saved"].(float64) <= 0 {
+		t.Fatalf("promoted prefix never hit: %v", mining)
+	}
+
+	// Plain server: no mining block.
+	plain := newServer(t)
+	doJSON(t, plain, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
+	_, out = doJSON(t, plain, http.MethodGet, "/v1/stats", nil)
+	if _, has := out["mining"]; has {
+		t.Fatalf("mining block present without mining: %v", out)
+	}
+}

@@ -1,0 +1,102 @@
+package serving
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mining"
+)
+
+// MineStats summarizes an offline mining replay over a recorded trace:
+// how many suffix streams the observer saw, what it would have promoted,
+// and how many tokens later requests would have spliced instead of
+// re-prefilling had mining been live when the trace was served.
+type MineStats struct {
+	Requests int
+	// Streams counts requests whose record carries a suffix token stream
+	// (legacy traces without suffix_toks are replayed but not mined).
+	Streams    int
+	Promotions int
+	Demotions  int
+	// Hits and HitTokens count requests whose suffix matched an
+	// already-promoted prefix, and the total tokens those matches cover.
+	Hits      int
+	HitTokens int
+	// SuffixTokens is the total token volume of all mined streams —
+	// the denominator for TokensSavedFrac.
+	SuffixTokens int
+	// Tree mirrors the observer's final state.
+	Nodes, Candidates, LiveModules int
+}
+
+// HitRate returns the fraction of mined streams that opened with an
+// already-promoted prefix.
+func (s MineStats) HitRate() float64 {
+	if s.Streams == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Streams)
+}
+
+// TokensSavedFrac returns the fraction of suffix tokens a live miner
+// would have served from cache instead of re-prefilling.
+func (s MineStats) TokensSavedFrac() float64 {
+	if s.SuffixTokens == 0 {
+		return 0
+	}
+	return float64(s.HitTokens) / float64(s.SuffixTokens)
+}
+
+// MineTrace replays a recorded trace through a module-mining observer
+// and reports the would-be win: each request's suffix token stream is
+// first looked up against prefixes already promoted (a live engine would
+// splice those states), then observed, with promotions granted the
+// moment a prefix clears cfg's thresholds — the same order the engine
+// uses, so the replayed hit counts are what serving the trace with
+// mining enabled would have produced. Requests sharing a module-import
+// set share a serving class; suffixes never match across classes, since
+// a spliced prefix is only bit-exact over an identical attention
+// context.
+func MineTrace(cfg mining.Config, trace []Request) (MineStats, error) {
+	if len(trace) == 0 {
+		return MineStats{}, fmt.Errorf("serving: empty trace")
+	}
+	m := mining.New(cfg)
+	var st MineStats
+	seq := 0
+	for _, req := range trace {
+		st.Requests++
+		if len(req.SuffixToks) == 0 {
+			continue
+		}
+		st.Streams++
+		st.SuffixTokens += len(req.SuffixToks)
+		class := strings.Join(req.Modules, "\x1f")
+		toks := req.SuffixToks
+		pos := make([]int, len(toks))
+		for i := range pos {
+			pos[i] = i
+		}
+		if len(toks) > 1 {
+			if _, n, ok := m.Lookup(class, toks, pos, len(toks)-1); ok {
+				st.Hits++
+				st.HitTokens += n
+			}
+		}
+		res := m.Observe(class, toks, pos)
+		if res.Promote != nil {
+			res.Promote.Promoted(fmt.Sprintf("~mined/%d", seq))
+			seq++
+		}
+		for _, name := range res.Demote {
+			m.Demoted(name)
+		}
+	}
+	ms := m.Stats()
+	st.Promotions = int(ms.Promotions)
+	st.Demotions = int(ms.Demotions)
+	st.Nodes = ms.Nodes
+	st.Candidates = ms.Candidates
+	st.LiveModules = ms.Promoted
+	return st, nil
+}

@@ -1,0 +1,136 @@
+package serving
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mining"
+)
+
+func minedTraceConfig() Config {
+	cfg := baseConfig()
+	cfg.Requests = 400
+	cfg.SharedPrefixes = 4
+	cfg.SharedPrefixTokens = 40
+	return cfg
+}
+
+func TestGenerateTraceSharedPrefixes(t *testing.T) {
+	cfg := minedTraceConfig()
+	trace, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firsts := map[int]int{}
+	for _, req := range trace {
+		if len(req.SuffixToks) != cfg.SuffixTokens {
+			t.Fatalf("suffix stream %d tokens, want %d", len(req.SuffixToks), cfg.SuffixTokens)
+		}
+		firsts[req.SuffixToks[0]]++
+	}
+	// Every suffix opens with one of the pooled prefixes, so the first
+	// token takes at most SharedPrefixes distinct values.
+	if len(firsts) > cfg.SharedPrefixes {
+		t.Fatalf("%d distinct opening tokens, want <= %d", len(firsts), cfg.SharedPrefixes)
+	}
+}
+
+func TestTraceSuffixToksRoundTrip(t *testing.T) {
+	trace, err := GenerateTrace(minedTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if len(got[i].SuffixToks) != len(trace[i].SuffixToks) {
+			t.Fatalf("request %d: suffix stream lost in round trip", i)
+		}
+		for j, tok := range got[i].SuffixToks {
+			if tok != trace[i].SuffixToks[j] {
+				t.Fatalf("request %d token %d corrupted", i, j)
+			}
+		}
+	}
+}
+
+func TestMineTraceFindsSharedPrefixes(t *testing.T) {
+	trace, err := GenerateTrace(minedTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := MineTrace(mining.Config{MinHits: 3, MinTokens: 8}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != len(trace) || st.Streams != len(trace) {
+		t.Fatalf("coverage: %+v", st)
+	}
+	if st.Promotions == 0 {
+		t.Fatalf("no promotions on a shared-prefix trace: %+v", st)
+	}
+	if st.Hits == 0 || st.HitTokens == 0 {
+		t.Fatalf("no mined hits on a shared-prefix trace: %+v", st)
+	}
+	if st.HitRate() <= 0 || st.HitRate() > 1 {
+		t.Fatalf("hit rate %v out of range", st.HitRate())
+	}
+	if st.TokensSavedFrac() <= 0 || st.TokensSavedFrac() > 1 {
+		t.Fatalf("tokens-saved fraction %v out of range", st.TokensSavedFrac())
+	}
+}
+
+func TestMineTraceLegacyTrace(t *testing.T) {
+	// Traces without suffix streams replay but mine nothing.
+	trace, err := GenerateTrace(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := MineTrace(mining.Config{}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Streams != 0 || st.Promotions != 0 || st.Hits != 0 {
+		t.Fatalf("legacy trace mined something: %+v", st)
+	}
+	if st.Requests != len(trace) {
+		t.Fatalf("requests %d, want %d", st.Requests, len(trace))
+	}
+	if st.HitRate() != 0 || st.TokensSavedFrac() != 0 {
+		t.Fatal("zero-stream ratios should be 0")
+	}
+}
+
+func TestMineTraceClassSeparation(t *testing.T) {
+	// Identical suffix streams under different module-import sets must
+	// not share mined prefixes: different class, different attention
+	// context, a splice would not be bit-exact.
+	toks := []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	var trace []Request
+	for i := 0; i < 6; i++ {
+		trace = append(trace, Request{Modules: []string{"a"}, SuffixToks: toks})
+		trace = append(trace, Request{Modules: []string{"b"}, SuffixToks: toks})
+	}
+	st, err := MineTrace(mining.Config{MinHits: 3, MinTokens: 4}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Promotions < 2 {
+		t.Fatalf("each class should promote independently: %+v", st)
+	}
+	if st.Hits == 0 {
+		t.Fatalf("repeats after promotion should hit: %+v", st)
+	}
+}
+
+func TestMineTraceEmpty(t *testing.T) {
+	if _, err := MineTrace(mining.Config{}, nil); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+}

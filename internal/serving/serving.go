@@ -55,6 +55,13 @@ type Config struct {
 	// computation (the prefetch direction §3.2.3 hints at): per request,
 	// TTFT pays max(copy, compute) instead of copy + compute.
 	OverlapTransfers bool
+
+	// SharedPrefixes > 0 makes GenerateTrace emit explicit suffix token
+	// streams: each request's suffix starts with one of SharedPrefixes
+	// pooled prefixes (Zipf-picked, SharedPrefixTokens long) followed by
+	// unique filler — undeclared shared structure for MineTrace to find.
+	SharedPrefixes     int
+	SharedPrefixTokens int
 }
 
 // Stats summarizes a run.

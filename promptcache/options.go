@@ -70,6 +70,22 @@ func WithEvictionPolicy(name string) (Option, error) {
 // WithDecodeScheduler is given a non-positive bound.
 const DefaultMaxDecodeBatch = core.DefaultMaxDecodeBatch
 
+// MiningOpts configures automatic module mining (WithModuleMining). The
+// zero value of each field selects a sensible default; the knobs are the
+// promotion threshold (MinHits), the minimum prefix worth caching
+// (MinTokens), the mined-module budget (MaxModules) and the reuse-score
+// decay rate (HalfLife, in observed serves).
+type MiningOpts = core.MiningOpts
+
+// WithModuleMining enables automatic module mining: the engine observes
+// the uncached token stream of every cached request in a radix tree, and
+// prefixes hot enough to clear the thresholds are promoted to anonymous
+// modules — cached, pinned, evicted, disk-spilled and warm-restarted
+// exactly like explicit PML modules — so later requests sharing the
+// prefix splice its states instead of re-prefilling. Splices are
+// bit-exact: a mined hit changes latency, never output.
+func WithModuleMining(opts MiningOpts) Option { return core.WithModuleMining(opts) }
+
 // WithDecodeScheduler enables continuous-batching decode: concurrent
 // generations through this Client — Infer, Session.Send, streaming
 // requests, batch members — fuse into shared model steps, so N active

@@ -37,6 +37,16 @@
 // changes throughput, never output. SchedulerStats exposes queue depth,
 // active lanes and the batch-size histogram.
 //
+// With WithModuleMining the cache grows itself: alongside the explicit
+// PML modules a schema declares, the engine watches the uncached token
+// streams requests actually send and promotes hot shared prefixes
+// (undeclared system prompts, RAG boilerplate, few-shot headers) to
+// anonymous mined modules. Mined and explicit modules coexist in one
+// inventory — same pinning, eviction, disk spill and warm-restart
+// machinery — and a request whose suffix starts with a mined prefix
+// splices its states bit-exactly, like a schema hit. MiningStatsSnapshot
+// exposes the observer tree and hit counters.
+//
 // Schema
 // registration and prefetch encode module states under the engine lock
 // (encoding is the deliberate one-time cost): requests already past
@@ -159,6 +169,20 @@ func (c *Client) SchedulerStats() SchedStats { return c.cache.SchedStats() }
 // continuous-batching scheduler (WithDecodeScheduler), without the
 // locking and copying of a full SchedulerStats snapshot.
 func (c *Client) SchedulerEnabled() bool { return c.cache.SchedEnabled() }
+
+// MiningStats is a snapshot of automatic module mining activity: the
+// observer tree's size, promotion/demotion counters, and the tokens
+// saved by mined-prefix hits. An alias of the engine's type, like
+// SchedStats.
+type MiningStats = core.MiningStats
+
+// MiningStatsSnapshot returns a snapshot of module-mining activity.
+// Without WithModuleMining it returns the zero snapshot (Enabled false).
+func (c *Client) MiningStatsSnapshot() MiningStats { return c.cache.MiningStats() }
+
+// MiningEnabled reports whether this client mines modules from traffic
+// (WithModuleMining).
+func (c *Client) MiningEnabled() bool { return c.cache.MiningEnabled() }
 
 // Infer runs one inference request end to end: serve the prompt (cached
 // reuse or full-prefill baseline), then generate unless the request is

@@ -84,6 +84,20 @@
 // promotions, demotions and tokens saved); `pctrace -mine` replays
 // recorded traces offline to size the win first.
 //
+// # Static analysis
+//
+// The invariants above are machine-checked: cmd/pclint (driver in
+// internal/lint, stdlib go/types only) runs five repo-specific
+// analyzers as a hard CI gate — lockscope (nothing heavy under an
+// engine mutex), pinbalance (pins released on every error path),
+// maporder (no map-iteration nondeterminism on token/snapshot paths),
+// ctxplumb (entry points accept and forward context), and errtaxonomy
+// (engine errors wrap the typed taxonomy the HTTP layer maps with
+// errors.Is). Deliberate exceptions carry an inline
+// "//pclint:ignore <analyzer> <reason>" directive; the reason is
+// mandatory and malformed directives are themselves diagnostics. See
+// the "Static analysis" section of README.md.
+//
 // # Concurrency
 //
 // Serving is parallel: the engine lock guards only metadata (schema

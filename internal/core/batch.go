@@ -85,6 +85,7 @@ func (r *blockRegistry) acquire(part servePart) ([]kvcache.BlockID, error) {
 	if st == nil {
 		// A key-only part (planned via has) whose entry vanished —
 		// impossible while entries are append-only, kept as a guard.
+		//pclint:ignore errtaxonomy unreachable internal guard: a tripped invariant is a bug, and 500 is the honest status for it
 		return nil, fmt.Errorf("core: batch part %q has no states to share", part.key)
 	}
 	var fresh []kvcache.BlockID

@@ -440,11 +440,12 @@ func moduleTokens(ml *pml.ModuleLayout) (toks, pos []int) {
 func (c *Cache) encodeStatesLocked(schema string, e *schemaEntry, name string) (*kvcache.Cache, int, error) {
 	ml, ok := e.layout.Modules[name]
 	if !ok {
-		return nil, 0, fmt.Errorf("core: schema %q has no module %q", schema, name)
+		return nil, 0, fmt.Errorf("%w: schema %q has no module %q", ErrBadPrompt, schema, name)
 	}
 	toks, pos := moduleTokens(ml)
 	kv := c.m.NewCache(len(toks))
 	if len(toks) > 0 {
+		//pclint:ignore lockscope registration-time encode is the documented one-time cost under the lock (§3.3); serves never reach this
 		if _, err := c.m.Prefill(toks, pos, kv); err != nil {
 			return nil, 0, fmt.Errorf("core: encoding %s/%s: %w", schema, name, err)
 		}
@@ -489,9 +490,10 @@ func (c *Cache) encodeScaffoldLocked(schema string, e *schemaEntry, sc pml.Scaff
 		pos = append(pos, p...)
 	}
 	if len(toks) == 0 {
-		return fmt.Errorf("core: scaffold %q has no tokens", sc.Name)
+		return fmt.Errorf("%w: scaffold %q has no tokens", ErrBadSchema, sc.Name)
 	}
 	kv := c.m.NewCache(len(toks))
+	//pclint:ignore lockscope scaffolds co-encode at registration, the documented one-time cost under the lock
 	if _, err := c.m.Prefill(toks, pos, kv); err != nil {
 		return fmt.Errorf("core: encoding scaffold %s/%s: %w", schema, sc.Name, err)
 	}
@@ -619,7 +621,7 @@ func (c *Cache) promoteLocked(key string, em *EncodedModule) error {
 func (c *Cache) getModuleLocked(schemaName string, e *schemaEntry, name string) (*EncodedModule, error) {
 	em := e.modules[name]
 	if em == nil {
-		return nil, fmt.Errorf("core: schema %q has no module %q", schemaName, name)
+		return nil, fmt.Errorf("%w: schema %q has no module %q", ErrBadPrompt, schemaName, name)
 	}
 	key := schemaName + "/" + name
 	switch em.state {
@@ -664,7 +666,7 @@ func (c *Cache) getModuleLocked(schemaName string, e *schemaEntry, name string) 
 func (c *Cache) acquireModuleLocked(schemaName string, e *schemaEntry, name string) (servePart, error) {
 	em := e.modules[name]
 	if em == nil {
-		return servePart{}, fmt.Errorf("core: schema %q has no module %q", schemaName, name)
+		return servePart{}, fmt.Errorf("%w: schema %q has no module %q", ErrBadPrompt, schemaName, name)
 	}
 	key := schemaName + "/" + name
 	switch em.state {
@@ -776,7 +778,7 @@ func (c *Cache) PrefetchUnion(schema, member string) error {
 	members := e.layout.UnionOf(member)
 	c.mu.Unlock()
 	if members == nil {
-		return fmt.Errorf("core: module %q is not a union member", member)
+		return fmt.Errorf("%w: module %q is not a union member", ErrBadPrompt, member)
 	}
 	return c.Prefetch(schema, members...)
 }

@@ -145,6 +145,7 @@ func (c *Cache) spillLocked(key string, em *EncodedModule) error {
 		// must produce identical logits); never quantize their spills.
 		codec = CodecFP32
 	}
+	//pclint:ignore lockscope spill happens inside eviction, which must be atomic with residency bookkeeping; blobs are small and eviction rare
 	entry, err := c.disk.writeBlob(em.States(), codec)
 	if err != nil {
 		return err
@@ -168,6 +169,7 @@ func (c *Cache) removeDiskLocked(key string) {
 	if c.disk.keepBlobs {
 		return
 	}
+	//pclint:ignore maporder existence scan: returning on any match is the same decision in every iteration order
 	for _, e := range c.disk.index {
 		if e.hash == entry.hash {
 			return
@@ -190,6 +192,7 @@ func (c *Cache) diskLoadLocked(key string, em *EncodedModule) (*kvcache.Cache, e
 	if !ok {
 		return nil, fmt.Errorf("core: module %s is on disk but has no blob entry: %w", key, errCorruptBlob)
 	}
+	//pclint:ignore lockscope warming path (Prefetch, snapshot restore): blob reads under the lock are the documented one-time cost; serves use the off-lock resolveDiskParts
 	kv, err := c.disk.readBlob(entry)
 	if err != nil {
 		return nil, fmt.Errorf("core: disk tier %s: %w", key, err)
@@ -352,7 +355,7 @@ func (c *Cache) SaveAll(dir string) error {
 		for _, mod := range e.layout.Order {
 			em := e.modules[mod]
 			if em == nil {
-				return fmt.Errorf("core: schema %q missing module %q", name, mod)
+				return fmt.Errorf("%w: schema %q missing module %q", ErrBadSnapshot, name, mod)
 			}
 			key := name + "/" + mod
 			if em.state == stateDisk && c.disk != nil && c.disk.dir == dir {
@@ -365,6 +368,7 @@ func (c *Cache) SaveAll(dir string) error {
 			if err != nil {
 				return err
 			}
+			//pclint:ignore lockscope SaveAll is a stop-the-world snapshot by design: the lock guarantees a consistent manifest while blobs stream out
 			entry, err := tier.writeBlob(kv, codec)
 			if err != nil {
 				return fmt.Errorf("core: snapshot %s: %w", key, err)
@@ -374,8 +378,9 @@ func (c *Cache) SaveAll(dir string) error {
 		for _, sc := range e.schema.Scaffolds {
 			es := e.scaffolds[sc.Name]
 			if es == nil {
-				return fmt.Errorf("core: schema %q missing scaffold %q", name, sc.Name)
+				return fmt.Errorf("%w: schema %q missing scaffold %q", ErrBadSnapshot, name, sc.Name)
 			}
+			//pclint:ignore lockscope SaveAll is a stop-the-world snapshot by design: the lock guarantees a consistent manifest while blobs stream out
 			entry, err := tier.writeBlob(es.KV, CodecFP32)
 			if err != nil {
 				return fmt.Errorf("core: snapshot %s/scaffold/%s: %w", name, sc.Name, err)
@@ -407,6 +412,7 @@ func (c *Cache) SaveAll(dir string) error {
 				c.stats.MinedSnapshotSkipped++
 				continue
 			}
+			//pclint:ignore lockscope SaveAll is a stop-the-world snapshot by design: the lock guarantees a consistent manifest while blobs stream out
 			entry, err := tier.writeBlob(kv, CodecFP32)
 			if err != nil {
 				c.stats.MinedSnapshotSkipped++
@@ -460,7 +466,7 @@ func (c *Cache) snapshotMinedStatesLocked(key string, em *EncodedModule) (*kvcac
 	case stateDisk:
 		return c.diskLoadLocked(key, em)
 	default:
-		return nil, fmt.Errorf("core: mined module %s has no states to snapshot", key)
+		return nil, fmt.Errorf("%w: mined module %s has no states to snapshot", ErrBadSnapshot, key)
 	}
 }
 
@@ -527,7 +533,7 @@ func OpenDir(m *model.Model, dir string, opts ...Option) (*Cache, error) {
 		return nil, fmt.Errorf("core: snapshot manifest: %w", err)
 	}
 	if man.Version != manifestVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", man.Version)
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrBadSnapshot, man.Version)
 	}
 	codec, err := ParseCodec(man.Codec)
 	if err != nil {
@@ -538,8 +544,8 @@ func OpenDir(m *model.Model, dir string, opts ...Option) (*Cache, error) {
 		c.disk = newDiskTier(dir, codec)
 	}
 	if man.NLayers != m.Cfg.NLayers || man.KVDim != m.Cfg.KVDim() {
-		return nil, fmt.Errorf("core: snapshot shaped (%d,%d), model needs (%d,%d)",
-			man.NLayers, man.KVDim, m.Cfg.NLayers, m.Cfg.KVDim())
+		return nil, fmt.Errorf("%w: snapshot shaped (%d,%d), model needs (%d,%d)",
+			ErrBadSnapshot, man.NLayers, man.KVDim, m.Cfg.NLayers, m.Cfg.KVDim())
 	}
 	if f, err := os.Open(vocabPath(dir)); err == nil {
 		lerr := c.tok.LoadVocab(f)
@@ -575,7 +581,7 @@ func (c *Cache) restoreSchemaLocked(ms manifestSchema) error {
 		return err
 	}
 	if len(ms.Modules) != len(layout.Order) {
-		return fmt.Errorf("snapshot has %d modules, schema has %d", len(ms.Modules), len(layout.Order))
+		return fmt.Errorf("%w: snapshot has %d modules, schema has %d", ErrBadSnapshot, len(ms.Modules), len(layout.Order))
 	}
 	entry := &schemaEntry{
 		schema:    schema,
@@ -595,13 +601,13 @@ func (c *Cache) restoreSchemaLocked(ms manifestSchema) error {
 	for i, mm := range ms.Modules {
 		name := layout.Order[i]
 		if mm.Name != name {
-			return fail(fmt.Errorf("snapshot module %q, layout expects %q", mm.Name, name))
+			return fail(fmt.Errorf("%w: snapshot module %q, layout expects %q", ErrBadSnapshot, mm.Name, name))
 		}
 		ml := layout.Modules[name]
 		toks, _ := moduleTokens(ml)
 		if mm.Tokens != len(toks) {
-			return fail(fmt.Errorf("snapshot %q has %d tokens, layout expects %d (schema text or tokenizer changed)",
-				name, mm.Tokens, len(toks)))
+			return fail(fmt.Errorf("%w: snapshot %q has %d tokens, layout expects %d (schema text or tokenizer changed)",
+				ErrBadSnapshot, name, mm.Tokens, len(toks)))
 		}
 		mcodec, err := ParseCodec(mm.Codec)
 		if err != nil {
@@ -622,19 +628,20 @@ func (c *Cache) restoreSchemaLocked(ms manifestSchema) error {
 		byName[sc.Name] = sc
 	}
 	if len(ms.Scaffolds) != len(schema.Scaffolds) {
-		return fail(fmt.Errorf("snapshot has %d scaffolds, schema has %d", len(ms.Scaffolds), len(schema.Scaffolds)))
+		return fail(fmt.Errorf("%w: snapshot has %d scaffolds, schema has %d", ErrBadSnapshot, len(ms.Scaffolds), len(schema.Scaffolds)))
 	}
 	for _, mm := range ms.Scaffolds {
 		sc, ok := byName[mm.Name]
 		if !ok {
-			return fail(fmt.Errorf("snapshot scaffold %q not in schema", mm.Name))
+			return fail(fmt.Errorf("%w: snapshot scaffold %q not in schema", ErrBadSnapshot, mm.Name))
 		}
+		//pclint:ignore lockscope warm restart loads scaffolds eagerly before serving starts; nothing contends for the lock yet
 		kv, err := c.disk.readBlob(diskEntry{hash: mm.Hash, codec: CodecFP32, bytes: mm.Bytes, tokens: mm.Tokens})
 		if err != nil {
 			return fail(fmt.Errorf("snapshot scaffold %q: %w", mm.Name, err))
 		}
 		if kv.NLayers != c.m.Cfg.NLayers || kv.KVDim != c.m.Cfg.KVDim() || kv.Len() != mm.Tokens {
-			return fail(fmt.Errorf("snapshot scaffold %q has unexpected shape", mm.Name))
+			return fail(fmt.Errorf("%w: snapshot scaffold %q has unexpected shape", ErrBadSnapshot, mm.Name))
 		}
 		key := schema.Name + "/scaffold/" + sc.Name
 		if err := c.reserveLocked(key, kv.Bytes(4)); err != nil {

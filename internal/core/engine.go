@@ -403,8 +403,16 @@ func (c *Cache) resolveImports(e *schemaEntry, prompt *pml.Prompt) ([]importBind
 				}
 				return fmt.Errorf("%w: module %q is not a child of %q", ErrBadPrompt, imp.Name, parent)
 			}
+			// Validate in sorted key order: with two bad arguments, which
+			// error a caller sees must not depend on map iteration order.
+			keys := make([]string, 0, len(imp.Args))
+			for k := range imp.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
 			args := map[string]string{}
-			for k, v := range imp.Args {
+			for _, k := range keys {
+				v := imp.Args[k]
 				p := ml.Param(k)
 				if p == nil {
 					return fmt.Errorf("%w: module %q has no parameter %q", ErrBadPrompt, imp.Name, k)

@@ -22,4 +22,8 @@ var (
 	// ErrCapacity: module states cannot fit the memory pool even after
 	// evicting everything evictable.
 	ErrCapacity = errors.New("core: cache capacity exhausted")
+	// ErrBadSnapshot: a warm-restart snapshot or disk-tier manifest is
+	// malformed, truncated, or does not match the live model/schema
+	// (wrong magic, version, module roster, token counts, or shape).
+	ErrBadSnapshot = errors.New("core: bad snapshot")
 )

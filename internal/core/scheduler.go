@@ -134,9 +134,11 @@ func (s *Scheduler) Stats() SchedStats {
 func (s *Scheduler) Generate(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts model.GenerateOpts, emit func(tok int) bool) ([]int, error) {
 	opts.Defaults()
 	if kv.Len() == 0 {
+		//pclint:ignore errtaxonomy mirrors model.Generate's guard verbatim so fused and solo decode return identical errors
 		return nil, fmt.Errorf("model: Generate on empty cache")
 	}
 	if len(lastLogits) != s.m.Cfg.VocabSize {
+		//pclint:ignore errtaxonomy mirrors model.Generate's guard verbatim so fused and solo decode return identical errors
 		return nil, fmt.Errorf("model: logits width %d != vocab %d", len(lastLogits), s.m.Cfg.VocabSize)
 	}
 	ln := &schedLane{

@@ -73,13 +73,13 @@ func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout
 		}
 	}
 	if hdr[0] != snapMagic {
-		return nil, fmt.Errorf("core: not a schema snapshot (magic %#x)", hdr[0])
+		return nil, fmt.Errorf("%w: not a schema snapshot (magic %#x)", ErrBadSnapshot, hdr[0])
 	}
 	if hdr[1] != snapVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d", hdr[1])
+		return nil, fmt.Errorf("%w: unsupported snapshot version %d", ErrBadSnapshot, hdr[1])
 	}
 	if int(hdr[2]) != len(layout.Order) {
-		return nil, fmt.Errorf("core: snapshot has %d modules, schema %q has %d", hdr[2], schema.Name, len(layout.Order))
+		return nil, fmt.Errorf("%w: snapshot has %d modules, schema %q has %d", ErrBadSnapshot, hdr[2], schema.Name, len(layout.Order))
 	}
 
 	entry := &schemaEntry{
@@ -108,7 +108,7 @@ func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout
 		}
 		ml, ok := layout.Modules[name]
 		if !ok {
-			return fail(fmt.Errorf("core: snapshot module %q not in schema %q", name, schema.Name))
+			return fail(fmt.Errorf("%w: snapshot module %q not in schema %q", ErrBadSnapshot, name, schema.Name))
 		}
 		kv, err := kvcache.ReadFrom(br)
 		if err != nil {
@@ -116,12 +116,12 @@ func (c *Cache) RegisterSchemaFromSnapshot(src string, r io.Reader) (*pml.Layout
 		}
 		toks, _ := moduleTokens(ml)
 		if kv.Len() != len(toks) {
-			return fail(fmt.Errorf("core: snapshot %q has %d tokens, layout expects %d (schema text or tokenizer changed)",
-				name, kv.Len(), len(toks)))
+			return fail(fmt.Errorf("%w: snapshot %q has %d tokens, layout expects %d (schema text or tokenizer changed)",
+				ErrBadSnapshot, name, kv.Len(), len(toks)))
 		}
 		if kv.NLayers != c.m.Cfg.NLayers || kv.KVDim != c.m.Cfg.KVDim() {
-			return fail(fmt.Errorf("core: snapshot %q shaped (%d,%d), model needs (%d,%d)",
-				name, kv.NLayers, kv.KVDim, c.m.Cfg.NLayers, c.m.Cfg.KVDim()))
+			return fail(fmt.Errorf("%w: snapshot %q shaped (%d,%d), model needs (%d,%d)",
+				ErrBadSnapshot, name, kv.NLayers, kv.KVDim, c.m.Cfg.NLayers, c.m.Cfg.KVDim()))
 		}
 		em := &EncodedModule{Name: name, Schema: schema.Name, Layout: ml}
 		if c.compress && kv.Len() > 0 {
@@ -163,7 +163,7 @@ func readString(r io.Reader) (string, error) {
 		return "", err
 	}
 	if n > maxNameLen {
-		return "", fmt.Errorf("core: implausible name length %d", n)
+		return "", fmt.Errorf("%w: implausible name length %d", ErrBadSnapshot, n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// These tests lock in the error-taxonomy wrapping that rode along with
+// pclint's errtaxonomy analyzer: engine failures must be routable with
+// errors.Is (the HTTP layer maps them to statuses that way), never by
+// string matching.
+
+func TestPrefetchUnknownModuleIsBadPrompt(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	err := c.Prefetch("travel", "ghost")
+	if !errors.Is(err, ErrBadPrompt) {
+		t.Fatalf("Prefetch unknown module: got %v, want errors.Is ErrBadPrompt", err)
+	}
+}
+
+func TestPrefetchUnionNonMemberIsBadPrompt(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	err := c.PrefetchUnion("travel", "trip-plan")
+	if !errors.Is(err, ErrBadPrompt) {
+		t.Fatalf("PrefetchUnion non-member: got %v, want errors.Is ErrBadPrompt", err)
+	}
+}
+
+func TestSnapshotGarbageIsBadSnapshot(t *testing.T) {
+	c := llamaCache(t)
+	_, err := c.RegisterSchemaFromSnapshot(travelSchema, strings.NewReader("garbage bytes"))
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("garbage snapshot: got %v, want errors.Is ErrBadSnapshot", err)
+	}
+}
+
+func TestSnapshotAlteredSchemaIsBadSnapshot(t *testing.T) {
+	cfg := model.LlamaStyle(coreVocab, 401)
+	m, err := model.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := NewCache(m)
+	mustRegister(t, orig, travelSchema)
+	var buf bytes.Buffer
+	if err := orig.SaveSchemaStates("travel", &buf); err != nil {
+		t.Fatal(err)
+	}
+	altered := strings.Replace(travelSchema, "superb food", "superb food and also trains", 1)
+	fresh := NewCache(m)
+	_, err = fresh.RegisterSchemaFromSnapshot(altered, bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("stale snapshot: got %v, want errors.Is ErrBadSnapshot", err)
+	}
+}
+
+// TestResolveImportsDeterministicError locks in the maporder fix in
+// resolveImports: with two bad arguments on one import, the reported
+// error must name the alphabetically-first key on every run, not
+// whichever one map iteration surfaced.
+func TestResolveImportsDeterministicError(t *testing.T) {
+	c := llamaCache(t)
+	mustRegister(t, c, travelSchema)
+	prompt := `<prompt schema="travel"><trip-plan zebra="x" alpha="y"/>Go.</prompt>`
+	var first string
+	for i := 0; i < 30; i++ {
+		_, err := c.Serve(context.Background(), prompt, ServeOpts{})
+		if !errors.Is(err, ErrBadPrompt) {
+			t.Fatalf("got %v, want errors.Is ErrBadPrompt", err)
+		}
+		if !strings.Contains(err.Error(), `"alpha"`) {
+			t.Fatalf("error should name the first bad key %q, got: %v", "alpha", err)
+		}
+		if i == 0 {
+			first = err.Error()
+		} else if err.Error() != first {
+			t.Fatalf("error changed between runs:\n  %s\n  %s", first, err)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// declInfo ties a function's declaration to the package it lives in.
+type declInfo struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	key  string
+}
+
+// callSite is one static call made by a declared function.
+type callSite struct {
+	caller *declInfo
+	call   *ast.CallExpr
+	key    string // callee funcKey
+	// viaGo marks `go f(...)` launches: the callee runs concurrently,
+	// so it does not inherit the caller's lock context.
+	viaGo bool
+}
+
+// callGraph is a static over-the-source call-graph approximation keyed
+// by funcKey. Only statically-resolved callees appear: calls through
+// function values and interface methods are invisible, and calls inside
+// function literals are attributed to the enclosing declaration (a
+// closure usually runs on behalf of its creator — and for lock analysis
+// a deferred closure literally runs inside the caller's frame). This
+// under-approximates reachability; the curated root/heavy sets in
+// Config are chosen so the edges that matter are direct.
+type callGraph struct {
+	decls map[string]*declInfo   // funcKey -> declaration
+	calls map[string][]*callSite // caller funcKey -> every static call it makes
+}
+
+// callgraph builds (once) and returns the program's call graph.
+func (prog *Program) callgraph() *callGraph {
+	if prog.graph != nil {
+		return prog.graph
+	}
+	g := &callGraph{
+		decls: map[string]*declInfo{},
+		calls: map[string][]*callSite{},
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				di := &declInfo{pkg: pkg, decl: fd, key: funcKey(fn)}
+				g.decls[di.key] = di
+				goCalls := map[*ast.CallExpr]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if gs, ok := n.(*ast.GoStmt); ok {
+						goCalls[gs.Call] = true
+						return true
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if f := callee(pkg.Info, call); f != nil {
+						g.calls[di.key] = append(g.calls[di.key],
+							&callSite{caller: di, call: call, key: funcKey(f), viaGo: goCalls[call]})
+					}
+					return true
+				})
+			}
+		}
+	}
+	prog.graph = g
+	return g
+}
+
+// reachable returns every funcKey reachable from roots over the static
+// call graph, roots included. Traversal does not descend through stop
+// keys (it records them but not their callees).
+func (g *callGraph) reachable(roots []string, stop map[string]bool) map[string]bool {
+	seen := map[string]bool{}
+	work := append([]string(nil), roots...)
+	for len(work) > 0 {
+		k := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if stop[k] {
+			continue
+		}
+		for _, cs := range g.calls[k] {
+			if !seen[cs.key] {
+				work = append(work, cs.key)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxplumb checks that exported serve/generate entry points in the
+// configured packages accept a context.Context and actually forward it.
+// Cancellation is part of the serving contract — the HTTP layer maps
+// ctx.Err() to 499/504 — and an entry point that drops its context
+// silently turns client disconnects into wasted prefill work.
+func ctxplumb(prog *Program, cfg *Config) []Diagnostic {
+	pkgs := stringSet(cfg.CtxPackages)
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !pkgs[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				if !hasPrefix(fd.Name.Name, cfg.CtxPrefixes) {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok || !exportedReceiver(fn) {
+					continue
+				}
+				diags = append(diags, checkCtx(prog, pkg, fd, fn)...)
+			}
+		}
+	}
+	return diags
+}
+
+func hasPrefix(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// exportedReceiver is true for plain functions and for methods whose
+// receiver type is exported (unexported types are not API surface).
+func exportedReceiver(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	recv := sig.Recv()
+	if recv == nil {
+		return true
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}
+
+func checkCtx(prog *Program, pkg *Package, fd *ast.FuncDecl, fn *types.Func) []Diagnostic {
+	sig := fn.Type().(*types.Signature)
+	var ctxParam *types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContext(p.Type()) {
+			ctxParam = p
+			break
+		}
+	}
+	if ctxParam == nil {
+		return []Diagnostic{{
+			Pos:      prog.Fset.Position(fd.Name.Pos()),
+			Analyzer: "ctxplumb",
+			Message:  fmt.Sprintf("exported entry point %s must accept a context.Context (cancellation is part of the serving contract)", fd.Name.Name),
+		}}
+	}
+	// Forwarded = the parameter object is referenced anywhere in the
+	// body (as a call argument, struct field, or rebinding).
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == ctxParam {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		return []Diagnostic{{
+			Pos:      prog.Fset.Position(fd.Name.Pos()),
+			Analyzer: "ctxplumb",
+			Message:  fmt.Sprintf("%s accepts a context.Context but never forwards it — cancellation stops working below this frame", fd.Name.Name),
+		}}
+	}
+	return nil
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

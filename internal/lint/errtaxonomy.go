@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// errtaxonomy checks that errors born inside the engine wrap the typed
+// taxonomy. The HTTP layer's status mapping is a chain of errors.Is
+// tests against the sentinels in core/errors.go; an error built with a
+// bare errors.New or a %v-style fmt.Errorf is invisible to that chain
+// and falls through to 500, so the taxonomy→status mapping silently
+// stops being total.
+//
+// Flagged: function-scope errors.New, and fmt.Errorf whose constant
+// format string has no %w verb. Package-level var declarations are
+// exempt — that is where sentinels themselves are born.
+func errtaxonomy(prog *Program, cfg *Config) []Diagnostic {
+	pkgs := stringSet(cfg.ErrPackages)
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		if !pkgs[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if d, bad := checkErrCall(prog, pkg, call); bad {
+						diags = append(diags, d)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return diags
+}
+
+func checkErrCall(prog *Program, pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	f := callee(pkg.Info, call)
+	if f == nil || f.Pkg() == nil {
+		return Diagnostic{}, false
+	}
+	switch f.Pkg().Path() + "." + f.Name() {
+	case "errors.New":
+		return Diagnostic{
+			Pos:      prog.Fset.Position(call.Pos()),
+			Analyzer: "errtaxonomy",
+			Message:  "error created with errors.New inside a function is invisible to the errors.Is→HTTP status mapping: wrap a sentinel with fmt.Errorf(\"...: %w\", Err...)",
+		}, true
+	case "fmt.Errorf":
+		if len(call.Args) == 0 {
+			return Diagnostic{}, false
+		}
+		tv, ok := pkg.Info.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return Diagnostic{}, false // dynamic format: nothing to prove
+		}
+		format := constant.StringVal(tv.Value)
+		if hasWrapVerb(format) {
+			return Diagnostic{}, false
+		}
+		return Diagnostic{
+			Pos:      prog.Fset.Position(call.Pos()),
+			Analyzer: "errtaxonomy",
+			Message:  fmt.Sprintf("fmt.Errorf(%q) does not wrap the typed taxonomy (no %%w): the server maps unrecognized errors to 500", truncate(format, 40)),
+		}, true
+	}
+	return Diagnostic{}, false
+}
+
+// hasWrapVerb reports whether a format string contains a %w verb
+// (ignoring %%-escapes).
+func hasWrapVerb(format string) bool {
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		// Scan past flags/width to the verb.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) && format[j] == 'w' {
+			return true
+		}
+	}
+	return false
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

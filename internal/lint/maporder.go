@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporder reports `range` over a map in any function reachable from an
+// ordering-sensitive root: token emission (gatherNewTokens — the exact
+// PR 2 bug class, where map-walk order leaked into argument token
+// order), scheduler lane processing, and manifest/snapshot writing.
+// Go randomizes map iteration per run, so any of these paths touching
+// it produces nondeterministic tokens or unstable bytes on disk.
+//
+// The gather-then-sort idiom is recognized and allowed: a loop whose
+// body only accumulates order-independently — appending to slices that
+// are later sorted in the same function, writing map entries, counting
+// — is deterministic once the sort lands. Anything else in the body
+// (calls, sends, returns) could observe the random order and is
+// reported.
+func maporder(prog *Program, cfg *Config) []Diagnostic {
+	g := prog.callgraph()
+	reach := g.reachable(cfg.OrderRoots, nil)
+
+	var diags []Diagnostic
+	for key := range reach {
+		di, ok := g.decls[key]
+		if !ok {
+			continue
+		}
+		ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := di.pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if gatherThenSort(di, rng) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:      prog.Fset.Position(rng.Pos()),
+				Analyzer: "maporder",
+				Message: fmt.Sprintf("map iteration order is random and %s is reachable from an ordering-sensitive root (%s): collect keys and sort first, or gather-then-sort",
+					shortName(key), rootList(cfg.OrderRoots)),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+func rootList(roots []string) string {
+	s := ""
+	for i, r := range roots {
+		if i > 0 {
+			s += ", "
+		}
+		s += shortName(r)
+	}
+	return s
+}
+
+// gatherThenSort reports whether a map-range loop only accumulates
+// order-independent state: every statement in its body is an
+// order-independent accumulation (append to a slice, map write,
+// counter update, continue — possibly inside an if), and every slice
+// it appends to is passed to a sort call later in the same function.
+func gatherThenSort(di *declInfo, rng *ast.RangeStmt) bool {
+	var appended []types.Object
+	var ok func(stmt ast.Stmt) bool
+	ok = func(stmt ast.Stmt) bool {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			return orderIndependentAssign(di, s, &appended)
+		case *ast.IncDecStmt:
+			return true
+		case *ast.BranchStmt:
+			return true // continue/break do not observe order
+		case *ast.IfStmt:
+			if s.Init != nil && !ok(s.Init) {
+				return false
+			}
+			for _, b := range s.Body.List {
+				if !ok(b) {
+					return false
+				}
+			}
+			if s.Else != nil {
+				if blk, isBlk := s.Else.(*ast.BlockStmt); isBlk {
+					for _, b := range blk.List {
+						if !ok(b) {
+							return false
+						}
+					}
+					return true
+				}
+				return ok(s.Else)
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	for _, stmt := range rng.Body.List {
+		if !ok(stmt) {
+			return false
+		}
+	}
+	// Every appended-to slice must be sorted after the loop.
+	for _, obj := range appended {
+		if !sortedAfter(di, obj, rng.End()) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderIndependentAssign accepts `x = append(x, ...)` (recording x),
+// map writes `m[k] = v`, and commutative updates `n += v` / `n |= v`.
+func orderIndependentAssign(di *declInfo, as *ast.AssignStmt, appended *[]types.Object) bool {
+	switch as.Tok.String() {
+	case "+=", "|=", "&=", "*=":
+		return true
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, lhs := range as.Lhs {
+		switch l := lhs.(type) {
+		case *ast.IndexExpr:
+			tv, ok := di.pkg.Info.Types[l.X]
+			if !ok {
+				return false
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		case *ast.Ident:
+			call, isCall := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !isCall {
+				return false
+			}
+			fid, isIdent := call.Fun.(*ast.Ident)
+			if !isIdent || fid.Name != "append" {
+				return false
+			}
+			obj := di.pkg.Info.ObjectOf(l)
+			if obj == nil {
+				return false
+			}
+			*appended = append(*appended, obj)
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether obj appears as an argument to a call in
+// the sort or slices package after pos in the same function.
+func sortedAfter(di *declInfo, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(di.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, isPkg := di.pkg.Info.Uses[pkgID].(*types.PkgName); !isPkg ||
+			(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && di.pkg.Info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pinbalance checks that every module-pin acquisition is matched by a
+// release on every error return. A leaked pin makes a module immune to
+// eviction forever — the cache slowly wedges under memory pressure with
+// no crash to point at the culprit.
+//
+// An obligation starts at a call to a configured acquire function or at
+// a `x.pins++` on the pin refcount field. Any error return lexically
+// after it must be preceded by a release — a call to a configured
+// release function (directly, or inside an earlier defer), or a
+// `x.pins--` — unless the acquire is own-error-exempt and the return
+// hands back that acquire's own untouched err. Success returns are
+// deliberately not checked — on success, pin ownership transfers to
+// the returned plan/result, whose Close is the release (runtime-
+// tested) — and a success return also *discharges* every obligation
+// opened before it: `em.pins++; return part, nil` is the transfer
+// idiom, and an error return lexically after it sits on a disjoint
+// branch.
+func pinbalance(prog *Program, cfg *Config) []Diagnostic {
+	g := prog.callgraph()
+	acquires := map[string]AcquireSpec{}
+	for _, a := range cfg.Acquires {
+		acquires[a.Func] = a
+	}
+	releases := stringSet(cfg.Releases)
+
+	var diags []Diagnostic
+	for _, di := range g.decls {
+		diags = append(diags, checkPinBalance(prog, di, g, acquires, releases, cfg.PinField)...)
+	}
+	return diags
+}
+
+// obligation is one live acquisition within a function body.
+type obligation struct {
+	pos  token.Pos
+	what string
+	// errObj, when non-nil, is the err variable the acquire assigned;
+	// returning it untouched is exempt (own-error-exempt acquires only).
+	errObj types.Object
+}
+
+func checkPinBalance(prog *Program, di *declInfo, g *callGraph, acquires map[string]AcquireSpec, releases map[string]bool, pinField string) []Diagnostic {
+	body := di.decl.Body
+
+	// Does this function even return an error? If not, there are no
+	// error returns to audit (ownership transfers via struct fields).
+	fn, _ := di.pkg.Info.Defs[di.decl.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			errIdx = i
+		}
+	}
+	if errIdx < 0 {
+		return nil
+	}
+
+	// One lexical sweep: record acquisitions, releases (including
+	// deferred ones), err reassignments, and returns, in source order.
+	var obls []obligation
+	var releasePos []token.Pos
+	var deferPos []token.Pos
+	reassigned := map[types.Object][]token.Pos{}
+	var diags []Diagnostic
+
+	isRelease := func(call *ast.CallExpr) bool {
+		f := callee(di.pkg.Info, call)
+		return f != nil && releases[funcKey(f)]
+	}
+	// containsRelease reports whether any release call or pins--
+	// appears under n (used for defer statements and closures).
+	var containsRelease func(n ast.Node) bool
+	containsRelease = func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.CallExpr:
+				if isRelease(s) {
+					found = true
+				}
+			case *ast.IncDecStmt:
+				if s.Tok == token.DEC && isPinField(di.pkg.Info, s.X, pinField) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if containsRelease(s) {
+				// A defer runs on every return after it, even for
+				// obligations acquired later in the body.
+				deferPos = append(deferPos, s.Pos())
+			}
+			return false
+		case *ast.IncDecStmt:
+			if isPinField(di.pkg.Info, s.X, pinField) {
+				if s.Tok == token.INC {
+					obls = append(obls, obligation{pos: s.Pos(), what: "pin refcount increment"})
+				} else {
+					releasePos = append(releasePos, s.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			if isRelease(s) {
+				releasePos = append(releasePos, s.Pos())
+				return true
+			}
+			if f := callee(di.pkg.Info, s); f != nil {
+				if spec, ok := acquires[funcKey(f)]; ok && funcKey(f) != funcKey(fn) {
+					obls = append(obls, obligation{pos: s.Pos(), what: "call to " + shortName(spec.Func)})
+					if spec.OwnErrorExempt {
+						obls[len(obls)-1].errObj = assignedErr(di.pkg.Info, body, s)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := di.pkg.Info.ObjectOf(id); obj != nil {
+						reassigned[obj] = append(reassigned[obj], s.Pos())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if returnedErr(di.pkg.Info, s, errIdx, sig) == nil {
+				// Success return: ownership of everything acquired so
+				// far transfers to the returned value.
+				obls = obls[:0]
+				return true
+			}
+			diags = append(diags, checkReturn(prog, di, s, errIdx, sig, obls, releasePos, deferPos, reassigned, acquires)...)
+		}
+		return true
+	})
+	return diags
+}
+
+// checkReturn audits one return statement against the obligations
+// opened before it.
+func checkReturn(prog *Program, di *declInfo, ret *ast.ReturnStmt, errIdx int, sig *types.Signature, obls []obligation, releasePos, deferPos []token.Pos, reassigned map[types.Object][]token.Pos, acquires map[string]AcquireSpec) []Diagnostic {
+	errExpr := returnedErr(di.pkg.Info, ret, errIdx, sig)
+	if errExpr == nil {
+		return nil // success return (nil error, or bare return of zero err)
+	}
+	// A tail call `return c.acquire(...)` passes the obligation to the
+	// caller of *this* function; the acquire list covers it there.
+	if call, ok := ast.Unparen(errExpr).(*ast.CallExpr); ok {
+		if f := callee(di.pkg.Info, call); f != nil {
+			if _, isAcq := acquires[funcKey(f)]; isAcq {
+				return nil
+			}
+		}
+	}
+	errObj := errObjOf(di.pkg.Info, errExpr)
+
+	var diags []Diagnostic
+	for _, o := range obls {
+		if o.pos >= ret.Pos() {
+			continue
+		}
+		// Own-error exemption: returning the acquire's own err, not
+		// reassigned since the acquire.
+		if o.errObj != nil && errObj == o.errObj && !reassignedBetween(reassigned[errObj], o.pos, ret.Pos()) {
+			continue
+		}
+		if releasedBetween(releasePos, o.pos, ret.Pos()) || deferCovers(deferPos, ret.Pos()) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      prog.Fset.Position(ret.Pos()),
+			Analyzer: "pinbalance",
+			Message: fmt.Sprintf("error return may leak pins from %s at line %d: release them (unpinModules / release / pins--) before returning",
+				o.what, prog.Fset.Position(o.pos).Line),
+		})
+	}
+	return diags
+}
+
+// returnedErr extracts the expression returned in the error slot, or
+// nil when this return cannot carry a non-nil error (nil literal, or a
+// bare return whose named err result was never visibly set — bare
+// returns with a live obligation are rare enough to leave to review).
+func returnedErr(info *types.Info, ret *ast.ReturnStmt, errIdx int, sig *types.Signature) ast.Expr {
+	if len(ret.Results) == 0 {
+		return nil
+	}
+	var e ast.Expr
+	if len(ret.Results) == sig.Results().Len() {
+		e = ret.Results[errIdx]
+	} else if len(ret.Results) == 1 {
+		// `return f()` forwarding a multi-result call: treat the call
+		// itself as the error expression.
+		e = ret.Results[0]
+	} else {
+		return nil
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name == "nil" {
+		return nil
+	}
+	return e
+}
+
+// errObjOf resolves a returned error expression to its variable, when
+// it is one.
+func errObjOf(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// assignedErr finds the err variable an acquire call's enclosing
+// `x, err := acquire(...)` assigns, if any.
+func assignedErr(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || as.Rhs[0] != call {
+			return true
+		}
+		last := as.Lhs[len(as.Lhs)-1]
+		if id, ok := last.(*ast.Ident); ok {
+			obj = info.ObjectOf(id)
+		}
+		return false
+	})
+	return obj
+}
+
+func isPinField(info *types.Info, x ast.Expr, pinField string) bool {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name()+"."+sel.Sel.Name == pinField
+}
+
+func releasedBetween(releasePos []token.Pos, from, to token.Pos) bool {
+	for _, p := range releasePos {
+		if from <= p && p < to {
+			return true
+		}
+	}
+	return false
+}
+
+// deferCovers reports whether a release-bearing defer precedes the
+// return (it then fires on that return, whenever its obligation began).
+func deferCovers(deferPos []token.Pos, ret token.Pos) bool {
+	for _, p := range deferPos {
+		if p < ret {
+			return true
+		}
+	}
+	return false
+}
+
+func reassignedBetween(positions []token.Pos, from, to token.Pos) bool {
+	for _, p := range positions {
+		if from < p && p < to {
+			return true
+		}
+	}
+	return false
+}
+
+func shortName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

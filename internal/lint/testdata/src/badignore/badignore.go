@@ -1,0 +1,12 @@
+// Package badfix seeds malformed //pclint:ignore directives: an
+// unknown analyzer name and a missing reason. Both must be reported as
+// diagnostics, so a typo cannot silently turn a gate off.
+package badfix
+
+//pclint:ignore lockscop heavy call is fine here
+var a = 1
+
+//pclint:ignore maporder
+var b = 2
+
+var _ = a + b

@@ -1,0 +1,21 @@
+// Package ctxfix seeds ctxplumb violations: an exported entry point
+// with no context parameter and one that accepts but drops it — plus a
+// compliant entry point and a suppressed legacy shim.
+package ctxfix
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) do(ctx context.Context) error { return ctx.Err() }
+
+func (c *Client) ServeNaked() error { return nil } // want ctxplumb
+
+func (c *Client) GenerateDropped(ctx context.Context) error { return nil } // want ctxplumb
+
+func (c *Client) InferGood(ctx context.Context) error { return c.do(ctx) }
+
+// SendLegacy wraps a callback API that predates context plumbing.
+//
+//pclint:ignore ctxplumb fixture: legacy shim, callers cancel via Close instead
+func (c *Client) SendLegacy() error { return nil }

@@ -1,0 +1,27 @@
+// Package errfix seeds errtaxonomy violations: function-scope
+// errors.New and a %v-style fmt.Errorf — plus the allowed shapes
+// (package-level sentinels, %w wrapping, suppression).
+package errfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a sentinel: package-level errors.New is where the taxonomy
+// itself is born, so it is exempt.
+var ErrBad = errors.New("bad")
+
+func validate(n int) error {
+	if n < 0 {
+		return errors.New("negative") // want errtaxonomy
+	}
+	if n > 10 {
+		return fmt.Errorf("too big: %d", n) // want errtaxonomy
+	}
+	if n == 7 {
+		return fmt.Errorf("%w: unlucky %d", ErrBad, n)
+	}
+	//pclint:ignore errtaxonomy fixture: internal invariant guard, 500 is the honest status
+	return fmt.Errorf("odd state %d", n)
+}

@@ -1,0 +1,47 @@
+// Package mapfix seeds maporder violations: a map range on a
+// token-emitting path whose order escapes — plus the allowed shapes
+// (gather-then-sort, order-independent counting, suppression).
+package mapfix
+
+import "sort"
+
+type Engine struct{ vocab map[string]int }
+
+// Emit is the configured ordering-sensitive root.
+func (e *Engine) Emit() []int {
+	_ = count(e.vocab)
+	_ = e.EmitAny()
+	out := e.EmitSorted()
+	for _, id := range e.vocab { // want maporder
+		out = append(out, id)
+	}
+	return out
+}
+
+// EmitSorted gathers then sorts: deterministic, not flagged.
+func (e *Engine) EmitSorted() []int {
+	var ids []int
+	for _, id := range e.vocab {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// count only accumulates a commutative counter: not flagged.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// EmitAny returns an arbitrary element on purpose.
+func (e *Engine) EmitAny() int {
+	//pclint:ignore maporder fixture: any element is acceptable here by contract
+	for _, id := range e.vocab {
+		return id
+	}
+	return 0
+}

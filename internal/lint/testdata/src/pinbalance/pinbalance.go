@@ -1,0 +1,86 @@
+// Package pinfix seeds pinbalance violations: error returns that leak
+// a pin taken by an acquire call or a pins++ — plus the balanced
+// patterns (own-error exemption, inline release, deferred release,
+// ownership transfer on success, suppression).
+package pinfix
+
+import "errors"
+
+type Module struct{ pins int }
+
+type Cache struct{ mods []*Module }
+
+var errBoom = errors.New("boom")
+
+func (c *Cache) acquire() (*Module, error) {
+	if len(c.mods) == 0 {
+		return nil, errBoom
+	}
+	m := c.mods[0]
+	m.pins++
+	return m, nil
+}
+
+func (c *Cache) unpin(ms ...*Module) {
+	for _, m := range ms {
+		m.pins--
+	}
+}
+
+func (c *Cache) leaky() error {
+	m, err := c.acquire()
+	if err != nil {
+		return err // the acquire's own error: exempt
+	}
+	if m.pins > 3 {
+		return errBoom // want pinbalance
+	}
+	c.unpin(m)
+	return nil
+}
+
+func (c *Cache) balanced() error {
+	m, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	if m.pins > 3 {
+		c.unpin(m)
+		return errBoom
+	}
+	return nil // success: ownership transfers to the caller
+}
+
+func (c *Cache) deferredRelease() error {
+	m, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	defer c.unpin(m)
+	if m.pins > 3 {
+		return errBoom
+	}
+	return nil
+}
+
+func (c *Cache) incLeak(m *Module) error {
+	m.pins++
+	if m.pins > 5 {
+		return errBoom // want pinbalance
+	}
+	m.pins--
+	return nil
+}
+
+func (c *Cache) suppressedLeak() error {
+	m, err := c.acquire()
+	if err != nil {
+		return err
+	}
+	if m.pins > 3 {
+		//pclint:ignore pinbalance fixture: a registry owns this pin; its janitor unpins
+		return errBoom
+	}
+	c.unpin(m)
+	return nil
+}

@@ -108,7 +108,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, promptcache.ErrUnknownSchema):
 		return http.StatusNotFound
-	case errors.Is(err, promptcache.ErrBadPrompt), errors.Is(err, promptcache.ErrBadSchema):
+	case errors.Is(err, promptcache.ErrBadPrompt), errors.Is(err, promptcache.ErrBadSchema),
+		errors.Is(err, promptcache.ErrBadSnapshot):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, promptcache.ErrArgTooLong), errors.Is(err, promptcache.ErrPromptTooLong):
 		return http.StatusRequestEntityTooLarge

@@ -1,0 +1,19 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/promptcache"
+)
+
+// TestStatusForBadSnapshot: a failed warm restart surfaced through the
+// API must read as a client-data problem (the snapshot bytes), not a
+// server fault.
+func TestStatusForBadSnapshot(t *testing.T) {
+	err := fmt.Errorf("restoring schema: %w", promptcache.ErrBadSnapshot)
+	if got := statusFor(err); got != http.StatusUnprocessableEntity {
+		t.Fatalf("statusFor(ErrBadSnapshot) = %d, want %d", got, http.StatusUnprocessableEntity)
+	}
+}

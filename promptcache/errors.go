@@ -24,6 +24,9 @@ var (
 	// ErrCapacity: module states cannot fit the memory pool even after
 	// eviction.
 	ErrCapacity = core.ErrCapacity
+	// ErrBadSnapshot: a warm-restart snapshot or disk manifest is
+	// malformed or does not match the live model/schema.
+	ErrBadSnapshot = core.ErrBadSnapshot
 	// ErrSessionClosed: a Send or Close on an already-closed Session.
 	ErrSessionClosed = errors.New("promptcache: session closed")
 )

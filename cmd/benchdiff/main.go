@@ -1,6 +1,7 @@
 // Command benchdiff compares two machine-readable benchmark files
-// (BENCH_serve.json / BENCH_decode.json, as written by `pcbench -json`)
-// and reports metric regressions beyond a threshold.
+// (BENCH_serve.json / BENCH_decode.json / BENCH_load.json, as written
+// by `pcbench -json`) and reports metric regressions beyond a
+// threshold.
 //
 // It is the warn-only half of a CI perf-regression gate: run the bench
 // on a PR, diff against the checked-in baseline, and annotate the run
@@ -38,11 +39,19 @@ var metricDirection = map[string]int{
 	"bytes_per_op":   +1,
 	"allocs_per_op":  +1,
 	"tokens_per_sec": -1,
+	// Load-gate metrics (BENCH_load.json): TTFT tails and shed rate
+	// under offered load. max_queue_depth and offered_rps are reported
+	// in the file but deliberately not diffed — the former is bounded
+	// by configuration, the latter is per-machine calibration.
+	"p50_ttft_ms": +1,
+	"p95_ttft_ms": +1,
+	"p99_ttft_ms": +1,
+	"shed_rate":   +1,
 }
 
 // identityKeys name a point within a file; everything else numeric is a
 // candidate metric.
-var identityKeys = []string{"mode", "prefix_tokens", "streams"}
+var identityKeys = []string{"mode", "prefix_tokens", "streams", "load_mult", "arrival"}
 
 type point = map[string]any
 

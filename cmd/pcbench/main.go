@@ -8,9 +8,10 @@
 //	pcbench -csv fig5            # emit CSV instead of a table
 //	pcbench -json BENCH_serve.json serve
 //	pcbench -json BENCH_decode.json decode
-//	                             # serve/decode experiment + machine-
-//	                             # readable points for cross-PR perf
-//	                             # tracking
+//	pcbench -json BENCH_load.json load
+//	                             # serve/decode/load experiment +
+//	                             # machine-readable points for cross-PR
+//	                             # perf tracking
 //	pcbench -count 5 -json BENCH_serve.json serve
 //	                             # run 5 times, emit the per-metric
 //	                             # median point — de-noised numbers for
@@ -59,17 +60,23 @@ func main() {
 			args = append(args, e[0])
 		}
 	}
-	// -json emits machine-readable perf points; only the serve and decode
-	// experiments produce them, so refuse to no-op silently — and refuse
-	// the ambiguous case where both would overwrite one output file.
+	// -json emits machine-readable perf points; only the serve, decode
+	// and load experiments produce them, so refuse to no-op silently —
+	// and refuse the ambiguous case where several would overwrite one
+	// output file.
 	if *jsonOut != "" {
-		hasServe, hasDecode := slices.Contains(args, "serve"), slices.Contains(args, "decode")
+		jsonable := 0
+		for _, id := range []string{"serve", "decode", "load"} {
+			if slices.Contains(args, id) {
+				jsonable++
+			}
+		}
 		switch {
-		case !hasServe && !hasDecode:
-			fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve or decode experiment (got %v)\n", args)
+		case jsonable == 0:
+			fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve, decode or load experiment (got %v)\n", args)
 			os.Exit(2)
-		case hasServe && hasDecode:
-			fmt.Fprintf(os.Stderr, "pcbench: -json with both serve and decode would overwrite %s; run them separately\n", *jsonOut)
+		case jsonable > 1:
+			fmt.Fprintf(os.Stderr, "pcbench: -json with several point-emitting experiments would overwrite %s; run them separately\n", *jsonOut)
 			os.Exit(2)
 		}
 	}
@@ -95,6 +102,28 @@ func main() {
 				if *jsonOut != "" {
 					var data []byte
 					if data, err = bench.ServePointsJSON(points); err == nil {
+						err = os.WriteFile(*jsonOut, data, 0o644)
+					}
+				}
+			}
+			if err != nil {
+				rep = nil
+			}
+		case id == "load" && (*jsonOut != "" || *count > 1):
+			var points []bench.LoadPoint
+			runs := make([][]bench.LoadPoint, 0, *count)
+			for i := 0; i < *count && err == nil; i++ {
+				points, err = bench.LoadOverloadPoints(bench.DefaultLoadMults, bench.DefaultLoadRequests)
+				runs = append(runs, points)
+			}
+			if err == nil && *count > 1 {
+				points, err = bench.MedianLoadPoints(runs)
+			}
+			if err == nil {
+				rep = bench.LoadReport(points)
+				if *jsonOut != "" {
+					var data []byte
+					if data, err = bench.LoadPointsJSON(points); err == nil {
 						err = os.WriteFile(*jsonOut, data, 0o644)
 					}
 				}

@@ -28,6 +28,15 @@
 // anonymous cached modules, and splices them bit-exactly into later
 // requests — the "mining" block of GET /stats tracks the win.
 //
+// With -admit N the server survives overload instead of collapsing
+// under it: N requests serve concurrently, -admit-queue more wait, and
+// further arrivals are shed immediately with HTTP 429 plus a computed
+// Retry-After. Requests may carry "slo": "interactive" (default) or
+// "batch" — interactive requests are admitted and decode-scheduled
+// ahead of batch backfill, and -admit-deadline / -admit-batch-deadline
+// bound each class's total latency (expiry is HTTP 504). The
+// "admission" block of GET /stats keeps the ledger.
+//
 //	pcserve -cache-dir /var/lib/pcserve -cache-codec int8
 //	curl -d '{"pml":"<schema name=\"s\"><module name=\"m\">hi</module></schema>"}' localhost:8080/schemas
 //	curl -d '{"prompt":"<prompt schema=\"s\"><m/>go</prompt>","max_tokens":16}' localhost:8080/v1/complete
@@ -68,6 +77,10 @@ func main() {
 	mineMinTokens := flag.Int("mine-min-tokens", 0, "mining: shortest prefix worth promoting (0 = default)")
 	mineMaxMods := flag.Int("mine-max-modules", 0, "mining: live mined-module budget (0 = default)")
 	mineHalfLife := flag.Float64("mine-half-life", 0, "mining: reuse-score half-life in observed serves (0 = default)")
+	admit := flag.Int("admit", 0, "admission control: concurrent-request slots; overflow queues, a full queue sheds HTTP 429 + Retry-After (0 disables admission)")
+	admitQueue := flag.Int("admit-queue", 0, "admission: waiting requests beyond the slots before shedding (0 = default when -admit is set)")
+	admitDeadline := flag.Duration("admit-deadline", 0, "admission: per-request deadline for interactive requests, queueing included; expiry is HTTP 504 (0 = none)")
+	admitBatchDeadline := flag.Duration("admit-batch-deadline", 0, "admission: per-request deadline for batch-class requests (0 = none)")
 	flag.Parse()
 
 	var cfg model.Config
@@ -102,6 +115,14 @@ func main() {
 			MinTokens:  *mineMinTokens,
 			MaxModules: *mineMaxMods,
 			HalfLife:   *mineHalfLife,
+		}))
+	}
+	if *admit > 0 || *admitQueue > 0 || *admitDeadline > 0 || *admitBatchDeadline > 0 {
+		opts = append(opts, promptcache.WithAdmission(promptcache.AdmissionConfig{
+			MaxConcurrent:       *admit,
+			MaxQueue:            *admitQueue,
+			InteractiveDeadline: *admitDeadline,
+			BatchDeadline:       *admitBatchDeadline,
 		}))
 	}
 	var codec promptcache.Codec

@@ -15,6 +15,8 @@
 //	pctrace -requests 5000 -modules 80 -hbm-gib 4 -policy gdsf
 //	pctrace -compare            # all policies + reference points
 //	pctrace -shared-prefixes 4 -mine   # offline mining report
+//	pctrace -record t.jsonl -arrival bursty -arrival-rate 200
+//	                            # trace with a replayable load schedule
 package main
 
 import (
@@ -43,6 +45,9 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare all policies plus reference points")
 		record   = flag.String("record", "", "write the generated request trace to this JSONL file")
 		replay   = flag.String("replay", "", "replay a JSONL trace instead of generating a stream")
+
+		arrival     = flag.String("arrival", "", "stamp the recorded trace with arrival offsets: uniform, poisson or bursty (empty = none; the analytic replay ignores them, the real-server load harness paces by them)")
+		arrivalRate = flag.Float64("arrival-rate", 100, "mean offered arrivals per second for -arrival")
 
 		sharedPrefixes = flag.Int("shared-prefixes", 0, "pooled undeclared suffix prefixes in generated traces (0 = no suffix streams)")
 		sharedTokens   = flag.Int("shared-prefix-tokens", 0, "tokens per pooled prefix (0 = half the suffix)")
@@ -115,6 +120,15 @@ func main() {
 		trace, err := serving.GenerateTrace(base)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *arrival != "" {
+			arr, err := serving.GenerateArrivals(*arrival, len(trace), *arrivalRate, *seed+2)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := serving.AssignArrivals(trace, arr); err != nil {
+				log.Fatal(err)
+			}
 		}
 		f, err := os.Create(*record)
 		if err != nil {

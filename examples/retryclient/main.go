@@ -1,0 +1,145 @@
+// Retryclient demonstrates the overload contract from the client side.
+// The server runs with a deliberately tiny admission window (one slot,
+// one queue seat), a burst of concurrent requests slams into it, and
+// most of the burst is shed with HTTP 429 plus a computed Retry-After.
+// The client treats that as the protocol it is: honor Retry-After when
+// present, fall back to capped exponential backoff with jitter when
+// not, and give up after a bounded number of attempts. Every request
+// in the burst eventually completes — overload delays work, it does
+// not lose it.
+//
+//	go run ./examples/retryclient
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/server"
+	"repro/internal/tokenizer"
+	"repro/promptcache"
+)
+
+const schema = `<schema name="town">
+  <module name="records">The archive stores council records. Visitors consult maps of the old railway and the harbor ledgers.</module>
+</schema>`
+
+// completeWithRetry POSTs one completion, retrying sheds the way a
+// well-behaved client should: the server's Retry-After is authoritative
+// when present; otherwise exponential backoff from 50ms. Both are
+// capped, and jitter (+0–50%) keeps a burst of shed clients from
+// re-arriving as the same thundering herd that was just shed.
+func completeWithRetry(client *http.Client, url string, body []byte) (attempts, sheds int, err error) {
+	const (
+		maxAttempts = 8
+		baseBackoff = 50 * time.Millisecond
+		maxBackoff  = 2 * time.Second
+	)
+	backoff := baseBackoff
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		resp, err := client.Post(url+"/v1/complete", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return attempt, sheds, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			resp.Body.Close()
+			return attempt, sheds, nil
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return attempt, sheds, fmt.Errorf("unexpected status %d", resp.StatusCode)
+		}
+		sheds++
+		wait := backoff
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			wait = time.Duration(secs) * time.Second
+		}
+		if wait > maxBackoff {
+			wait = maxBackoff
+		}
+		wait += time.Duration(rand.Int64N(int64(wait / 2)))
+		time.Sleep(wait)
+		backoff *= 2
+	}
+	return maxAttempts, sheds, fmt.Errorf("gave up after %d attempts", maxAttempts)
+}
+
+func main() {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 21))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One slot, one queue seat: a 10-wide burst must shed ~80% of its
+	// first wave, so the retry protocol actually gets exercised.
+	pc := promptcache.New(m, promptcache.WithAdmission(promptcache.AdmissionConfig{
+		MaxConcurrent: 1, MaxQueue: 1,
+	}))
+	ts := httptest.NewServer(server.New(pc))
+	defer ts.Close()
+	fmt.Printf("server on %s (admission: 1 slot, 1 queue seat)\n", ts.URL)
+
+	reg, _ := json.Marshal(server.SchemaRequest{PML: schema})
+	if resp, err := ts.Client().Post(ts.URL+"/schemas", "application/json", bytes.NewReader(reg)); err != nil || resp.StatusCode != http.StatusOK {
+		log.Fatalf("registering schema: %v (%v)", err, resp)
+	}
+
+	// Long enough generations that the slot is visibly occupied when
+	// the rest of the burst arrives.
+	body, _ := json.Marshal(server.CompleteRequest{
+		Prompt:    `<prompt schema="town"><records/><user>Summarize the records.</user></prompt>`,
+		MaxTokens: 300,
+	})
+
+	const burst = 10
+	fmt.Printf("firing a burst of %d concurrent completions...\n", burst)
+	var wg sync.WaitGroup
+	results := make([]struct {
+		attempts, sheds int
+		err             error
+	}, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i].attempts, results[i].sheds, results[i].err = completeWithRetry(ts.Client(), ts.URL, body)
+		}(i)
+	}
+	wg.Wait()
+
+	completed, totalSheds := 0, 0
+	for i, r := range results {
+		if r.err != nil {
+			fmt.Printf("  request %2d: FAILED after %d attempts: %v\n", i, r.attempts, r.err)
+			continue
+		}
+		completed++
+		totalSheds += r.sheds
+		fmt.Printf("  request %2d: completed on attempt %d (%d sheds honored)\n", i, r.attempts, r.sheds)
+	}
+	fmt.Printf("\n%d/%d completed; %d sheds retried per the server's Retry-After\n", completed, burst, totalSheds)
+
+	// The server's books reconcile exactly: every arrival was admitted,
+	// shed, or canceled — nothing hangs, nothing is lost.
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	adm := stats["admission"].(map[string]any)
+	fmt.Printf("admission ledger: inflight=%v queue=%v interactive=%v\n",
+		adm["inflight"], adm["queue_depth"], adm["interactive"])
+}

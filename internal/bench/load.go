@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serving"
+	"repro/internal/tokenizer"
+	"repro/promptcache"
+)
+
+// The load experiment is the overload acceptance turned into a tracked
+// number: a seeded Poisson arrival stream replayed open-loop against an
+// in-process server with admission control, once at the measured
+// capacity (1×) and once far past it (4×). At 1× the server should
+// barely shed; at 4× it must shed heavily while keeping tail TTFT
+// bounded for the requests it admits — graceful degradation, not
+// collapse. BENCH_load.json pins both points across PRs.
+
+// Admission bounds for the load experiment. Queue = 2× slots keeps the
+// retry-after estimate meaningful without hiding overload in queueing.
+const (
+	loadSlots = 4
+	loadQueue = 8
+)
+
+// LoadPoint is one measured load cell (arrival distribution × offered
+// load multiple), shaped for BENCH_load.json.
+type LoadPoint struct {
+	Mode     string `json:"mode"` // always "load"
+	Arrival  string `json:"arrival"`
+	LoadMult int    `json:"load_mult"` // offered load as a multiple of capacity
+	// OfferedRPS is this run's calibrated offered rate — informational
+	// (machine-dependent), not a gated metric.
+	OfferedRPS    float64 `json:"offered_rps"`
+	P50TTFTMs     float64 `json:"p50_ttft_ms"`
+	P95TTFTMs     float64 `json:"p95_ttft_ms"`
+	P99TTFTMs     float64 `json:"p99_ttft_ms"`
+	TokensPerSec  float64 `json:"tokens_per_sec"`
+	ShedRate      float64 `json:"shed_rate"`
+	MaxQueueDepth int64   `json:"max_queue_depth"`
+}
+
+// DefaultLoadMults are the offered-load multiples the experiment runs:
+// at capacity, and the ISSUE's ≥4× overload acceptance point.
+var DefaultLoadMults = []int{1, 4}
+
+// DefaultLoadRequests sizes each replay; ~1s of offered traffic at 1×.
+const DefaultLoadRequests = 160
+
+// LoadOverloadPoints calibrates the server's serve capacity, then
+// replays seeded Poisson arrivals at the given multiples of it.
+func LoadOverloadPoints(mults []int, requests int) ([]LoadPoint, error) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 1234))
+	if err != nil {
+		return nil, err
+	}
+	client := promptcache.New(m,
+		promptcache.WithDecodeScheduler(loadSlots),
+		promptcache.WithAdmission(promptcache.AdmissionConfig{
+			MaxConcurrent: loadSlots, MaxQueue: loadQueue,
+		}),
+	)
+	if _, err := client.RegisterSchema(EngineSchema("load", 512, 512)); err != nil {
+		return nil, err
+	}
+	prompt := `<prompt schema="load"><doc/>summarize the document</prompt>`
+	ctx := context.Background()
+	const maxTokens = 4
+
+	// Calibrate capacity closed-loop at the admission concurrency:
+	// loadSlots workers each serving back to back measure the true
+	// sustainable turnover rate, contention included. (Sequential
+	// service time × slots overestimates badly — concurrent serves
+	// share cores and locks.)
+	const calPerWorker = 8
+	warm := func() error { // warm the cache and the scheduler first
+		_, err := client.Infer(ctx, promptcache.Request{Prompt: prompt, MaxTokens: maxTokens})
+		return err
+	}
+	if err := warm(); err != nil {
+		return nil, fmt.Errorf("bench: load calibration: %w", err)
+	}
+	calErrs := make(chan error, loadSlots)
+	t0 := time.Now()
+	for w := 0; w < loadSlots; w++ {
+		go func() {
+			for i := 0; i < calPerWorker; i++ {
+				if err := warm(); err != nil {
+					calErrs <- err
+					return
+				}
+			}
+			calErrs <- nil
+		}()
+	}
+	for w := 0; w < loadSlots; w++ {
+		if err := <-calErrs; err != nil {
+			return nil, fmt.Errorf("bench: load calibration: %w", err)
+		}
+	}
+	elapsed := time.Since(t0)
+	if elapsed <= 0 {
+		elapsed = time.Millisecond
+	}
+	capacityRPS := float64(loadSlots*calPerWorker) / elapsed.Seconds()
+
+	var out []LoadPoint
+	for _, mult := range mults {
+		rate := capacityRPS * float64(mult)
+		arrivals, err := serving.GenerateArrivals(serving.ArrivalPoisson, requests, rate, uint64(1000+mult))
+		if err != nil {
+			return nil, err
+		}
+		prompts := make([]string, requests)
+		for i := range prompts {
+			prompts[i] = prompt
+		}
+		st, err := serving.ReplayLoad(ctx, client, prompts, arrivals, serving.LoadOpts{MaxTokens: maxTokens})
+		if err != nil {
+			return nil, err
+		}
+		if st.Failed > 0 {
+			return nil, fmt.Errorf("bench: load at %d×: %d requests failed (want shed or completed only)", mult, st.Failed)
+		}
+		out = append(out, LoadPoint{
+			Mode:          "load",
+			Arrival:       serving.ArrivalPoisson,
+			LoadMult:      mult,
+			OfferedRPS:    rate,
+			P50TTFTMs:     float64(st.P50TTFT) / float64(time.Millisecond),
+			P95TTFTMs:     float64(st.P95TTFT) / float64(time.Millisecond),
+			P99TTFTMs:     float64(st.P99TTFT) / float64(time.Millisecond),
+			TokensPerSec:  st.TokensPerSec,
+			ShedRate:      st.ShedRate,
+			MaxQueueDepth: int64(st.MaxQueueDepth),
+		})
+	}
+	return out, nil
+}
+
+// LoadOverload renders the load experiment as a Report; the same points
+// serialize to BENCH_load.json via `pcbench -json BENCH_load.json load`.
+func LoadOverload() (*Report, error) {
+	rep, _, err := LoadOverloadRun()
+	return rep, err
+}
+
+// LoadOverloadRun measures once and returns both the printable report
+// and the machine-readable points.
+func LoadOverloadRun() (*Report, []LoadPoint, error) {
+	points, err := LoadOverloadPoints(DefaultLoadMults, DefaultLoadRequests)
+	if err != nil {
+		return nil, nil, err
+	}
+	return LoadReport(points), points, nil
+}
+
+// LoadReport renders measured load points as a printable Report.
+func LoadReport(points []LoadPoint) *Report {
+	rep := &Report{
+		ID:     "load",
+		Title:  "Overload behavior: Poisson arrivals at 1× and 4× capacity",
+		Header: []string{"Arrival", "Load", "p50 TTFT ms", "p95 TTFT ms", "p99 TTFT ms", "tok/s", "shed", "max queue"},
+		Notes: []string{
+			"Open-loop replay against an in-process server with admission control (slots=4, queue=8).",
+			"At 4× capacity the server sheds with 429/Retry-After instead of collapsing: admitted-request TTFT stays bounded by the queue, not the backlog.",
+		},
+	}
+	for _, p := range points {
+		rep.Rows = append(rep.Rows, []string{
+			p.Arrival, fmt.Sprintf("%d×", p.LoadMult),
+			fmt.Sprintf("%.2f", p.P50TTFTMs),
+			fmt.Sprintf("%.2f", p.P95TTFTMs),
+			fmt.Sprintf("%.2f", p.P99TTFTMs),
+			fmt.Sprintf("%.0f", p.TokensPerSec),
+			fmt.Sprintf("%.0f%%", p.ShedRate*100),
+			fmt.Sprintf("%d", p.MaxQueueDepth),
+		})
+	}
+	return rep
+}
+
+// LoadPointsJSON serializes measured points as indented JSON, the
+// payload of BENCH_load.json.
+func LoadPointsJSON(points []LoadPoint) ([]byte, error) {
+	return json.MarshalIndent(points, "", "  ")
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMedianLoadPoints(t *testing.T) {
+	mk := func(p99 float64, shed float64, depth int64) []LoadPoint {
+		return []LoadPoint{
+			{Mode: "load", Arrival: "poisson", LoadMult: 1, P99TTFTMs: p99, ShedRate: shed / 10, MaxQueueDepth: depth},
+			{Mode: "load", Arrival: "poisson", LoadMult: 4, P99TTFTMs: p99 * 2, ShedRate: shed, MaxQueueDepth: depth},
+		}
+	}
+	got, err := MedianLoadPoints([][]LoadPoint{
+		mk(90, 0.9, 8), // one bad run must not drag the median
+		mk(10, 0.1, 2),
+		mk(20, 0.5, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].P99TTFTMs != 20 || got[0].ShedRate != 0.05 || got[0].MaxQueueDepth != 4 {
+		t.Fatalf("1× median = %+v", got[0])
+	}
+	if got[1].LoadMult != 4 || got[1].P99TTFTMs != 40 || got[1].ShedRate != 0.5 {
+		t.Fatalf("4× median = %+v", got[1])
+	}
+	if _, err := MedianLoadPoints(nil); err == nil {
+		t.Fatal("no runs should fail")
+	}
+	a := mk(1, 0.1, 1)
+	b := mk(1, 0.1, 1)
+	b[1].LoadMult = 8
+	if _, err := MedianLoadPoints([][]LoadPoint{a, b}); err == nil {
+		t.Fatal("mismatched runs should fail")
+	}
+}
+
+// TestLoadOverloadPoints runs the real load experiment small: the 4×
+// point must shed more and tail no better than the 1× point, nothing
+// may hard-fail, and the JSON payload must carry the gate's identity
+// and metric fields under their wire names.
+func TestLoadOverloadPoints(t *testing.T) {
+	points, err := LoadOverloadPoints([]int{1, 4}, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	p1, p4 := points[0], points[1]
+	if p1.LoadMult != 1 || p4.LoadMult != 4 || p1.Arrival != "poisson" || p1.Mode != "load" {
+		t.Fatalf("identities wrong: %+v %+v", p1, p4)
+	}
+	if p4.ShedRate <= p1.ShedRate {
+		t.Errorf("4× load should shed more than 1×: %v vs %v", p4.ShedRate, p1.ShedRate)
+	}
+	if p4.ShedRate == 0 {
+		t.Error("4× overload never shed — admission gate not engaged")
+	}
+	for _, p := range points {
+		if p.P50TTFTMs <= 0 || p.P99TTFTMs < p.P95TTFTMs || p.P95TTFTMs < p.P50TTFTMs {
+			t.Errorf("TTFT percentiles inconsistent: %+v", p)
+		}
+		if p.TokensPerSec <= 0 {
+			t.Errorf("no throughput under load: %+v", p)
+		}
+	}
+
+	data, err := LoadPointsJSON(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mode", "arrival", "load_mult", "offered_rps",
+		"p50_ttft_ms", "p95_ttft_ms", "p99_ttft_ms", "tokens_per_sec", "shed_rate", "max_queue_depth"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("BENCH_load.json point missing %q: %v", key, decoded[0])
+		}
+	}
+}

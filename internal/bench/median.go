@@ -52,6 +52,39 @@ func MedianServePoints(runs [][]ServePoint) ([]ServePoint, error) {
 	return out, nil
 }
 
+// MedianLoadPoints merges N runs of the load experiment. OfferedRPS is
+// calibrated per run, so it takes the median like the measured metrics.
+func MedianLoadPoints(runs [][]LoadPoint) ([]LoadPoint, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bench: no runs to merge")
+	}
+	out := append([]LoadPoint(nil), runs[0]...)
+	for i := range out {
+		var rps, p50, p95, p99, tps, shed []float64
+		var depth []int64
+		for _, run := range runs {
+			if len(run) != len(out) || run[i].Arrival != out[i].Arrival || run[i].LoadMult != out[i].LoadMult {
+				return nil, fmt.Errorf("bench: load runs disagree on point %d", i)
+			}
+			rps = append(rps, run[i].OfferedRPS)
+			p50 = append(p50, run[i].P50TTFTMs)
+			p95 = append(p95, run[i].P95TTFTMs)
+			p99 = append(p99, run[i].P99TTFTMs)
+			tps = append(tps, run[i].TokensPerSec)
+			shed = append(shed, run[i].ShedRate)
+			depth = append(depth, run[i].MaxQueueDepth)
+		}
+		out[i].OfferedRPS = medianFloat64(rps)
+		out[i].P50TTFTMs = medianFloat64(p50)
+		out[i].P95TTFTMs = medianFloat64(p95)
+		out[i].P99TTFTMs = medianFloat64(p99)
+		out[i].TokensPerSec = medianFloat64(tps)
+		out[i].ShedRate = medianFloat64(shed)
+		out[i].MaxQueueDepth = medianInt64(depth)
+	}
+	return out, nil
+}
+
 // MedianDecodePoints merges N runs of the decode experiment.
 func MedianDecodePoints(runs [][]DecodePoint) ([]DecodePoint, error) {
 	if len(runs) == 0 {

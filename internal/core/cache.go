@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/evict"
+	"repro/internal/faultinject"
 	"repro/internal/kvcache"
 	"repro/internal/memory"
 	"repro/internal/mining"
@@ -124,6 +125,7 @@ type Stats struct {
 	ModulesSpilled    int // evictions that wrote states to the disk tier
 	DiskHits          int // module states read back from the disk tier
 	DiskLoadErrors    int // unreadable disk blobs (fell back to re-encode)
+	DiskRetries       int // transient blob-read failures recovered by backoff retry
 	TierAccountErrors int // tier bookkeeping failures; nonzero means occupancy counters drifted
 
 	MinedPromotions      int // hot prefixes promoted to anonymous modules (WithModuleMining)
@@ -173,6 +175,17 @@ type Cache struct {
 	// (WithModuleMining). It synchronizes itself and never calls back
 	// into the cache, so it may be used both under and outside mu.
 	miner *mining.Miner
+
+	// adm, when non-nil, bounds concurrent serving (WithAdmission):
+	// requests acquire a slot before any engine work and excess load is
+	// shed with ErrOverloaded. It synchronizes itself and never takes mu.
+	adm *admission
+
+	// inject, when non-nil, is the fault-injection hook layer
+	// (WithFaultInjection): the disk tier consults it before blob IO so
+	// tests drive slow-IO, corruption, ENOSPC and transient-error paths
+	// deterministically. Nil in production; Fire on nil is a no-op.
+	inject *faultinject.Injector
 
 	mu      sync.Mutex
 	schemas map[string]*schemaEntry
@@ -235,6 +248,14 @@ func WithDecodeScheduler(maxBatch int) Option {
 	return func(c *Cache) { c.sched = newScheduler(c.m, maxBatch) }
 }
 
+// WithFaultInjection installs a fault injector consulted by the disk
+// tier before blob reads and writes, so robustness tests drive the
+// degrade paths (retry, re-encode, spill fallthrough) deterministically.
+// Production caches run without one at zero cost.
+func WithFaultInjection(in *faultinject.Injector) Option {
+	return func(c *Cache) { c.inject = in }
+}
+
 // NewCache builds a Prompt Cache around a model.
 func NewCache(m *model.Model, opts ...Option) *Cache {
 	c := &Cache{
@@ -251,6 +272,11 @@ func NewCache(m *model.Model, opts ...Option) *Cache {
 	}
 	if c.policy == nil {
 		c.policy = evict.NewLRU()
+	}
+	// Option order must not matter: wire the injector into the disk tier
+	// after all options ran, whichever of the two came first.
+	if c.disk != nil {
+		c.disk.inject = c.inject
 	}
 	return c
 }

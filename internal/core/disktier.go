@@ -7,10 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/kvcache"
 	"repro/internal/memory"
 	"repro/internal/model"
@@ -65,7 +68,23 @@ type diskTier struct {
 	// snapshot, and a cache that failed to adopt them must not destroy
 	// them. Guarded by Cache.mu.
 	keepBlobs bool
+	// inject, when non-nil, is consulted before every blob read and
+	// write (WithFaultInjection); nil costs one pointer check.
+	inject *faultinject.Injector
 }
+
+// Fault-injection point names the disk tier plants on its blob IO.
+const (
+	// FaultPointDiskRead fires before each blob read: an ErrCorrupt
+	// injection classifies as blob corruption (delete + re-encode), any
+	// other error as transient IO (kept for retry), and a delay-only
+	// rule models slow disk.
+	FaultPointDiskRead = "disktier.read"
+	// FaultPointDiskWrite fires before each blob write: an injected
+	// error (ErrNoSpace for ENOSPC) fails the spill, which eviction
+	// degrades to a plain drop.
+	FaultPointDiskWrite = "disktier.write"
+)
 
 func newDiskTier(dir string, codec Codec) *diskTier {
 	return &diskTier{
@@ -85,6 +104,9 @@ func (d *diskTier) blobPath(hash string) string {
 // same hash is reused, so re-spilling unchanged states costs a hash, not
 // a write. Requires no lock (pure file IO on immutable content).
 func (d *diskTier) writeBlob(kv *kvcache.Cache, codec Codec) (diskEntry, error) {
+	if err := d.inject.Fire(FaultPointDiskWrite); err != nil {
+		return diskEntry{}, err
+	}
 	var buf bytes.Buffer
 	if _, err := quant.EncodeKV(&buf, kv, codec); err != nil {
 		return diskEntry{}, fmt.Errorf("core: encoding spill: %w", err)
@@ -113,6 +135,14 @@ func (d *diskTier) writeBlob(kv *kvcache.Cache, codec Codec) (diskEntry, error) 
 // failures (the file exists but its content is bad) wrap errCorruptBlob;
 // open errors pass through as plain IO errors.
 func (d *diskTier) readBlob(entry diskEntry) (*kvcache.Cache, error) {
+	if err := d.inject.Fire(FaultPointDiskRead); err != nil {
+		if errors.Is(err, faultinject.ErrCorrupt) {
+			// Injected corruption classifies exactly like a real decode
+			// failure: invalidate the blob, never retry it.
+			return nil, fmt.Errorf("%v: %w", err, errCorruptBlob)
+		}
+		return nil, err // transient: the durable file may be fine
+	}
 	f, err := os.Open(d.blobPath(entry.hash))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -129,6 +159,32 @@ func (d *diskTier) readBlob(entry diskEntry) (*kvcache.Cache, error) {
 		return nil, fmt.Errorf("%v: %w", err, errCorruptBlob)
 	}
 	return kv, nil
+}
+
+// diskReadAttempts bounds readBlobRetry: one read plus up to two
+// retries covers the transient-blip shape (EIO, a flaky mount) without
+// stalling a serve behind a persistently broken disk.
+const diskReadAttempts = 3
+
+// readBlobRetry is readBlob with bounded retries on transient errors:
+// exponential backoff (1ms, 2ms, ...) with uniform jitter between
+// attempts, never retrying proven corruption (the blob is bad, not
+// busy). It returns the retry count so the caller can account recovered
+// blips (Stats.DiskRetries). Off-lock only — it sleeps.
+func (d *diskTier) readBlobRetry(entry diskEntry) (kv *kvcache.Cache, retries int, err error) {
+	backoff := time.Millisecond
+	for attempt := 0; attempt < diskReadAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff + time.Duration(rand.Int64N(int64(backoff))))
+			backoff *= 2
+			retries++
+		}
+		kv, err = d.readBlob(entry)
+		if err == nil || errors.Is(err, errCorruptBlob) {
+			return kv, retries, err
+		}
+	}
+	return nil, retries, err
 }
 
 // spillLocked writes a module's states to the disk tier under key. When
@@ -542,6 +598,7 @@ func OpenDir(m *model.Model, dir string, opts ...Option) (*Cache, error) {
 	c := NewCache(m, opts...)
 	if c.disk == nil || c.disk.dir != dir {
 		c.disk = newDiskTier(dir, codec)
+		c.disk.inject = c.inject
 	}
 	if man.NLayers != m.Cfg.NLayers || man.KVDim != m.Cfg.KVDim() {
 		return nil, fmt.Errorf("%w: snapshot shaped (%d,%d), model needs (%d,%d)",
@@ -680,14 +737,17 @@ func (c *Cache) resolveDiskParts(plan *servePlan, schemaName string) error {
 		c.mu.Unlock()
 		var kv *kvcache.Cache
 		var loadErr error
+		var retries int
 		if !ok {
 			loadErr = fmt.Errorf("no blob entry: %w", errCorruptBlob)
 		} else {
-			// Off-lock read: the entry and blob file are immutable; a
-			// concurrent removal (schema drop) surfaces as a read error
-			// and degrades to re-encode below. Model shape is immutable
-			// too, so validation needs no lock either.
-			kv, loadErr = c.disk.readBlob(entry)
+			// Off-lock read (with transient-error retry + backoff — this
+			// is the only blob path that may sleep): the entry and blob
+			// file are immutable; a concurrent removal (schema drop)
+			// surfaces as a read error and degrades to re-encode below.
+			// Model shape is immutable too, so validation needs no lock
+			// either.
+			kv, retries, loadErr = c.disk.readBlobRetry(entry)
 			if loadErr == nil && (kv.NLayers != c.m.Cfg.NLayers || kv.KVDim != c.m.Cfg.KVDim()) {
 				loadErr = fmt.Errorf("core: disk blob %s shaped (%d,%d), model needs (%d,%d): %w",
 					key, kv.NLayers, kv.KVDim, c.m.Cfg.NLayers, c.m.Cfg.KVDim(), errCorruptBlob)
@@ -700,6 +760,7 @@ func (c *Cache) resolveDiskParts(plan *servePlan, schemaName string) error {
 			}
 		}
 		c.mu.Lock()
+		c.stats.DiskRetries += retries
 		part, err := c.installDiskPartLocked(schemaName, key, em, kv, loadErr)
 		if err == nil && part.em != nil {
 			plan.pinned = append(plan.pinned, part.em)

@@ -369,7 +369,7 @@ func (c *Cache) finishServe(ctx context.Context, plan *servePlan, kv kvcache.KV,
 	}
 	logits, err := c.m.PrefillCtx(ctx, newToks, newPos, kv)
 	if err != nil {
-		return nil, err
+		return nil, wrapDeadline(err)
 	}
 	c.mu.Lock()
 	c.stats.TokensReused += res.CachedTokens
@@ -695,7 +695,7 @@ func (c *Cache) BaselineServeParsed(ctx context.Context, prompt *pml.Prompt) (*S
 	kv := c.m.NewCache(len(toks) + 64)
 	logits, err := c.m.PrefillCtx(ctx, toks, pos, kv)
 	if err != nil {
-		return nil, err
+		return nil, wrapDeadline(err)
 	}
 	return &ServeResult{
 		KV:        kv,
@@ -710,10 +710,16 @@ func (c *Cache) BaselineServeParsed(ctx context.Context, prompt *pml.Prompt) (*S
 // scheduler (WithDecodeScheduler) the request decodes as one lane of the
 // shared fused batch, with identical output.
 func (c *Cache) Generate(ctx context.Context, res *ServeResult, opts model.GenerateOpts) ([]int, error) {
+	var (
+		ids []int
+		err error
+	)
 	if c.sched != nil {
-		return c.sched.Generate(ctx, res.KV, res.Logits, opts, nil)
+		ids, err = c.sched.Generate(ctx, res.KV, res.Logits, opts, nil)
+	} else {
+		ids, err = c.m.Generate(ctx, res.KV, res.Logits, opts)
 	}
-	return c.m.Generate(ctx, res.KV, res.Logits, opts)
+	return ids, wrapDeadline(err)
 }
 
 // Continue appends a follow-up user turn to an already-served session and
@@ -744,7 +750,7 @@ func (c *Cache) Continue(ctx context.Context, res *ServeResult, userText string)
 	logits, err := c.m.PrefillCtx(ctx, toks, pos, res.KV)
 	if err != nil {
 		res.KV.Truncate(mark)
-		return nil, err
+		return nil, wrapDeadline(err)
 	}
 	// Per-turn reuse accounting: everything already in the session's KV
 	// cache was reused; only this turn's text was computed. The pin set
@@ -769,10 +775,16 @@ func (c *Cache) Continue(ctx context.Context, res *ServeResult, userText string)
 // false) rather than block when their client stops reading.
 func (c *Cache) GenerateStream(ctx context.Context, res *ServeResult, opts model.GenerateOpts, emit func(text string) bool) ([]int, error) {
 	detok := func(tok int) bool { return emit(c.tok.Decode([]int{tok})) }
+	var (
+		ids []int
+		err error
+	)
 	if c.sched != nil {
-		return c.sched.Generate(ctx, res.KV, res.Logits, opts, detok)
+		ids, err = c.sched.Generate(ctx, res.KV, res.Logits, opts, detok)
+	} else {
+		ids, err = c.m.GenerateStream(ctx, res.KV, res.Logits, opts, detok)
 	}
-	return c.m.GenerateStream(ctx, res.KV, res.Logits, opts, detok)
+	return ids, wrapDeadline(err)
 }
 
 // GenerateText is Generate plus detokenization.

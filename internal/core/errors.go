@@ -26,4 +26,13 @@ var (
 	// malformed, truncated, or does not match the live model/schema
 	// (wrong magic, version, module roster, token counts, or shape).
 	ErrBadSnapshot = errors.New("core: bad snapshot")
+	// ErrOverloaded: admission control shed the request — the server is
+	// at capacity and the admission queue is full. Shed errors carry an
+	// *OverloadError with a computed retry-after estimate; transports map
+	// this to 429 + Retry-After.
+	ErrOverloaded = errors.New("core: server overloaded")
+	// ErrDeadline: a per-request deadline expired — while queued for
+	// admission or mid-serve/decode. Wraps context.DeadlineExceeded, so
+	// both errors.Is checks hold; transports map this to 504.
+	ErrDeadline = errors.New("core: deadline exceeded")
 )

@@ -58,6 +58,7 @@ type schedLane struct {
 	logits []float32 // next-token logits (serve result, then lane scratch)
 	opts   model.GenerateOpts
 	emit   func(tok int) bool // nil for non-streaming requests
+	class  SLOClass           // admission priority while queued
 
 	dl   *model.DecodeLane
 	pos  int
@@ -87,8 +88,12 @@ type Scheduler struct {
 	m        *model.Model
 	maxBatch int
 
-	mu      sync.Mutex
-	pending []*schedLane
+	mu sync.Mutex
+	// pending holds queued lanes per SLO class: the admission sweep
+	// drains interactive before batch, FIFO within a class — so batch
+	// backfill never starves a user-facing lane of a slot, and
+	// all-interactive traffic (the default) keeps the original order.
+	pending [numSLOClasses][]*schedLane
 	active  int // lanes inside the run loop (gauge; loop owns the slice)
 	running bool
 
@@ -107,6 +112,15 @@ func newScheduler(m *model.Model, maxBatch int) *Scheduler {
 	return &Scheduler{m: m, maxBatch: maxBatch, hist: make([]int64, maxBatch)}
 }
 
+// pendingLocked sums queued lanes across SLO classes. Callers hold s.mu.
+func (s *Scheduler) pendingLocked() int {
+	n := 0
+	for cl := range s.pending {
+		n += len(s.pending[cl])
+	}
+	return n
+}
+
 // Stats returns a snapshot of scheduler activity.
 func (s *Scheduler) Stats() SchedStats {
 	s.mu.Lock()
@@ -114,7 +128,7 @@ func (s *Scheduler) Stats() SchedStats {
 	return SchedStats{
 		Enabled:        true,
 		MaxBatch:       s.maxBatch,
-		QueueDepth:     len(s.pending),
+		QueueDepth:     s.pendingLocked(),
 		ActiveLanes:    s.active,
 		LanesJoined:    s.joined,
 		LanesRetired:   s.retired,
@@ -147,11 +161,12 @@ func (s *Scheduler) Generate(ctx context.Context, kv kvcache.KV, lastLogits []fl
 		logits: lastLogits,
 		opts:   opts,
 		emit:   emit,
+		class:  SLOFromContext(ctx),
 		pos:    kv.MaxPos(),
 		done:   make(chan struct{}),
 	}
 	s.mu.Lock()
-	s.pending = append(s.pending, ln)
+	s.pending[ln.class] = append(s.pending[ln.class], ln)
 	s.joined++
 	if !s.running {
 		s.running = true
@@ -183,20 +198,26 @@ func (s *Scheduler) run() {
 		// next iteration after their prefill finishes.
 		expired = expired[:0]
 		s.mu.Lock()
-		live := s.pending[:0]
-		for _, ln := range s.pending {
-			if ln.ctx.Err() != nil {
-				expired = append(expired, ln)
-				continue
+		for cl := range s.pending {
+			live := s.pending[cl][:0]
+			for _, ln := range s.pending[cl] {
+				if ln.ctx.Err() != nil {
+					expired = append(expired, ln)
+					continue
+				}
+				live = append(live, ln)
 			}
-			live = append(live, ln)
+			s.pending[cl] = live
 		}
-		s.pending = live
-		for len(active) < s.maxBatch && len(s.pending) > 0 {
-			ln := s.pending[0]
-			s.pending = s.pending[1:]
-			ln.dl = s.m.NewDecodeLane()
-			active = append(active, ln)
+		// Fill free slots interactive-first: batch lanes join only when
+		// no interactive lane is waiting (FIFO within each class).
+		for cl := range s.pending {
+			for len(active) < s.maxBatch && len(s.pending[cl]) > 0 {
+				ln := s.pending[cl][0]
+				s.pending[cl] = s.pending[cl][1:]
+				ln.dl = s.m.NewDecodeLane()
+				active = append(active, ln)
+			}
 		}
 		if len(active) == 0 {
 			// len(pending) is 0 too (admission above drained it), so the

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorNeverFires(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("anything"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if in.Fired("anything") != 0 || in.Calls("anything") != 0 {
+		t.Fatal("nil injector has counters")
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(1)
+	if err := in.Fire("disk.read"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if in.Calls("disk.read") != 0 {
+		t.Fatal("unarmed point counted a call")
+	}
+}
+
+func TestTimesCapsFiring(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Err: ErrTransient, Times: 2})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if err := in.Fire("p"); err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("wrong error: %v", err)
+			}
+			errs++
+		}
+	}
+	if errs != 2 || in.Fired("p") != 2 || in.Calls("p") != 5 {
+		t.Fatalf("errs=%d fired=%d calls=%d, want 2/2/5", errs, in.Fired("p"), in.Calls("p"))
+	}
+}
+
+func TestEveryNthCall(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Err: ErrCorrupt, Every: 3})
+	var pattern []bool
+	for i := 0; i < 6; i++ {
+		pattern = append(pattern, in.Fire("p") != nil)
+	}
+	want := []bool{false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("call %d: fired=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+func TestProbabilisticIsSeededDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := New(42)
+		in.Set("p", Rule{Err: ErrTransient, Prob: 0.5})
+		var out []bool
+		for i := 0; i < 32; i++ {
+			out = append(out, in.Fire("p") != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times — not probabilistic", fired, len(a))
+	}
+}
+
+func TestDelayOnlyRuleSleepsWithoutError(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Delay: 5 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("p"); err != nil {
+		t.Fatalf("delay-only rule errored: %v", err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("delay-only rule did not sleep")
+	}
+}
+
+func TestSetResetsCountersAndClearDisarms(t *testing.T) {
+	in := New(1)
+	in.Set("p", Rule{Err: ErrNoSpace})
+	_ = in.Fire("p")
+	in.Set("p", Rule{Err: ErrNoSpace, Times: 1})
+	if in.Fired("p") != 0 {
+		t.Fatal("Set did not reset counters")
+	}
+	in.Clear("p")
+	if err := in.Fire("p"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+}

@@ -81,11 +81,16 @@ func DefaultConfig() *Config {
 			{Func: core + ".Cache.acquireModuleLocked", OwnErrorExempt: true},
 			// Pins recorded in plan.pinned; the caller unpins on error.
 			{Func: core + ".Cache.resolveDiskParts"},
+			// An admission slot is a pin on serving capacity: leaking one
+			// on an error path shrinks MaxConcurrent forever. Admit's own
+			// shed/deadline error holds no slot.
+			{Func: core + ".Cache.Admit", OwnErrorExempt: true},
 		},
 		Releases: []string{
 			core + ".Cache.unpinModules",
 			core + ".pinSet.release",
 			core + ".ServeResult.Close",
+			core + ".Cache.AdmitRelease",
 		},
 		PinField: core + ".EncodedModule.pins",
 

@@ -160,6 +160,17 @@ func TestPinbalanceFixture(t *testing.T) {
 	}, "pinbalance", 1)
 }
 
+// TestAdmissionFixture proves pinbalance generalizes to admission
+// slots: Admit/AdmitRelease are an acquire/release pair like module
+// pins, with the shed/deadline error own-error-exempt.
+func TestAdmissionFixture(t *testing.T) {
+	checkFixture(t, "admission", &Config{
+		Acquires: []AcquireSpec{{Func: "fix/admission.Gate.admit", OwnErrorExempt: true}},
+		Releases: []string{"fix/admission.Gate.admitRelease"},
+		PinField: "fix/admission.Gate.inflight",
+	}, "pinbalance", 1)
+}
+
 func TestMaporderFixture(t *testing.T) {
 	checkFixture(t, "maporder", &Config{
 		OrderRoots: []string{"fix/maporder.Engine.Emit"},
@@ -176,7 +187,7 @@ func TestCtxplumbFixture(t *testing.T) {
 func TestErrtaxonomyFixture(t *testing.T) {
 	checkFixture(t, "errtaxonomy", &Config{
 		ErrPackages: []string{"fix/errtaxonomy"},
-	}, "errtaxonomy", 1)
+	}, "errtaxonomy", 2)
 }
 
 // TestMalformedIgnoreDirectives: an ignore naming an unknown analyzer

@@ -1,0 +1,65 @@
+// Package admitfix seeds pinbalance violations in admission-control
+// shape: an admitted slot (Admit/AdmitRelease) is a pin on serving
+// capacity — an error return between admit and release leaks the slot
+// and permanently shrinks MaxConcurrent. The acquire's own error
+// (a shed or an expired deadline) holds no slot and is exempt.
+package admitfix
+
+import "errors"
+
+type Gate struct{ inflight int }
+
+var errOverloaded = errors.New("overloaded: queue full")
+
+func (g *Gate) admit() error {
+	if g.inflight >= 4 {
+		return errOverloaded
+	}
+	g.inflight++
+	return nil
+}
+
+func (g *Gate) admitRelease() { g.inflight-- }
+
+func (g *Gate) leakySlot(work func() error) error {
+	if err := g.admit(); err != nil {
+		return err // admit's own shed: no slot held, exempt
+	}
+	if err := work(); err != nil {
+		return err // want pinbalance
+	}
+	g.admitRelease()
+	return nil
+}
+
+func (g *Gate) balancedSlot(work func() error) error {
+	if err := g.admit(); err != nil {
+		return err
+	}
+	defer g.admitRelease()
+	return work()
+}
+
+func (g *Gate) inlineRelease(work func() error) error {
+	if err := g.admit(); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		g.admitRelease()
+		return err
+	}
+	g.admitRelease()
+	return nil
+}
+
+func (g *Gate) suppressedSlot(work func() error) error {
+	if err := g.admit(); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		//pclint:ignore pinbalance fixture: the caller's done() closure owns this slot and releases it
+		return err
+	}
+	g.admitRelease()
+	return nil
+}

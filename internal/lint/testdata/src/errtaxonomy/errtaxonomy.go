@@ -25,3 +25,18 @@ func validate(n int) error {
 	//pclint:ignore errtaxonomy fixture: internal invariant guard, 500 is the honest status
 	return fmt.Errorf("odd state %d", n)
 }
+
+// ErrOverloaded models the admission sentinel: sheds must be born
+// wrapping it, or transports cannot map them to 429 via errors.Is.
+var ErrOverloaded = errors.New("overloaded")
+
+func shed(depth int) error {
+	if depth > 8 {
+		return errors.New("queue full") // want errtaxonomy
+	}
+	if depth > 4 {
+		//pclint:ignore errtaxonomy fixture: operator log line, never crosses the API boundary
+		return fmt.Errorf("queue filling at depth %d", depth)
+	}
+	return fmt.Errorf("%w: queue full at depth %d", ErrOverloaded, depth)
+}

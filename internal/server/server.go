@@ -115,6 +115,14 @@ func statusFor(err error) int {
 		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, promptcache.ErrCapacity):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, promptcache.ErrOverloaded):
+		// Admission shed the request; writeErr attaches the Retry-After
+		// estimate the error chain carries.
+		return http.StatusTooManyRequests
+	case errors.Is(err, promptcache.ErrDeadline):
+		// Checked before the bare context case: a configured per-request
+		// deadline also satisfies context.DeadlineExceeded.
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, context.DeadlineExceeded):
@@ -166,6 +174,11 @@ type CompleteRequest struct {
 	MaxTokens int    `json:"max_tokens"`
 	// Baseline disables attention reuse (full prefill), for comparisons.
 	Baseline bool `json:"baseline"`
+	// SLO selects the request's latency class: "interactive" (the
+	// default, also for "") or "batch". Under admission control and the
+	// decode scheduler, interactive traffic is admitted and decoded
+	// ahead of batch backfill.
+	SLO string `json:"slo,omitempty"`
 }
 
 // CompleteResponse carries the generation and reuse statistics.
@@ -194,10 +207,16 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	slo, err := promptcache.ParseSLOClass(req.SLO)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
 	resp, err := s.client.Infer(r.Context(), promptcache.Request{
 		Prompt:    req.Prompt,
 		Baseline:  req.Baseline,
 		MaxTokens: req.MaxTokens,
+		SLO:       slo,
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
@@ -259,11 +278,19 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			send(map[string]string{"token": text})
 		}
 	}()
+	slo, err := promptcache.ParseSLOClass(req.SLO)
+	if err != nil {
+		close(tokens)
+		<-writerDone
+		writeErr(w, statusFor(err), err)
+		return
+	}
 	fused := s.client.SchedulerEnabled()
 	resp, err := s.client.Infer(r.Context(), promptcache.Request{
 		Prompt:    req.Prompt,
 		Baseline:  req.Baseline,
 		MaxTokens: req.MaxTokens,
+		SLO:       slo,
 		Stream: func(text string) bool {
 			// Drop the lane the moment the client disconnects.
 			if r.Context().Err() != nil {
@@ -598,6 +625,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"modules_spilled":     st.ModulesSpilled,
 			"disk_hits":           st.DiskHits,
 			"disk_load_errors":    st.DiskLoadErrors,
+			"disk_retries":        st.DiskRetries,
 			"tier_account_errors": st.TierAccountErrors,
 		},
 	}
@@ -616,6 +644,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"hits":             ms.Hits,
 			"hit_tokens_saved": ms.HitTokens,
 			"snapshot_skipped": ms.SnapshotSkipped,
+		}
+	}
+	if as := s.client.AdmissionStats(); as.Enabled {
+		// Admission-control observability: the configured bounds, live
+		// occupancy, per-class admit/shed/cancel accounting, and the
+		// Retry-After a shed request would be told right now.
+		body["admission"] = map[string]any{
+			"max_concurrent": as.MaxConcurrent,
+			"max_queue":      as.MaxQueue,
+			"inflight":       as.Inflight,
+			"queue_depth":    as.QueueDepth,
+			"retry_after_ms": float64(as.RetryAfterEstimate) / float64(time.Millisecond),
+			"interactive":    admissionClassBody(as.Interactive),
+			"batch":          admissionClassBody(as.Batch),
 		}
 	}
 	if ss := s.client.SchedulerStats(); ss.Enabled {
@@ -652,6 +694,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+func admissionClassBody(cs promptcache.AdmissionClassStats) map[string]any {
+	return map[string]any{
+		"admitted":    cs.Admitted,
+		"shed":        cs.Shed,
+		"canceled":    cs.Canceled,
+		"completed":   cs.Completed,
+		"queue_depth": cs.QueueDepth,
+	}
+}
+
 func writeErr(w http.ResponseWriter, status int, err error) {
+	// A shed request's error chain carries the engine's Retry-After
+	// estimate; surface it as the standard header, rounded up to whole
+	// seconds (never 0 — "retry immediately" would defeat the shed).
+	if d, ok := promptcache.RetryAfterHint(err); ok {
+		secs := int64((d + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

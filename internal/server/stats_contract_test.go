@@ -74,6 +74,7 @@ var statsTopContract = map[string]string{
 	"tiers":            "object",
 	"scheduler":        "object",
 	"mining":           "object",
+	"admission":        "object",
 }
 
 var statsTiersContract = map[string]string{
@@ -86,6 +87,7 @@ var statsTiersContract = map[string]string{
 	"modules_spilled":     "number",
 	"disk_hits":           "number",
 	"disk_load_errors":    "number",
+	"disk_retries":        "number",
 	"tier_account_errors": "number",
 }
 
@@ -100,6 +102,24 @@ var statsSchedulerContract = map[string]string{
 	"tokens_decoded":  "number",
 	"batch_hist":      "array",
 	"tokens_per_sec":  "number",
+}
+
+var statsAdmissionContract = map[string]string{
+	"max_concurrent": "number",
+	"max_queue":      "number",
+	"inflight":       "number",
+	"queue_depth":    "number",
+	"retry_after_ms": "number",
+	"interactive":    "object",
+	"batch":          "object",
+}
+
+var statsAdmissionClassContract = map[string]string{
+	"admitted":    "number",
+	"shed":        "number",
+	"canceled":    "number",
+	"completed":   "number",
+	"queue_depth": "number",
 }
 
 var statsMiningContract = map[string]string{
@@ -126,6 +146,7 @@ func TestStatsContractGolden(t *testing.T) {
 		promptcache.WithDecodeScheduler(4),
 		promptcache.WithDiskTier(t.TempDir(), promptcache.CodecFP32),
 		promptcache.WithModuleMining(promptcache.MiningOpts{MinHits: 2, MinTokens: 4}),
+		promptcache.WithAdmission(promptcache.AdmissionConfig{}),
 	)
 	s := New(client)
 	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
@@ -150,6 +171,14 @@ func TestStatsContractGolden(t *testing.T) {
 	}
 	if mining, ok := out["mining"].(map[string]any); ok {
 		checkBlock(t, "mining", mining, statsMiningContract)
+	}
+	if adm, ok := out["admission"].(map[string]any); ok {
+		checkBlock(t, "admission", adm, statsAdmissionContract)
+		for _, class := range []string{"interactive", "batch"} {
+			if cls, ok := adm[class].(map[string]any); ok {
+				checkBlock(t, "admission."+class, cls, statsAdmissionClassContract)
+			}
+		}
 	}
 }
 

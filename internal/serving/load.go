@@ -1,0 +1,186 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/promptcache"
+)
+
+// ReplayLoad is the bridge from the analytic trace machinery to a real
+// server: it offers prompts to an in-process promptcache.Client on an
+// open-loop arrival schedule (arrivals do not wait for completions — an
+// overloaded server sees the full offered rate, exactly the regime
+// admission control exists for) and reports tail latency and shedding.
+
+// LoadOpts configures one ReplayLoad run.
+type LoadOpts struct {
+	// MaxTokens bounds each request's decode (default 4: enough that
+	// TTFT and decode throughput are both exercised, short enough that
+	// slots turn over quickly).
+	MaxTokens int
+	// SLO classifies every offered request (default interactive).
+	SLO promptcache.SLOClass
+	// QueueSampleEvery sets the admission queue-depth sampling period
+	// (default 1ms). Sampling needs AdmissionEnabled on the client;
+	// otherwise MaxQueueDepth stays 0.
+	QueueSampleEvery time.Duration
+}
+
+// LoadStats is the measured outcome of one ReplayLoad run.
+type LoadStats struct {
+	// Offered = Completed + Shed + Failed, always — every request is
+	// accounted exactly once.
+	Offered   int
+	Completed int
+	// Shed counts admission rejections (errors.Is ErrOverloaded).
+	Shed int
+	// Failed counts any other error — zero in a healthy run.
+	Failed int
+	// TTFT percentiles over completed requests, measured from the
+	// request's dispatch (its arrival offset) to its first sampled
+	// token — queueing delay included, which is the point.
+	P50TTFT, P95TTFT, P99TTFT time.Duration
+	// TokensOut is the total decoded tokens; TokensPerSec divides it by
+	// the wall-clock Duration of the whole replay.
+	TokensOut    int
+	TokensPerSec float64
+	Duration     time.Duration
+	// ShedRate = Shed / Offered.
+	ShedRate float64
+	// MaxQueueDepth is the deepest admission queue observed during the
+	// run: the periodic sampler's maximum, folded with the depth each
+	// shed's OverloadError reports (a shed only happens against a full
+	// queue, so overloaded runs record the depth even when a busy CPU
+	// starves the sampler).
+	MaxQueueDepth int
+}
+
+// ReplayLoad offers prompts[i] at start+arrivals[i] and waits for every
+// request to finish (admitted requests run to completion; shed ones
+// return immediately). Arrivals must be non-decreasing — as produced by
+// GenerateArrivals. The client should have admission enabled; without
+// it an overloaded replay piles up unboundedly instead of shedding.
+func ReplayLoad(ctx context.Context, client *promptcache.Client, prompts []string, arrivals []time.Duration, opts LoadOpts) (LoadStats, error) {
+	if len(prompts) == 0 {
+		return LoadStats{}, fmt.Errorf("serving: load replay needs prompts")
+	}
+	if len(prompts) != len(arrivals) {
+		return LoadStats{}, fmt.Errorf("serving: %d prompts but %d arrivals", len(prompts), len(arrivals))
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			return LoadStats{}, fmt.Errorf("serving: arrivals must be non-decreasing (offset %d)", i)
+		}
+	}
+	maxTokens := opts.MaxTokens
+	if maxTokens <= 0 {
+		maxTokens = 4
+	}
+	sampleEvery := opts.QueueSampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = time.Millisecond
+	}
+
+	// Queue-depth sampler: the queue only exists while the run is
+	// overloaded, so poll it for the run's duration and keep the max.
+	var (
+		samplerDone = make(chan struct{})
+		samplerStop = make(chan struct{})
+		maxQueue    int
+	)
+	go func() {
+		defer close(samplerDone)
+		ticker := time.NewTicker(sampleEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				return
+			case <-ticker.C:
+				if d := client.AdmissionStats().QueueDepth; d > maxQueue {
+					maxQueue = d
+				}
+			}
+		}
+	}()
+
+	type outcome struct {
+		ttft   time.Duration
+		tokens int
+		err    error
+	}
+	outcomes := make([]outcome, len(prompts))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range prompts {
+		// Open loop: pace by the schedule, never by completions.
+		if d := time.Until(start.Add(arrivals[i])); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			dispatched := time.Now()
+			var firstTok time.Time
+			resp, err := client.Infer(ctx, promptcache.Request{
+				Prompt:    prompts[i],
+				MaxTokens: maxTokens,
+				SLO:       opts.SLO,
+				Stream: func(string) bool {
+					if firstTok.IsZero() {
+						firstTok = time.Now()
+					}
+					return true
+				},
+			})
+			o := outcome{err: err}
+			if err == nil {
+				o.tokens = len(resp.Tokens)
+				if firstTok.IsZero() {
+					firstTok = time.Now() // no decode: count completion as first token
+				}
+				o.ttft = firstTok.Sub(dispatched)
+			}
+			outcomes[i] = o
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(samplerStop)
+	<-samplerDone
+
+	st := LoadStats{Offered: len(prompts), Duration: elapsed, MaxQueueDepth: maxQueue}
+	ttfts := make([]time.Duration, 0, len(prompts))
+	for _, o := range outcomes {
+		switch {
+		case o.err == nil:
+			st.Completed++
+			st.TokensOut += o.tokens
+			ttfts = append(ttfts, o.ttft)
+		case errors.Is(o.err, promptcache.ErrOverloaded):
+			st.Shed++
+			var oe *promptcache.OverloadError
+			if errors.As(o.err, &oe) && oe.QueueDepth > st.MaxQueueDepth {
+				st.MaxQueueDepth = oe.QueueDepth
+			}
+		default:
+			st.Failed++
+		}
+	}
+	st.ShedRate = float64(st.Shed) / float64(st.Offered)
+	if elapsed > 0 {
+		st.TokensPerSec = float64(st.TokensOut) / elapsed.Seconds()
+	}
+	if len(ttfts) > 0 {
+		sort.Slice(ttfts, func(i, j int) bool { return ttfts[i] < ttfts[j] })
+		st.P50TTFT = ttfts[len(ttfts)/2]
+		st.P95TTFT = ttfts[len(ttfts)*95/100]
+		st.P99TTFT = ttfts[len(ttfts)*99/100]
+	}
+	return st, nil
+}

@@ -1,0 +1,224 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/promptcache"
+)
+
+func TestGenerateArrivalsDeterministicAndSorted(t *testing.T) {
+	for _, dist := range ArrivalDists {
+		a, err := GenerateArrivals(dist, 500, 200, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		b, err := GenerateArrivals(dist, 500, 200, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", dist, err)
+		}
+		if len(a) != 500 {
+			t.Fatalf("%s: got %d arrivals", dist, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at %d: %v vs %v", dist, i, a[i], b[i])
+			}
+			if a[i] < 0 || (i > 0 && a[i] < a[i-1]) {
+				t.Fatalf("%s: arrivals not non-decreasing at %d: %v", dist, i, a[:i+1])
+			}
+		}
+	}
+}
+
+// TestGenerateArrivalsMeanRate: every distribution must offer the same
+// long-run rate — burstiness reshapes variance, not load.
+func TestGenerateArrivalsMeanRate(t *testing.T) {
+	const n, rate = 4000, 100.0
+	want := float64(n) / rate // seconds
+	for _, dist := range ArrivalDists {
+		a, err := GenerateArrivals(dist, n, rate, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := a[n-1].Seconds()
+		if math.Abs(got-want)/want > 0.25 {
+			t.Errorf("%s: %d arrivals at %g/s span %.1fs, want ~%.1fs", dist, n, rate, got, want)
+		}
+	}
+}
+
+// TestGenerateArrivalsBurstiness orders the distributions by
+// inter-arrival coefficient of variation: uniform (0) < poisson (~1) <
+// bursty — the property that makes the bursty schedule an overload
+// stressor at the same mean rate.
+func TestGenerateArrivalsBurstiness(t *testing.T) {
+	cv := func(dist string) float64 {
+		a, err := GenerateArrivals(dist, 4000, 100, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := make([]float64, len(a)-1)
+		var mean float64
+		for i := 1; i < len(a); i++ {
+			gaps[i-1] = (a[i] - a[i-1]).Seconds()
+			mean += gaps[i-1]
+		}
+		mean /= float64(len(gaps))
+		var varsum float64
+		for _, g := range gaps {
+			varsum += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(varsum/float64(len(gaps))) / mean
+	}
+	u, p, b := cv(ArrivalUniform), cv(ArrivalPoisson), cv(ArrivalBursty)
+	if u > 0.01 {
+		t.Errorf("uniform arrivals should have ~0 CV, got %.3f", u)
+	}
+	if p < 0.8 || p > 1.2 {
+		t.Errorf("poisson CV should be ~1, got %.3f", p)
+	}
+	if b <= p*1.2 {
+		t.Errorf("bursty CV (%.3f) should clearly exceed poisson (%.3f)", b, p)
+	}
+}
+
+func TestGenerateArrivalsRejectsBadArgs(t *testing.T) {
+	if _, err := GenerateArrivals("zipf", 10, 1, 0); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := GenerateArrivals(ArrivalPoisson, 0, 1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GenerateArrivals(ArrivalPoisson, 10, 0, 0); err == nil {
+		t.Error("rate=0 accepted")
+	}
+}
+
+// TestAssignArrivalsRoundTrip: arrival offsets stamped onto a trace
+// survive the JSONL round trip, so a load schedule can be checked in
+// and replayed bit-identically.
+func TestAssignArrivalsRoundTrip(t *testing.T) {
+	trace := []Request{{Modules: []string{"a"}, Suffix: 8}, {Modules: []string{"b"}, Suffix: 9}}
+	arrivals, err := GenerateArrivals(ArrivalPoisson, len(trace), 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignArrivals(trace, arrivals); err != nil {
+		t.Fatal(err)
+	}
+	if err := AssignArrivals(trace, arrivals[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace {
+		if got[i].ArrivalMS != trace[i].ArrivalMS {
+			t.Fatalf("arrival %d lost in round trip: %v vs %v", i, got[i].ArrivalMS, trace[i].ArrivalMS)
+		}
+		if got[i].ArrivalMS != float64(arrivals[i])/float64(time.Millisecond) {
+			t.Fatalf("arrival %d mis-stamped: %v", i, got[i].ArrivalMS)
+		}
+	}
+}
+
+const loadSchema = `<schema name="load"><module name="doc">harbor archive council garden bridge records visitors seasonal trade history</module></schema>`
+
+func newLoadClient(t *testing.T, slots, queue int) *promptcache.Client {
+	t.Helper()
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := promptcache.New(m, promptcache.WithAdmission(promptcache.AdmissionConfig{
+		MaxConcurrent: slots, MaxQueue: queue,
+	}))
+	if _, err := client.RegisterSchema(loadSchema); err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+// TestReplayLoadOverloadSheds: an open-loop burst far beyond capacity
+// must shed (never fail) and account every request exactly once. The
+// decode is long enough (64 tokens, tens of milliseconds) that the
+// whole burst is in flight while the first request still holds the
+// only slot — shedding is guaranteed, not a scheduling race.
+func TestReplayLoadOverloadSheds(t *testing.T) {
+	client := newLoadClient(t, 1, 1)
+	const n = 24
+	prompts := make([]string, n)
+	for i := range prompts {
+		prompts[i] = `<prompt schema="load"><doc/>Summarize the town records.</prompt>`
+	}
+	arrivals := make([]time.Duration, n) // all at t=0: a maximal burst
+	st, err := ReplayLoad(context.Background(), client, prompts, arrivals, LoadOpts{MaxTokens: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed+st.Shed+st.Failed != st.Offered {
+		t.Fatalf("requests not reconciled: %+v", st)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("overload must shed, not fail: %+v", st)
+	}
+	if st.Shed == 0 || st.ShedRate <= 0 {
+		t.Fatalf("a %d-wide burst into 1 slot + 1 queue never shed: %+v", n, st)
+	}
+	if st.Completed == 0 {
+		t.Fatalf("shedding collapsed into serving nothing: %+v", st)
+	}
+	if st.P50TTFT <= 0 || st.P99TTFT < st.P50TTFT || st.P95TTFT > st.P99TTFT {
+		t.Fatalf("TTFT percentiles inconsistent: %+v", st)
+	}
+	if st.TokensOut == 0 || st.TokensPerSec <= 0 {
+		t.Fatalf("no decode throughput recorded: %+v", st)
+	}
+	// The single queue seat is held for a full multi-millisecond serve,
+	// so the 1ms sampler must observe it occupied at least once.
+	if st.MaxQueueDepth < 1 {
+		t.Fatalf("queue never observed occupied during overload: %+v", st)
+	}
+}
+
+// TestReplayLoadUnderCapacityNoSheds: the same burst within admission
+// bounds completes everything.
+func TestReplayLoadUnderCapacityNoSheds(t *testing.T) {
+	client := newLoadClient(t, 8, 8)
+	const n = 6
+	prompts := make([]string, n)
+	for i := range prompts {
+		prompts[i] = `<prompt schema="load"><doc/>List the seasonal visitors.</prompt>`
+	}
+	st, err := ReplayLoad(context.Background(), client, prompts, make([]time.Duration, n), LoadOpts{MaxTokens: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed != 0 || st.Failed != 0 || st.Completed != n {
+		t.Fatalf("under-capacity burst did not complete cleanly: %+v", st)
+	}
+}
+
+func TestReplayLoadRejectsBadInput(t *testing.T) {
+	client := newLoadClient(t, 1, 1)
+	if _, err := ReplayLoad(context.Background(), client, nil, nil, LoadOpts{}); err == nil {
+		t.Error("empty replay accepted")
+	}
+	if _, err := ReplayLoad(context.Background(), client, []string{"a", "b"}, []time.Duration{0}, LoadOpts{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ReplayLoad(context.Background(), client, []string{"a", "b"}, []time.Duration{time.Second, 0}, LoadOpts{}); err == nil {
+		t.Error("unsorted arrivals accepted")
+	}
+}

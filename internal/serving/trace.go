@@ -25,6 +25,12 @@ type Request struct {
 	// what MineTrace needs to discover undeclared shared prefixes.
 	// Legacy traces without it replay normally but cannot be mined.
 	SuffixToks []int `json:"suffix_toks,omitempty"`
+	// ArrivalMS, when present, is the request's arrival offset in
+	// milliseconds since replay start (see GenerateArrivals /
+	// AssignArrivals). The analytic RunTrace ignores it; the real-server
+	// load harness (ReplayLoad) paces dispatch by it. Legacy traces
+	// without it replay back-to-back.
+	ArrivalMS float64 `json:"arrival_ms,omitempty"`
 }
 
 // GenerateTrace materializes cfg's Zipf stream as an explicit trace.

@@ -37,6 +37,14 @@ type BatchResponse struct {
 // worker bound. Cancelling ctx aborts between (and inside) per-prompt
 // prefills and decode steps.
 func (c *Client) InferBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	// A batch occupies one admission slot as a unit — it is one caller's
+	// bulk request, not N independent arrivals — and it always rides the
+	// batch lane: interactive traffic is admitted and decoded ahead of it.
+	ctx, done, err := c.admit(ctx, SLOBatch)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	results, stats, err := c.cache.ServeBatch(ctx, req.Prompts, core.ServeOpts{
 		DisableScaffolds: req.DisableScaffolds,
 		BatchWorkers:     req.Workers,

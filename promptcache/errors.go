@@ -27,6 +27,15 @@ var (
 	// ErrBadSnapshot: a warm-restart snapshot or disk manifest is
 	// malformed or does not match the live model/schema.
 	ErrBadSnapshot = core.ErrBadSnapshot
+	// ErrOverloaded: admission control shed the request — the server is
+	// at capacity with a full queue. The chain carries an *OverloadError
+	// whose Retry-After estimate RetryAfterHint recovers; transports map
+	// this to 429.
+	ErrOverloaded = core.ErrOverloaded
+	// ErrDeadline: the request's deadline expired while queued or
+	// mid-flight; also satisfies errors.Is(err,
+	// context.DeadlineExceeded). Transports map this to 504.
+	ErrDeadline = core.ErrDeadline
 	// ErrSessionClosed: a Send or Close on an already-closed Session.
 	ErrSessionClosed = errors.New("promptcache: session closed")
 )

@@ -86,6 +86,41 @@ type MiningOpts = core.MiningOpts
 // bit-exact: a mined hit changes latency, never output.
 func WithModuleMining(opts MiningOpts) Option { return core.WithModuleMining(opts) }
 
+// SLOClass classifies a request's latency objective — SLOInteractive
+// (the default) or SLOBatch — steering both admission-queue and
+// decode-scheduler priority. An alias of the engine's type, like Option.
+type SLOClass = core.SLOClass
+
+// The SLO classes: interactive traffic is admitted and scheduled ahead
+// of batch backfill.
+const (
+	SLOInteractive = core.SLOInteractive
+	SLOBatch       = core.SLOBatch
+)
+
+// ParseSLOClass maps a wire name ("interactive", "batch", or "" for the
+// interactive default) to its SLOClass.
+func ParseSLOClass(s string) (SLOClass, error) { return core.ParseSLOClass(s) }
+
+// AdmissionConfig bounds concurrent serving for WithAdmission: slot
+// count, queue depth, and optional per-class deadlines.
+type AdmissionConfig = core.AdmissionConfig
+
+// Default admission bounds used when AdmissionConfig fields are
+// non-positive.
+const (
+	DefaultAdmitConcurrent = core.DefaultAdmitConcurrent
+	DefaultAdmitQueue      = core.DefaultAdmitQueue
+)
+
+// WithAdmission enables SLO-aware admission control: at most
+// cfg.MaxConcurrent requests serve at once, cfg.MaxQueue more wait
+// (interactive ahead of batch), and arrivals beyond both are shed
+// immediately with ErrOverloaded carrying a Retry-After estimate —
+// graceful load shedding instead of collapse. Per-class deadlines, when
+// set, bound each request end to end; expiry surfaces as ErrDeadline.
+func WithAdmission(cfg AdmissionConfig) Option { return core.WithAdmission(cfg) }
+
 // WithDecodeScheduler enables continuous-batching decode: concurrent
 // generations through this Client — Infer, Session.Send, streaming
 // requests, batch members — fuse into shared model steps, so N active

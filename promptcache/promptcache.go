@@ -63,6 +63,8 @@ package promptcache
 
 import (
 	"context"
+	"errors"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -184,15 +186,74 @@ func (c *Client) MiningStatsSnapshot() MiningStats { return c.cache.MiningStats(
 // (WithModuleMining).
 func (c *Client) MiningEnabled() bool { return c.cache.MiningEnabled() }
 
-// Infer runs one inference request end to end: serve the prompt (cached
-// reuse or full-prefill baseline), then generate unless the request is
-// prefill-only. Cancelling ctx aborts mid-prefill or between decode
-// steps; the error then satisfies errors.Is(err, context.Canceled) (or
-// DeadlineExceeded).
+// AdmissionStats is a snapshot of admission-control activity: inflight
+// and queue gauges, per-class admit/shed/cancel histograms, and the
+// current Retry-After estimate. An alias of the engine's type, like
+// SchedStats.
+type AdmissionStats = core.AdmissionStats
+
+// AdmissionClassStats is one SLO class's slice of admission activity.
+type AdmissionClassStats = core.AdmissionClassStats
+
+// OverloadError is the typed payload of a shed request, carrying the
+// computed Retry-After estimate; recover it with errors.As or
+// RetryAfterHint.
+type OverloadError = core.OverloadError
+
+// AdmissionStats returns a snapshot of admission-control activity.
+// Without WithAdmission it returns the zero snapshot (Enabled false).
+func (c *Client) AdmissionStats() AdmissionStats { return c.cache.AdmissionStats() }
+
+// AdmissionEnabled reports whether this client admission-controls its
+// requests (WithAdmission).
+func (c *Client) AdmissionEnabled() bool { return c.cache.AdmissionEnabled() }
+
+// RetryAfterHint recovers the Retry-After estimate from a shed
+// request's error chain: how long the caller should back off before
+// retrying. ok is false when err is not an overload.
+func RetryAfterHint(err error) (d time.Duration, ok bool) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter, true
+	}
+	return 0, false
+}
+
+// admit acquires an admission slot (and the class deadline) for one
+// request, returning the possibly-deadline-bound, SLO-tagged context
+// plus the cleanup that releases both. The slot spans the whole request
+// — queueing, prefill and decode — so MaxConcurrent bounds true
+// end-to-end concurrency. On error nothing is held and done must not
+// be called.
+func (c *Client) admit(ctx context.Context, class SLOClass) (context.Context, func(), error) {
+	ctx, cancel := c.cache.AdmissionContext(ctx, class)
+	if err := c.cache.Admit(ctx, class); err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	done := func() {
+		c.cache.AdmitRelease(class)
+		cancel()
+	}
+	return core.WithSLOClass(ctx, class), done, nil
+}
+
+// Infer runs one inference request end to end: admission (under
+// WithAdmission: a slot, the class deadline, possibly a shed), then
+// serve the prompt (cached reuse or full-prefill baseline), then
+// generate unless the request is prefill-only. Cancelling ctx aborts
+// mid-prefill or between decode steps; the error then satisfies
+// errors.Is(err, context.Canceled) (or DeadlineExceeded, which also
+// carries ErrDeadline when a configured per-request deadline expired).
 func (c *Client) Infer(ctx context.Context, req Request) (*Response, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	ctx, done, err := c.admit(ctx, req.SLO)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	res, err := c.serve(ctx, req)
 	if err != nil {
 		return nil, err

@@ -28,6 +28,12 @@ type Request struct {
 	// This is the TTFT-measurement mode.
 	PrefillOnly bool
 
+	// SLO classifies the request's latency objective: SLOInteractive
+	// (the zero value) is admitted and decode-scheduled ahead of
+	// SLOBatch backfill. Only meaningful under WithAdmission and/or
+	// WithDecodeScheduler; ignored otherwise.
+	SLO SLOClass
+
 	// MaxTokens bounds generation (default 32).
 	MaxTokens int
 	// Sampler selects next tokens (default greedy, as in the paper §5.3).

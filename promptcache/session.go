@@ -35,6 +35,14 @@ func (c *Client) NewSession(ctx context.Context, req Request) (*Session, *Respon
 	if err := req.validate(); err != nil {
 		return nil, nil, err
 	}
+	// The admission slot covers serve plus the first reply; each later
+	// Send admits its own turn. An idle session holds KV state but no
+	// slot, so parked conversations don't starve admission.
+	ctx, done, err := c.admit(ctx, req.SLO)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer done()
 	res, err := c.serve(ctx, req)
 	if err != nil {
 		return nil, nil, err
@@ -45,8 +53,9 @@ func (c *Client) NewSession(ctx context.Context, req Request) (*Session, *Respon
 		return nil, nil, err
 	}
 	// Only generation settings persist: a Stream sink belongs to the
-	// turn that supplied it, not to every future turn.
-	defaults := Request{MaxTokens: req.MaxTokens, Sampler: req.Sampler, StopToken: req.StopToken}
+	// turn that supplied it, not to every future turn. The SLO class
+	// persists too — a batch conversation stays batch.
+	defaults := Request{MaxTokens: req.MaxTokens, Sampler: req.Sampler, StopToken: req.StopToken, SLO: req.SLO}
 	return &Session{client: c, defaults: defaults, res: res}, resp, nil
 }
 
@@ -60,14 +69,21 @@ func (s *Session) Send(ctx context.Context, text string) (*Response, error) {
 }
 
 // SendOpts is Send with per-turn generation settings (MaxTokens,
-// Sampler, StopToken, Stream); prompt-selection fields of req are
-// ignored — the session already owns its served state.
+// Sampler, StopToken, Stream, SLO); prompt-selection fields of req are
+// ignored — the session already owns its served state. Each turn
+// admits independently: under overload a turn can shed with
+// ErrOverloaded, leaving the session state untouched and retryable.
 func (s *Session) SendOpts(ctx context.Context, text string, req Request) (*Response, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
+	ctx, done, err := s.client.admit(ctx, req.SLO)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	prev := s.res
 	mark := prev.KV.Len()
 	res, err := s.client.cache.Continue(ctx, s.res, text)

@@ -1,7 +1,7 @@
 // Command benchdiff compares two machine-readable benchmark files
-// (BENCH_serve.json / BENCH_decode.json / BENCH_load.json, as written
-// by `pcbench -json`) and reports metric regressions beyond a
-// threshold.
+// (BENCH_serve.json / BENCH_decode.json / BENCH_load.json /
+// BENCH_kernels.json, as written by `pcbench -json`) and reports metric
+// regressions beyond a threshold.
 //
 // It is the warn-only half of a CI perf-regression gate: run the bench
 // on a PR, diff against the checked-in baseline, and annotate the run
@@ -50,8 +50,11 @@ var metricDirection = map[string]int{
 }
 
 // identityKeys name a point within a file; everything else numeric is a
-// candidate metric.
-var identityKeys = []string{"mode", "prefix_tokens", "streams", "load_mult", "arrival"}
+// candidate metric. kernel/backend identify BENCH_kernels.json points;
+// backend also distinguishes decode points should the pinned backend
+// ever change (old and new rows then diff as distinct points rather
+// than as a phantom regression).
+var identityKeys = []string{"mode", "prefix_tokens", "streams", "load_mult", "arrival", "kernel", "backend"}
 
 type point = map[string]any
 

@@ -9,7 +9,8 @@
 //	pcbench -json BENCH_serve.json serve
 //	pcbench -json BENCH_decode.json decode
 //	pcbench -json BENCH_load.json load
-//	                             # serve/decode/load experiment +
+//	pcbench -json BENCH_kernels.json kernels
+//	                             # serve/decode/load/kernels experiment +
 //	                             # machine-readable points for cross-PR
 //	                             # perf tracking
 //	pcbench -count 5 -json BENCH_serve.json serve
@@ -60,20 +61,20 @@ func main() {
 			args = append(args, e[0])
 		}
 	}
-	// -json emits machine-readable perf points; only the serve, decode
-	// and load experiments produce them, so refuse to no-op silently —
-	// and refuse the ambiguous case where several would overwrite one
-	// output file.
+	// -json emits machine-readable perf points; only the serve, decode,
+	// load and kernels experiments produce them, so refuse to no-op
+	// silently — and refuse the ambiguous case where several would
+	// overwrite one output file.
 	if *jsonOut != "" {
 		jsonable := 0
-		for _, id := range []string{"serve", "decode", "load"} {
+		for _, id := range []string{"serve", "decode", "load", "kernels"} {
 			if slices.Contains(args, id) {
 				jsonable++
 			}
 		}
 		switch {
 		case jsonable == 0:
-			fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve, decode or load experiment (got %v)\n", args)
+			fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve, decode, load or kernels experiment (got %v)\n", args)
 			os.Exit(2)
 		case jsonable > 1:
 			fmt.Fprintf(os.Stderr, "pcbench: -json with several point-emitting experiments would overwrite %s; run them separately\n", *jsonOut)
@@ -124,6 +125,28 @@ func main() {
 				if *jsonOut != "" {
 					var data []byte
 					if data, err = bench.LoadPointsJSON(points); err == nil {
+						err = os.WriteFile(*jsonOut, data, 0o644)
+					}
+				}
+			}
+			if err != nil {
+				rep = nil
+			}
+		case id == "kernels" && (*jsonOut != "" || *count > 1):
+			var points []bench.KernelPoint
+			runs := make([][]bench.KernelPoint, 0, *count)
+			for i := 0; i < *count && err == nil; i++ {
+				points, err = bench.KernelPoints()
+				runs = append(runs, points)
+			}
+			if err == nil && *count > 1 {
+				points, err = bench.MedianKernelPoints(runs)
+			}
+			if err == nil {
+				rep = bench.KernelReport(points)
+				if *jsonOut != "" {
+					var data []byte
+					if data, err = bench.KernelPointsJSON(points); err == nil {
 						err = os.WriteFile(*jsonOut, data, 0o644)
 					}
 				}

@@ -37,6 +37,12 @@
 // bound each class's total latency (expiry is HTTP 504). The
 // "admission" block of GET /stats keeps the ledger.
 //
+// With -backend the tensor kernel backend is pinned ("scalar" or
+// "parallel"); the default "auto" picks per the host's core count (and
+// honors PC_BACKEND). Backends are bit-identical — outputs never depend
+// on the choice. Startup logs the selection with the detected CPU, and
+// the "backend" block of GET /stats reports it.
+//
 //	pcserve -cache-dir /var/lib/pcserve -cache-codec int8
 //	curl -d '{"pml":"<schema name=\"s\"><module name=\"m\">hi</module></schema>"}' localhost:8080/schemas
 //	curl -d '{"prompt":"<prompt schema=\"s\"><m/>go</prompt>","max_tokens":16}' localhost:8080/v1/complete
@@ -56,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/server"
 	"repro/internal/tokenizer"
@@ -65,6 +72,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	arch := flag.String("arch", "llama", "architecture family: llama, llama-large, mpt, falcon, gpt2")
+	backend := flag.String("backend", "auto", "tensor kernel backend: auto (hardware-based, honors PC_BACKEND), scalar, or parallel; all backends are bit-identical")
 	seed := flag.Uint64("seed", 1, "weight seed")
 	vocab := flag.Int("vocab", tokenizer.WordBase+8192, "vocabulary size")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "maximum concurrently open sessions")
@@ -106,6 +114,11 @@ func main() {
 	// completions, streams and session turns arriving together fuse into
 	// the same batched decode steps.
 	var opts []promptcache.Option
+	bkOpt, err := promptcache.WithBackend(*backend)
+	if err != nil {
+		log.Fatalf("pcserve: %v", err)
+	}
+	opts = append(opts, bkOpt)
 	if *decodeBatch > 0 {
 		opts = append(opts, promptcache.WithDecodeScheduler(*decodeBatch))
 	}
@@ -157,6 +170,8 @@ func main() {
 	srv.MaxSessions = *maxSessions
 	srv.SessionIdleTimeout = *sessionIdle
 	fmt.Printf("pcserve: %s model on %s\n", cfg.Name, *addr)
+	bk := client.Model().Backend()
+	fmt.Printf("pcserve: tensor backend %s (%d workers; %s)\n", bk.Name(), bk.Workers(), hw.DetectCPU())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	if *cacheDir == "" {

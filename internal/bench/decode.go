@@ -16,8 +16,15 @@ import (
 // continuous-batching decode experiment, shaped for machine-readable
 // tracking of the perf trajectory across PRs (BENCH_decode.json).
 type DecodePoint struct {
-	Streams      int     `json:"streams"`
-	Mode         string  `json:"mode"` // "fused" | "sequential"
+	Streams int    `json:"streams"`
+	Mode    string `json:"mode"` // "fused" | "sequential"
+	// Backend is the tensor kernel backend the run executed on. The
+	// experiment pins "parallel" by name rather than letting the
+	// hardware-based default decide, so point identities (and therefore
+	// benchdiff comparisons) are stable between single-core and
+	// multi-core machines — on one core the parallel backend degrades to
+	// the scalar schedule, and outputs are bit-identical either way.
+	Backend      string  `json:"backend"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	MsPerOp      float64 `json:"ms_per_op"`
 	TokensPerSec float64 `json:"tokens_per_sec"`
@@ -44,7 +51,11 @@ func DecodeContinuousPoints(streams []int) ([]DecodePoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		var opts []promptcache.Option
+		bkOpt, err := promptcache.WithBackend("parallel")
+		if err != nil {
+			return nil, err
+		}
+		opts := []promptcache.Option{bkOpt}
 		if fused {
 			opts = append(opts, promptcache.WithDecodeScheduler(16))
 		}
@@ -99,6 +110,7 @@ func DecodeContinuousPoints(streams []int) ([]DecodePoint, error) {
 			out = append(out, DecodePoint{
 				Streams:      n,
 				Mode:         mode,
+				Backend:      client.Model().Backend().Name(),
 				NsPerOp:      r.NsPerOp(),
 				MsPerOp:      float64(r.NsPerOp()) / 1e6,
 				TokensPerSec: float64(n*decodeBenchTokens) / sec,

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// KernelPoint is one measured (kernel × backend) cell of the kernel
+// microbenchmark experiment, shaped for machine-readable tracking of the
+// perf trajectory across PRs (BENCH_kernels.json). Both backends run the
+// same shapes on the same deterministic data, so backend-to-backend and
+// PR-to-PR deltas are pure kernel scheduling.
+type KernelPoint struct {
+	Kernel  string  `json:"kernel"` // "matmul" | "matvect" | "output_head" | "attend"
+	Backend string  `json:"backend"`
+	NsPerOp int64   `json:"ns_per_op"`
+	MsPerOp float64 `json:"ms_per_op"`
+}
+
+// Kernel microbenchmark shapes: sized like one layer of the test-scale
+// models under a chunked prefill (matmul), a decode-step weight
+// application (matvect), a four-lane fused output head (output_head) and
+// a chunk attention block over a warm cache (attend) — big enough that
+// the parallel backend's sharding engages on multicore hosts, small
+// enough for CI.
+const (
+	kbMatRows, kbMatK, kbMatCols = 128, 256, 256
+	kbVecIn, kbVecOut            = 2048, 512
+	kbVocab, kbDim, kbLanes      = 8192, 64, 4
+	kbAttN, kbAttPast            = 32, 256
+	kbAttHeads, kbAttHeadDim     = 4, 16
+)
+
+// kernelData bundles the deterministic inputs every kernel run reuses.
+type kernelData struct {
+	a, b, dst *tensor.Matrix
+	w         *tensor.Matrix
+	vin, vout []float32
+	emb       *tensor.Matrix
+	hs, dsts  [][]float32
+	att       tensor.AttendArgs
+	q, out    *tensor.Matrix
+	span      tensor.Span
+	positions []int
+	scores    []float32
+}
+
+func newKernelData() *kernelData {
+	d := &kernelData{}
+	fill := func(label string, m *tensor.Matrix) *tensor.Matrix {
+		rng.NewString("bench/kernels/"+label).FillNormal(m.Data, 0.06)
+		return m
+	}
+	d.a = fill("a", tensor.NewMatrix(kbMatRows, kbMatK))
+	d.b = fill("b", tensor.NewMatrix(kbMatK, kbMatCols))
+	d.dst = tensor.NewMatrix(kbMatRows, kbMatCols)
+
+	d.w = fill("w", tensor.NewMatrix(kbVecIn, kbVecOut))
+	d.vin = make([]float32, kbVecIn)
+	rng.NewString("bench/kernels/vin").FillNormal(d.vin, 0.06)
+	d.vout = make([]float32, kbVecOut)
+
+	d.emb = fill("emb", tensor.NewMatrix(kbVocab, kbDim))
+	for k := 0; k < kbLanes; k++ {
+		h := make([]float32, kbDim)
+		rng.NewString(fmt.Sprintf("bench/kernels/h%d", k)).FillNormal(h, 0.06)
+		d.hs = append(d.hs, h)
+		d.dsts = append(d.dsts, make([]float32, kbVocab))
+	}
+
+	width := kbAttHeads * kbAttHeadDim
+	rows := kbAttPast + kbAttN
+	d.q = fill("q", tensor.NewMatrix(kbAttN, width))
+	d.out = tensor.NewMatrix(kbAttN, width)
+	kv := tensor.NewMatrix(rows, 2*width)
+	fill("kv", kv)
+	d.span = tensor.Span{K: kv.Data[:rows*width], V: kv.Data[rows*width:], Pos: make([]int, rows)}
+	for i := range d.span.Pos {
+		d.span.Pos[i] = i
+	}
+	d.positions = make([]int, kbAttN)
+	for i := range d.positions {
+		d.positions[i] = kbAttPast + i
+	}
+	d.scores = make([]float32, rows)
+	d.att = tensor.AttendArgs{
+		Q: d.q, Out: d.out, Spans: []tensor.Span{d.span},
+		Past: kbAttPast, Positions: d.positions,
+		NHeads: kbAttHeads, Group: 1, HeadDim: kbAttHeadDim, Width: width,
+		InvSqrt: 0.25, Scores: d.scores,
+	}
+	return d
+}
+
+// kernelRunners maps kernel ids to one-op closures over shared data.
+func kernelRunners(bk tensor.Backend, d *kernelData) []struct {
+	id string
+	fn func()
+} {
+	return []struct {
+		id string
+		fn func()
+	}{
+		{"matmul", func() { bk.MatMul(d.dst, d.a, d.b) }},
+		{"matvect", func() { bk.MatVecT(d.vout, d.w, d.vin) }},
+		{"output_head", func() { bk.OutputHead(d.dsts, d.emb, d.hs) }},
+		{"attend", func() { bk.AttendRowBlock(&d.att) }},
+	}
+}
+
+// KernelPoints measures every kernel under every selectable backend —
+// both pinned by name so point identities are stable across machines
+// (on a single-core host "parallel" degrades to the scalar schedule and
+// the two rows simply converge).
+func KernelPoints() ([]KernelPoint, error) {
+	d := newKernelData()
+	var out []KernelPoint
+	for _, name := range tensor.Backends() {
+		bk, err := tensor.Select(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range kernelRunners(bk, d) {
+			fn := k.fn
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fn()
+				}
+			})
+			out = append(out, KernelPoint{
+				Kernel:  k.id,
+				Backend: name,
+				NsPerOp: r.NsPerOp(),
+				MsPerOp: float64(r.NsPerOp()) / 1e6,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Kernels renders the kernel microbenchmarks as a Report. The same
+// points serialize to BENCH_kernels.json via
+// `pcbench -json BENCH_kernels.json kernels`.
+func Kernels() (*Report, error) {
+	rep, _, err := KernelsRun()
+	return rep, err
+}
+
+// KernelsRun measures the experiment once and returns both the printable
+// report and the machine-readable points.
+func KernelsRun() (*Report, []KernelPoint, error) {
+	points, err := KernelPoints()
+	if err != nil {
+		return nil, nil, err
+	}
+	return KernelReport(points), points, nil
+}
+
+// KernelReport renders measured kernel points as a printable Report.
+func KernelReport(points []KernelPoint) *Report {
+	rep := &Report{
+		ID:     "kernels",
+		Title:  "Tensor kernel microbenchmarks per backend",
+		Header: []string{"Kernel", "Backend", "ms/op"},
+		Notes: []string{
+			fmt.Sprintf("matmul %d×%d·%d×%d, matvect %d→%d, output_head %d vocab × %d lanes, attend n=%d past=%d heads=%d.",
+				kbMatRows, kbMatK, kbMatK, kbMatCols, kbVecIn, kbVecOut, kbVocab, kbLanes, kbAttN, kbAttPast, kbAttHeads),
+			"Backends are bit-identical; deltas between them are pure scheduling.",
+		},
+	}
+	for _, p := range points {
+		rep.Rows = append(rep.Rows, []string{
+			p.Kernel, p.Backend, fmt.Sprintf("%.3f", p.MsPerOp),
+		})
+	}
+	return rep
+}
+
+// KernelPointsJSON serializes measured points as indented JSON, the
+// payload of BENCH_kernels.json.
+func KernelPointsJSON(points []KernelPoint) ([]byte, error) {
+	return json.MarshalIndent(points, "", "  ")
+}

@@ -96,7 +96,8 @@ func MedianDecodePoints(runs [][]DecodePoint) ([]DecodePoint, error) {
 		ms := make([]float64, 0, len(runs))
 		ts := make([]float64, 0, len(runs))
 		for _, run := range runs {
-			if len(run) != len(out) || run[i].Mode != out[i].Mode || run[i].Streams != out[i].Streams {
+			if len(run) != len(out) || run[i].Mode != out[i].Mode || run[i].Streams != out[i].Streams ||
+				run[i].Backend != out[i].Backend {
 				return nil, fmt.Errorf("bench: decode runs disagree on point %d", i)
 			}
 			ns = append(ns, run[i].NsPerOp)
@@ -106,6 +107,28 @@ func MedianDecodePoints(runs [][]DecodePoint) ([]DecodePoint, error) {
 		out[i].NsPerOp = medianInt64(ns)
 		out[i].MsPerOp = medianFloat64(ms)
 		out[i].TokensPerSec = medianFloat64(ts)
+	}
+	return out, nil
+}
+
+// MedianKernelPoints merges N runs of the kernel microbenchmarks.
+func MedianKernelPoints(runs [][]KernelPoint) ([]KernelPoint, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bench: no runs to merge")
+	}
+	out := append([]KernelPoint(nil), runs[0]...)
+	for i := range out {
+		ns := make([]int64, 0, len(runs))
+		ms := make([]float64, 0, len(runs))
+		for _, run := range runs {
+			if len(run) != len(out) || run[i].Kernel != out[i].Kernel || run[i].Backend != out[i].Backend {
+				return nil, fmt.Errorf("bench: kernel runs disagree on point %d", i)
+			}
+			ns = append(ns, run[i].NsPerOp)
+			ms = append(ms, run[i].MsPerOp)
+		}
+		out[i].NsPerOp = medianInt64(ns)
+		out[i].MsPerOp = medianFloat64(ms)
 	}
 	return out, nil
 }

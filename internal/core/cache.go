@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/pml"
 	"repro/internal/quant"
+	"repro/internal/tensor"
 	"repro/internal/tokenizer"
 )
 
@@ -254,6 +255,20 @@ func WithDecodeScheduler(maxBatch int) Option {
 // Production caches run without one at zero cost.
 func WithFaultInjection(in *faultinject.Injector) Option {
 	return func(c *Cache) { c.inject = in }
+}
+
+// WithBackend pins the model's kernel backend (default: tensor.Auto()'s
+// hardware-based choice). Backends are bit-identical by contract — the
+// choice affects core utilization and latency, never outputs — so cached
+// module states encoded under one backend are valid under any other.
+// Applies at construction; like model.SetBackend it must not change
+// after serving begins.
+func WithBackend(b tensor.Backend) Option {
+	return func(c *Cache) {
+		if b != nil {
+			c.m.SetBackend(b)
+		}
+	}
 }
 
 // NewCache builds a Prompt Cache around a model.

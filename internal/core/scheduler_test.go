@@ -84,18 +84,27 @@ func runGolden(ctx context.Context, c *Cache, rq goldenReq) goldenRun {
 // run. Covered on RoPE and on ALiBi (whose position gaps between modules
 // exercise the §4.2 "white space" path during decode attention).
 func TestSchedulerGoldenFused(t *testing.T) {
+	// The backend dimension makes this also the cross-backend golden: the
+	// solo reference always runs the scalar backend, while the fused cache
+	// runs the backend under test — so a "parallel" pass proves scheduler
+	// fusion AND kernel parallelism together reproduce the sequential
+	// scalar streams bit for bit.
 	archs := []struct {
-		name string
-		cfg  model.Config
+		name  string
+		cfg   model.Config
+		fused tensor.Backend
 	}{
-		{"llama", model.LlamaStyle(coreVocab, 77)},
-		{"mpt-alibi", model.MPTStyle(coreVocab, 77)},
+		{"llama", model.LlamaStyle(coreVocab, 77), tensor.Scalar()},
+		{"llama-parallel", model.LlamaStyle(coreVocab, 77), tensor.NewParallel(4)},
+		{"mpt-alibi", model.MPTStyle(coreVocab, 77), tensor.Scalar()},
+		{"mpt-alibi-parallel", model.MPTStyle(coreVocab, 77), tensor.NewParallel(4)},
 	}
 	for _, arch := range archs {
 		t.Run(arch.name, func(t *testing.T) {
 			ctx := context.Background()
 			solo := newTestCache(t, arch.cfg)
-			fused := newTestCache(t, arch.cfg, WithDecodeScheduler(4))
+			solo.Model().SetBackend(tensor.Scalar())
+			fused := newTestCache(t, arch.cfg, WithDecodeScheduler(4), WithBackend(arch.fused))
 			reqs := goldenRequests()
 			for _, c := range []*Cache{solo, fused} {
 				mustRegister(t, c, travelSchema)

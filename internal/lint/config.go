@@ -53,6 +53,7 @@ type AcquireSpec struct {
 func DefaultConfig() *Config {
 	const core = "repro/internal/core"
 	const model = "repro/internal/model"
+	const tensor = "repro/internal/tensor"
 	return &Config{
 		GuardedMutexes: []string{
 			core + ".Cache.mu",
@@ -73,6 +74,18 @@ func DefaultConfig() *Config {
 			core + ".diskTier.readBlob",
 			"repro/internal/quant.EncodeKV",
 			"repro/internal/quant.DecodeKV",
+			// Backend kernel entry points: the heaviest compute in the
+			// repo. The callgraph is static, so calls through the Backend
+			// interface are invisible — listing both concrete backends
+			// catches direct kernel calls and keeps any future
+			// lock-then-compute shortcut from slipping in.
+			tensor + ".scalarBackend.MatMul",
+			tensor + ".scalarBackend.AttendRowBlock",
+			tensor + ".scalarBackend.OutputHead",
+			tensor + ".parallelBackend.MatMul",
+			tensor + ".parallelBackend.AttendRowBlock",
+			tensor + ".parallelBackend.OutputHead",
+			tensor + ".MatMul",
 		},
 
 		Acquires: []AcquireSpec{

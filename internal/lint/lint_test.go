@@ -148,6 +148,7 @@ func TestLockscopeFixture(t *testing.T) {
 		HeavyFuncs: []string{
 			"fix/lockscope.Model.Prefill",
 			"fix/lockscope.Model.Decode",
+			"fix/lockscope.MatMulKernel",
 		},
 	}, "lockscope", 1)
 }

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/kvcache"
 	"repro/internal/tensor"
@@ -99,40 +100,37 @@ func (m *Model) DecodeStepBatch(lanes []*DecodeLane, tokens, positions []int, kv
 		ln.rows = kvs[i].Len()
 	}
 
-	// The fused walk: layer-outer, lane-inner. Within a lane the operation
-	// sequence is identical to step()'s layer loop; across lanes nothing
-	// is shared but the (read-only) weights, so reordering lanes cannot
-	// change any lane's numbers.
-	for l := range m.layers {
-		ly := &m.layers[l]
-		for i, ln := range lanes {
-			if ln.skip {
-				continue
-			}
-			sc := ln.sc
-			m.norm(sc.h, sc.x, ly.attnNormW, ly.attnNormB)
-
-			matVecT(sc.q, ly.wq, sc.h)
-			matVecT(sc.k, ly.wk, sc.h)
-			matVecT(sc.v, ly.wv, sc.h)
-			if cfg.PosEnc == RoPE {
-				m.applyRope(sc.q, cfg.NHeads, ln.pos)
-				m.applyRope(sc.k, cfg.NKVHeads, ln.pos)
-			}
-			kvs[i].AppendToken(l, sc.k, sc.v)
-
-			m.attend(sc, kvs[i], l, ln.rows, ln.pos)
-
-			matVecT(sc.proj, ly.wo, sc.attnOut)
-			if cfg.ParallelAttn {
-				tensor.Add(sc.x, sc.proj)
-				m.ffn(sc, ly, sc.h)
-			} else {
-				tensor.Add(sc.x, sc.proj)
-				m.norm(sc.h, sc.x, ly.ffnNormW, ly.ffnNormB)
-				m.ffn(sc, ly, sc.h)
-			}
+	// The fused walk. Lanes share nothing but the read-only weights, so
+	// a multi-worker backend fans whole lanes out across goroutines —
+	// each worker runs the full layer loop for a contiguous lane range,
+	// which keeps every lane's per-layer operation sequence exactly
+	// step()'s and therefore bit-identical to a solo decode.
+	active := 0
+	for _, ln := range lanes {
+		if !ln.skip {
+			active++
 		}
+	}
+	if workers := m.bk.Workers(); workers > 1 && active >= 2 {
+		if workers > len(lanes) {
+			workers = len(lanes)
+		}
+		chunk := (len(lanes) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(lanes); lo += chunk {
+			hi := lo + chunk
+			if hi > len(lanes) {
+				hi = len(lanes)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				m.stepLanes(lanes[lo:hi], kvs[lo:hi])
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		m.stepLanes(lanes, kvs)
 	}
 
 	// Output head, batched: the embedding (tied head) is the model's
@@ -154,6 +152,46 @@ func (m *Model) DecodeStepBatch(lanes []*DecodeLane, tokens, positions []int, kv
 		dsts = append(dsts, sc.lgOut)
 		hs = append(hs, sc.lgH)
 	}
-	m.logitsBatch(dsts, hs)
+	m.bk.OutputHead(dsts, m.embedding, hs)
 	return nil
+}
+
+// stepLanes runs the fused layer walk — layer-outer, lane-inner — for a
+// lane range. Within a lane the operation sequence is identical to
+// step()'s layer loop; across lanes nothing is shared but the (read-only)
+// weights, so neither lane order nor the worker split above can change
+// any lane's numbers.
+func (m *Model) stepLanes(lanes []*DecodeLane, kvs []kvcache.KV) {
+	cfg := &m.Cfg
+	for l := range m.layers {
+		ly := &m.layers[l]
+		for i, ln := range lanes {
+			if ln.skip {
+				continue
+			}
+			sc := ln.sc
+			m.norm(sc.h, sc.x, ly.attnNormW, ly.attnNormB)
+
+			m.bk.MatVecT(sc.q, ly.wq, sc.h)
+			m.bk.MatVecT(sc.k, ly.wk, sc.h)
+			m.bk.MatVecT(sc.v, ly.wv, sc.h)
+			if cfg.PosEnc == RoPE {
+				m.applyRope(sc.q, cfg.NHeads, ln.pos)
+				m.applyRope(sc.k, cfg.NKVHeads, ln.pos)
+			}
+			kvs[i].AppendToken(l, sc.k, sc.v)
+
+			m.attend(sc, kvs[i], l, ln.rows, ln.pos)
+
+			m.bk.MatVecT(sc.proj, ly.wo, sc.attnOut)
+			if cfg.ParallelAttn {
+				tensor.Add(sc.x, sc.proj)
+				m.ffn(sc, ly, sc.h)
+			} else {
+				tensor.Add(sc.x, sc.proj)
+				m.norm(sc.h, sc.x, ly.ffnNormW, ly.ffnNormB)
+				m.ffn(sc, ly, sc.h)
+			}
+		}
+	}
 }

@@ -4,8 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/kvcache"
 	"repro/internal/tensor"
@@ -35,20 +33,32 @@ type scratch struct {
 	ffn1, ffn3          []float32
 	scores              []float32
 	segs                []kvcache.Segment
+	spans               []tensor.Span
+	// qMat/outMat are reusable 1-row matrix headers over q and attnOut,
+	// and att the reusable argument block, so the per-token attention
+	// dispatch through the backend interface allocates nothing.
+	qMat, outMat tensor.Matrix
+	qPos         [1]int
+	att          tensor.AttendArgs
 	// lgH/lgOut back logitsInto during decode loops, so repeated decode
 	// steps reuse one vocab-wide buffer instead of allocating per token.
 	// Lazily sized: prefills compute logits once and never need them.
 	lgH, lgOut []float32
+	// dst1/hs1 are 1-lane output-head headers for the solo decode path.
+	dst1, hs1 [1][]float32
 }
 
 func (m *Model) newScratch() *scratch {
 	d := m.Cfg.Dim
-	return &scratch{
+	sc := &scratch{
 		x: make([]float32, d), h: make([]float32, d),
 		attnOut: make([]float32, d), proj: make([]float32, d),
 		q: make([]float32, d), k: make([]float32, m.Cfg.KVDim()), v: make([]float32, m.Cfg.KVDim()),
 		ffn1: make([]float32, m.Cfg.FFNDim), ffn3: make([]float32, m.Cfg.FFNDim),
 	}
+	sc.qMat = tensor.Matrix{Rows: 1, Cols: d, Data: sc.q}
+	sc.outMat = tensor.Matrix{Rows: 1, Cols: d, Data: sc.attnOut}
+	return sc
 }
 
 // getScratch takes a scratch from the model's pool (grown buffers —
@@ -62,11 +72,15 @@ func (m *Model) getScratch() *scratch {
 }
 
 func (m *Model) putScratch(sc *scratch) {
-	// Segments alias module K/V buffers; a pooled stale reference would
-	// keep an evicted module's multi-MB backing arrays reachable. Clear
-	// the full capacity — AppendSegments reuses slots without zeroing.
+	// Segments (and the spans mirroring them) alias module K/V buffers;
+	// a pooled stale reference would keep an evicted module's multi-MB
+	// backing arrays reachable. Clear the full capacity —
+	// AppendSegments reuses slots without zeroing.
 	clear(sc.segs[:cap(sc.segs)])
 	sc.segs = sc.segs[:0]
+	clear(sc.spans[:cap(sc.spans)])
+	sc.spans = sc.spans[:0]
+	sc.att = tensor.AttendArgs{}
 	m.scratchPool.Put(sc)
 }
 
@@ -165,9 +179,9 @@ func (m *Model) step(token, pos int, kv kvcache.KV, sc *scratch) error {
 		ly := &m.layers[l]
 		m.norm(sc.h, sc.x, ly.attnNormW, ly.attnNormB)
 
-		matVecT(sc.q, ly.wq, sc.h)
-		matVecT(sc.k, ly.wk, sc.h)
-		matVecT(sc.v, ly.wv, sc.h)
+		m.bk.MatVecT(sc.q, ly.wq, sc.h)
+		m.bk.MatVecT(sc.k, ly.wk, sc.h)
+		m.bk.MatVecT(sc.v, ly.wv, sc.h)
 		if cfg.PosEnc == RoPE {
 			m.applyRope(sc.q, cfg.NHeads, pos)
 			m.applyRope(sc.k, cfg.NKVHeads, pos)
@@ -176,7 +190,7 @@ func (m *Model) step(token, pos int, kv kvcache.KV, sc *scratch) error {
 
 		m.attend(sc, kv, l, n, pos)
 
-		matVecT(sc.proj, ly.wo, sc.attnOut)
+		m.bk.MatVecT(sc.proj, ly.wo, sc.attnOut)
 		if cfg.ParallelAttn {
 			// Falcon block: x = x + attn(h) + ffn(h), same normed input.
 			tensor.Add(sc.x, sc.proj)
@@ -194,80 +208,46 @@ func (m *Model) step(token, pos int, kv kvcache.KV, sc *scratch) error {
 // n-1, at position qPos) over rows [0, n) of layer l, writing the merged
 // heads to sc.attnOut. It walks the view's contiguous segments rather
 // than fetching rows one at a time through the KV interface, so a
-// segmented Seq attends as fast as a flat cache.
+// segmented Seq attends as fast as a flat cache. The arithmetic is the
+// backend's AttendRowBlock kernel, called as the 1-token block whose
+// causal bound covers the whole cache.
 func (m *Model) attend(sc *scratch, kv kvcache.KV, l, n, qPos int) {
 	cfg := &m.Cfg
-	hd := cfg.HeadDim()
-	width := cfg.KVDim()
-	group := cfg.NHeads / cfg.NKVHeads
-	invSqrt := float32(1 / math.Sqrt(float64(hd)))
 	if cap(sc.scores) < n {
 		// Headroom: decode grows n by one per step; sizing exactly would
 		// reallocate the score buffer every token of every reply.
 		sc.scores = make([]float32, n+256)
 	}
-	scores := sc.scores[:n]
 	sc.segs = kv.AppendSegments(sc.segs[:0], l, n)
-
-	for h := 0; h < cfg.NHeads; h++ {
-		kvh := h / group
-		base := kvh * hd
-		qh := sc.q[h*hd : (h+1)*hd]
-		off := 0
-		for _, seg := range sc.segs {
-			for j, p := range seg.Pos {
-				row := j * width
-				s := tensor.Dot(qh, seg.K[row+base:row+base+hd]) * invSqrt
-				if cfg.PosEnc == ALiBi {
-					// Bias from explicit position IDs (§4.2): the classic
-					// -slope·distance, where distance uses the recorded
-					// positions, not array indices, so module gaps behave
-					// like the paper's "white space".
-					dist := qPos - p
-					if dist < 0 {
-						dist = 0
-					}
-					s -= m.alibiSlope[h] * float32(dist)
-				}
-				scores[off+j] = s
-			}
-			off += len(seg.Pos)
-		}
-		tensor.Softmax(scores)
-		out := sc.attnOut[h*hd : (h+1)*hd]
-		for i := range out {
-			out[i] = 0
-		}
-		off = 0
-		for _, seg := range sc.segs {
-			for j := range seg.Pos {
-				w := scores[off+j]
-				if w == 0 {
-					continue
-				}
-				row := j * width
-				vh := seg.V[row+base : row+base+hd]
-				for i := range out {
-					out[i] += w * vh[i]
-				}
-			}
-			off += len(seg.Pos)
-		}
+	sc.spans = sc.spans[:0]
+	for _, seg := range sc.segs {
+		sc.spans = append(sc.spans, tensor.Span{K: seg.K, V: seg.V, Pos: seg.Pos})
 	}
+	sc.qPos[0] = qPos
+	sc.att = tensor.AttendArgs{
+		Q: &sc.qMat, Out: &sc.outMat,
+		Spans: sc.spans, Past: n - 1, Positions: sc.qPos[:],
+		NHeads: cfg.NHeads, Group: cfg.NHeads / cfg.NKVHeads,
+		HeadDim: cfg.HeadDim(), Width: cfg.KVDim(),
+		InvSqrt:     float32(1 / math.Sqrt(float64(cfg.HeadDim()))),
+		AlibiSlopes: m.alibiSlope, // nil unless ALiBi
+		Scores:      sc.scores[:n],
+	}
+	m.bk.AttendRowBlock(&sc.att)
 }
 
 // ffn applies the feed-forward block to h and adds it into sc.x.
 func (m *Model) ffn(sc *scratch, ly *layer, h []float32) {
-	matVecT(sc.ffn1, ly.w1, h)
+	m.bk.MatVecT(sc.ffn1, ly.w1, h)
 	switch m.Cfg.Act {
 	case SwiGLU:
-		tensor.SiLU(sc.ffn1)
-		matVecT(sc.ffn3, ly.w3, h)
+		m.bk.SiLU(sc.ffn1)
+		m.bk.MatVecT(sc.ffn3, ly.w3, h)
 		tensor.Mul(sc.ffn1, sc.ffn3)
 	case GELU:
-		tensor.GELU(sc.ffn1)
+		m.bk.GELU(sc.ffn1)
 	}
-	matVecT(sc.proj, ly.w2, sc.ffn1)
+	m.bk.MatVecT(sc.proj, ly.w2, sc.ffn1)
 	tensor.Add(sc.x, sc.proj)
 }
 
@@ -293,9 +273,9 @@ func (m *Model) applyRope(vec []float32, nHeads, pos int) {
 func (m *Model) norm(dst, x, w, b []float32) {
 	switch m.Cfg.Norm {
 	case RMSNorm:
-		tensor.RMSNorm(dst, x, w, 1e-5)
+		m.bk.RMSNorm(dst, x, w, 1e-5)
 	case LayerNorm:
-		tensor.LayerNorm(dst, x, w, b, 1e-5)
+		m.bk.LayerNorm(dst, x, w, b, 1e-5)
 	}
 }
 
@@ -309,134 +289,12 @@ func (m *Model) logits(x []float32) []float32 {
 	return out
 }
 
-// logitsParallelThreshold is the multiply-add count (vocab × dim) above
-// which the output head shards across workers, and the minimum work one
-// shard must carry. Decode calls logitsInto once per generated token, so
-// the bar is set where a goroutine spawn+join (~µs) is small next to the
-// shard's arithmetic, not at tensor.MatMul's finer-grained 64×64.
-const logitsParallelThreshold = 32 * 1024
-
 // logitsInto applies the final norm (using h, len Dim) and writes the
-// output-head logits into dst (len VocabSize). The vocab scan shards
-// across workers above a size threshold: each worker owns a disjoint
-// dst range, so no synchronization beyond the join is needed.
+// output-head logits into dst (len VocabSize) through the backend's
+// OutputHead kernel — the parallel backend shards the vocab scan into
+// disjoint dst ranges, the scalar backend walks it sequentially; either
+// way each logit is the same ascending-index dot product.
 func (m *Model) logitsInto(dst, h, x []float32) {
 	m.norm(h, x, m.finalNormW, m.finalNormB)
-	vocab := m.Cfg.VocabSize
-	workers := runtime.GOMAXPROCS(0)
-	if vocab*m.Cfg.Dim < logitsParallelThreshold || workers <= 1 {
-		m.logitsRange(dst, h, 0, vocab)
-		return
-	}
-	// Bound spawn overhead: every shard must carry at least a threshold's
-	// worth of dot-product work, so per-token goroutines never outnumber
-	// the work they fan out.
-	if maxW := vocab * m.Cfg.Dim / logitsParallelThreshold; workers > maxW {
-		workers = maxW
-	}
-	chunk := (vocab + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < vocab; lo += chunk {
-		hi := lo + chunk
-		if hi > vocab {
-			hi = vocab
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.logitsRange(dst, h, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// logitsRange computes dst[t] for t in [lo, hi).
-func (m *Model) logitsRange(dst, h []float32, lo, hi int) {
-	for t := lo; t < hi; t++ {
-		dst[t] = tensor.Dot(m.embedding.Row(t), h)
-	}
-}
-
-// logitsBatch computes the output head for several already-normed hidden
-// states at once (dsts[k][t] = embedding[t] · hs[k]), sharding the vocab
-// scan as logitsInto does. Walking each embedding row once for the whole
-// batch is what makes a fused decode step cheaper than N solo steps:
-// every lane's dot product is the same operation in the same order as
-// solo, so values are bit-identical — only the row traffic is shared.
-func (m *Model) logitsBatch(dsts, hs [][]float32) {
-	if len(hs) == 0 {
-		return
-	}
-	vocab := m.Cfg.VocabSize
-	workers := runtime.GOMAXPROCS(0)
-	if vocab*m.Cfg.Dim*len(hs) < logitsParallelThreshold || workers <= 1 {
-		m.logitsRangeBatch(dsts, hs, 0, vocab)
-		return
-	}
-	if maxW := vocab * m.Cfg.Dim * len(hs) / logitsParallelThreshold; workers > maxW {
-		workers = maxW
-	}
-	chunk := (vocab + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < vocab; lo += chunk {
-		hi := lo + chunk
-		if hi > vocab {
-			hi = vocab
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.logitsRangeBatch(dsts, hs, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// logitsRangeBatch computes dsts[k][t] for t in [lo, hi) and every lane
-// k, reading each embedding row exactly once. Lanes go through the
-// widest batched dot kernel that fits (4/2/1): per element the row loads
-// and index arithmetic amortize over the group, which is where the fused
-// step beats N solo steps even when every matrix is cache-resident.
-func (m *Model) logitsRangeBatch(dsts, hs [][]float32, lo, hi int) {
-	k := 0
-	for ; k+4 <= len(hs); k += 4 {
-		d0, d1, d2, d3 := dsts[k], dsts[k+1], dsts[k+2], dsts[k+3]
-		h0, h1, h2, h3 := hs[k], hs[k+1], hs[k+2], hs[k+3]
-		for t := lo; t < hi; t++ {
-			row := m.embedding.Row(t)
-			d0[t], d1[t], d2[t], d3[t] = tensor.Dot4(row, h0, h1, h2, h3)
-		}
-	}
-	if k+2 <= len(hs) {
-		d0, d1 := dsts[k], dsts[k+1]
-		h0, h1 := hs[k], hs[k+1]
-		for t := lo; t < hi; t++ {
-			row := m.embedding.Row(t)
-			d0[t], d1[t] = tensor.Dot2(row, h0, h1)
-		}
-		k += 2
-	}
-	if k < len(hs) {
-		m.logitsRange(dsts[k], hs[k], lo, hi)
-	}
-}
-
-// matVecT computes dst = W^T · h for W stored as (in × out):
-// dst[j] = Σ_i W[i][j] · h[i].
-func matVecT(dst []float32, w *tensor.Matrix, h []float32) {
-	if len(h) != w.Rows || len(dst) != w.Cols {
-		panic(fmt.Sprintf("model: matVecT shapes W=%dx%d h=%d dst=%d", w.Rows, w.Cols, len(h), len(dst)))
-	}
-	for j := range dst {
-		dst[j] = 0
-	}
-	for i, hv := range h {
-		if hv == 0 {
-			continue
-		}
-		row := w.Row(i)
-		for j, wv := range row {
-			dst[j] += hv * wv
-		}
-	}
+	m.bk.OutputHead([][]float32{dst}, m.embedding, [][]float32{h})
 }

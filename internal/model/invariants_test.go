@@ -75,20 +75,25 @@ func TestGoldenLogits(t *testing.T) {
 		}
 		golden[cfg.Name] = out
 	}
-	// Second independent construction must reproduce exactly.
-	for _, cfg := range allConfigs(424242) {
-		m := MustNew(cfg)
-		toks := []int{
-			tokenizer.WordBase + 11, tokenizer.WordBase + 222,
-			tokenizer.WordBase + 33, tokenizer.WordBase + 404,
-		}
-		out, _, err := m.Complete(toks, GenerateOpts{MaxTokens: 5})
-		if err != nil {
-			t.Fatal(err)
-		}
-		want := golden[cfg.Name]
-		if fmt.Sprint(out) != fmt.Sprint(want) {
-			t.Fatalf("%s: greedy continuation not reproducible: %v vs %v", cfg.Name, out, want)
+	// Second independent construction must reproduce exactly — under
+	// every backend, since the backend contract says the choice can never
+	// show up in outputs.
+	for _, bk := range []tensor.Backend{tensor.Scalar(), tensor.NewParallel(4)} {
+		for _, cfg := range allConfigs(424242) {
+			m := MustNew(cfg)
+			m.SetBackend(bk)
+			toks := []int{
+				tokenizer.WordBase + 11, tokenizer.WordBase + 222,
+				tokenizer.WordBase + 33, tokenizer.WordBase + 404,
+			}
+			out, _, err := m.Complete(toks, GenerateOpts{MaxTokens: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := golden[cfg.Name]
+			if fmt.Sprint(out) != fmt.Sprint(want) {
+				t.Fatalf("%s/%s: greedy continuation not reproducible: %v vs %v", cfg.Name, bk.Name(), out, want)
+			}
 		}
 	}
 }

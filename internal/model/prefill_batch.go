@@ -11,8 +11,8 @@ import (
 
 // chunkThreshold is the prefill length at which the batched path takes
 // over from the per-token path. Batching turns the weight applications
-// into (n × dim)·(dim × out) matrix multiplications that internal/tensor
-// parallelizes across cores — the same reason real engines prefill in
+// into (n × dim)·(dim × out) matrix multiplications that a multi-worker
+// backend shards across cores — the same reason real engines prefill in
 // chunks rather than token by token.
 const chunkThreshold = 16
 
@@ -55,6 +55,14 @@ func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, kv kv
 	ffn3 := tensor.NewMatrix(n, cfg.FFNDim)
 	scores := make([]float32, past+n)
 	var segs []kvcache.Segment
+	var spans []tensor.Span
+	att := tensor.AttendArgs{
+		Q: q, Out: attnOut, Past: past, Positions: positions,
+		NHeads: cfg.NHeads, Group: cfg.NHeads / cfg.NKVHeads,
+		HeadDim: cfg.HeadDim(), Width: cfg.KVDim(),
+		InvSqrt:     float32(1 / math.Sqrt(float64(cfg.HeadDim()))),
+		AlibiSlopes: m.alibiSlope, Scores: scores,
+	}
 
 	for l := range m.layers {
 		if err := ctx.Err(); err != nil {
@@ -64,9 +72,9 @@ func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, kv kv
 		for i := 0; i < n; i++ {
 			m.norm(h.Row(i), x.Row(i), ly.attnNormW, ly.attnNormB)
 		}
-		tensor.MatMul(q, h, ly.wq)
-		tensor.MatMul(k, h, ly.wk)
-		tensor.MatMul(v, h, ly.wv)
+		m.bk.MatMul(q, h, ly.wq)
+		m.bk.MatMul(k, h, ly.wk)
+		m.bk.MatMul(v, h, ly.wv)
 		if cfg.PosEnc == RoPE {
 			for i := 0; i < n; i++ {
 				m.applyRope(q.Row(i), cfg.NHeads, positions[i])
@@ -76,8 +84,18 @@ func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, kv kv
 		for i := 0; i < n; i++ {
 			kv.AppendToken(l, k.Row(i), v.Row(i))
 		}
-		segs = m.attendChunk(q, attnOut, kv, l, past, n, positions, scores, segs)
-		tensor.MatMul(proj, attnOut, ly.wo)
+		// Attend over the view's contiguous segments in place — cached
+		// module rows are never copied. The segs/spans buffers are reused
+		// across layers; token i's scan is causally clamped inside the
+		// kernel to rows [0, past+i+1).
+		segs = kv.AppendSegments(segs[:0], l, past+n)
+		spans = spans[:0]
+		for _, seg := range segs {
+			spans = append(spans, tensor.Span{K: seg.K, V: seg.V, Pos: seg.Pos})
+		}
+		att.Spans = spans
+		m.bk.AttendRowBlock(&att)
+		m.bk.MatMul(proj, attnOut, ly.wo)
 		tensor.Add(x.Data, proj.Data)
 		if cfg.ParallelAttn {
 			// Falcon block: FFN from the same normed input.
@@ -95,92 +113,15 @@ func (m *Model) prefillChunk(ctx context.Context, tokens, positions []int, kv kv
 // ffnChunk applies the feed-forward block to every row of h and adds the
 // result into x.
 func (m *Model) ffnChunk(x, h, ffn1, ffn3, proj *tensor.Matrix, ly *layer) {
-	tensor.MatMul(ffn1, h, ly.w1)
+	m.bk.MatMul(ffn1, h, ly.w1)
 	switch m.Cfg.Act {
 	case SwiGLU:
-		tensor.SiLU(ffn1.Data)
-		tensor.MatMul(ffn3, h, ly.w3)
+		m.bk.SiLU(ffn1.Data)
+		m.bk.MatMul(ffn3, h, ly.w3)
 		tensor.Mul(ffn1.Data, ffn3.Data)
 	case GELU:
-		tensor.GELU(ffn1.Data)
+		m.bk.GELU(ffn1.Data)
 	}
-	tensor.MatMul(proj, ffn1, ly.w2)
+	m.bk.MatMul(proj, ffn1, ly.w2)
 	tensor.Add(x.Data, proj.Data)
-}
-
-// attendChunk computes causal attention for every chunk token: token i
-// (cache row past+i, position positions[i]) attends over rows
-// [0, past+i+1). It walks the view's contiguous segments once per layer
-// — cached module rows are read in place, never copied — clamping each
-// token's scan at its causal bound. The segs buffer is reused across
-// layers; the (possibly grown) slice is returned for the next call.
-func (m *Model) attendChunk(q, out *tensor.Matrix, kv kvcache.KV, l, past, n int, positions []int, scores []float32, segs []kvcache.Segment) []kvcache.Segment {
-	cfg := &m.Cfg
-	hd := cfg.HeadDim()
-	width := cfg.KVDim()
-	group := cfg.NHeads / cfg.NKVHeads
-	invSqrt := float32(1 / math.Sqrt(float64(hd)))
-	segs = kv.AppendSegments(segs[:0], l, past+n)
-	for i := 0; i < n; i++ {
-		rows := past + i + 1
-		qPos := positions[i]
-		outRow := out.Row(i)
-		for hIdx := 0; hIdx < cfg.NHeads; hIdx++ {
-			kvh := hIdx / group
-			base := kvh * hd
-			qh := q.Row(i)[hIdx*hd : (hIdx+1)*hd]
-			s := scores[:rows]
-			off := 0
-			for _, seg := range segs {
-				if off >= rows {
-					break
-				}
-				lim := len(seg.Pos)
-				if off+lim > rows {
-					lim = rows - off
-				}
-				for j := 0; j < lim; j++ {
-					row := j * width
-					sc := tensor.Dot(qh, seg.K[row+base:row+base+hd]) * invSqrt
-					if cfg.PosEnc == ALiBi {
-						dist := qPos - seg.Pos[j]
-						if dist < 0 {
-							dist = 0
-						}
-						sc -= m.alibiSlope[hIdx] * float32(dist)
-					}
-					s[off+j] = sc
-				}
-				off += lim
-			}
-			tensor.Softmax(s)
-			oh := outRow[hIdx*hd : (hIdx+1)*hd]
-			for t := range oh {
-				oh[t] = 0
-			}
-			off = 0
-			for _, seg := range segs {
-				if off >= rows {
-					break
-				}
-				lim := len(seg.Pos)
-				if off+lim > rows {
-					lim = rows - off
-				}
-				for j := 0; j < lim; j++ {
-					w := s[off+j]
-					if w == 0 {
-						continue
-					}
-					row := j * width
-					vh := seg.V[row+base : row+base+hd]
-					for t := range oh {
-						oh[t] += w * vh[t]
-					}
-				}
-				off += lim
-			}
-		}
-	}
-	return segs
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/hw"
 	"repro/promptcache"
 )
 
@@ -628,6 +629,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"disk_retries":        st.DiskRetries,
 			"tier_account_errors": st.TierAccountErrors,
 		},
+	}
+	// Kernel-backend observability: which backend this deployment's
+	// forward passes run on and what the runtime detected about the host.
+	// Backends are bit-identical, so this block explains latency numbers,
+	// never outputs.
+	bk := s.client.Model().Backend()
+	cpu := hw.DetectCPU()
+	body["backend"] = map[string]any{
+		"name":      bk.Name(),
+		"workers":   bk.Workers(),
+		"cpu_arch":  cpu.Arch,
+		"cpu_cores": cpu.Cores,
+		"max_procs": cpu.MaxProcs,
+		"vector":    cpu.Vector,
 	}
 	if ms := s.client.MiningStatsSnapshot(); ms.Enabled {
 		// Module-mining observability: the observer tree's size, how many

@@ -72,9 +72,19 @@ var statsTopContract = map[string]string{
 	"pool_bytes":       "number",
 	"open_sessions":    "number",
 	"tiers":            "object",
+	"backend":          "object",
 	"scheduler":        "object",
 	"mining":           "object",
 	"admission":        "object",
+}
+
+var statsBackendContract = map[string]string{
+	"name":      "string",
+	"workers":   "number",
+	"cpu_arch":  "string",
+	"cpu_cores": "number",
+	"max_procs": "number",
+	"vector":    "string",
 }
 
 var statsTiersContract = map[string]string{
@@ -166,6 +176,13 @@ func TestStatsContractGolden(t *testing.T) {
 	if tiers, ok := out["tiers"].(map[string]any); ok {
 		checkBlock(t, "tiers", tiers, statsTiersContract)
 	}
+	// The backend block is unconditional: every deployment runs on some
+	// backend, so operators can always attribute latency to it.
+	bk, ok := out["backend"].(map[string]any)
+	if !ok {
+		t.Fatalf("no backend block in /v1/stats: %v", out)
+	}
+	checkBlock(t, "backend", bk, statsBackendContract)
 	if sched, ok := out["scheduler"].(map[string]any); ok {
 		checkBlock(t, "scheduler", sched, statsSchedulerContract)
 	}

@@ -1,12 +1,25 @@
 // Package tensor implements the minimal dense float32 linear algebra the
-// transformer engine needs: row-major matrices, parallel matrix
-// multiplication, softmax, normalization layers and activations.
+// transformer engine needs: row-major matrices, matrix multiplication,
+// softmax, normalization layers and activations.
 //
 // The package is deliberately small and allocation-conscious rather than
 // general: every routine used on the inference hot path has an in-place or
 // destination-buffer form, because Prompt Cache's performance story is
 // partly about avoiding avoidable copies (§4.2 of the paper overrides
 // PyTorch's concatenation for the same reason).
+//
+// # Backends
+//
+// The hot-path kernels are additionally exposed through the Backend
+// interface, the unit of hardware specialization: "scalar" is the
+// single-threaded reference, "parallel" tiles the same arithmetic across
+// goroutines (matrix rows, output-head vocab ranges, attention
+// (token, head) pairs, MatVecT output columns). Backends are
+// bit-identical by contract — parallelism only ever crosses independent
+// output elements, never a reduction — so golden-logits tests and
+// cross-machine cache reuse hold under any backend. Select maps names to
+// instances; Auto picks per the host (and the PC_BACKEND environment
+// variable).
 package tensor
 
 import (
@@ -71,15 +84,19 @@ const matmulParallelThreshold = 64 * 64
 // MatMul computes dst = a × b where a is (n×k) and b is (k×m).
 // dst must be (n×m) and must not alias a or b.
 func MatMul(dst, a, b *Matrix) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
+	checkMatMul(dst, a, b)
 	if a.Rows*b.Cols >= matmulParallelThreshold {
 		matMulParallel(dst, a, b)
 		return
 	}
 	matMulRange(dst, a, b, 0, a.Rows)
+}
+
+func checkMatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
 }
 
 // matMulRange computes rows [lo, hi) of dst = a×b with a k-blocked inner
@@ -142,6 +159,39 @@ func MatVec(dst []float32, m *Matrix, v []float32) {
 	}
 	for i := 0; i < m.Rows; i++ {
 		dst[i] = Dot(m.Row(i), v)
+	}
+}
+
+// MatVecT computes dst = Wᵀ·h for W stored as (in × out):
+// dst[j] = Σ_i W[i][j] · h[i]. Walking W row-major keeps the weight
+// matrix streaming through cache while h stays resident.
+func MatVecT(dst []float32, w *Matrix, h []float32) {
+	checkMatVecT(dst, w, h)
+	matVecTRange(dst, w, h, 0, w.Cols)
+}
+
+func checkMatVecT(dst []float32, w *Matrix, h []float32) {
+	if len(h) != w.Rows || len(dst) != w.Cols {
+		panic(fmt.Sprintf("tensor: MatVecT shapes W=%dx%d h=%d dst=%d", w.Rows, w.Cols, len(h), len(dst)))
+	}
+}
+
+// matVecTRange computes dst[j] = Σ_i W[i][j]·h[i] for columns
+// j in [lo, hi). Each column accumulates over i ascending with the
+// h[i] == 0 skip, so any column partition yields identical bits.
+func matVecTRange(dst []float32, w *Matrix, h []float32, lo, hi int) {
+	out := dst[lo:hi]
+	for j := range out {
+		out[j] = 0
+	}
+	for i, hv := range h {
+		if hv == 0 {
+			continue
+		}
+		row := w.Row(i)[lo:hi]
+		for j, wv := range row {
+			out[j] += hv * wv
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/evict"
 	"repro/internal/memory"
+	"repro/internal/tensor"
 )
 
 // Option configures the engine behind a Client. It is an alias of the
@@ -65,6 +66,23 @@ func WithEvictionPolicy(name string) (Option, error) {
 	}
 	return core.WithEvictionPolicy(p), nil
 }
+
+// WithBackend selects the tensor kernel backend by name: "scalar" (the
+// single-threaded reference), "parallel" (goroutine-tiled across cores),
+// or ""/"auto" to re-run the hardware-based default (which also honors
+// the PC_BACKEND environment variable). All backends are bit-identical —
+// the choice affects latency and core utilization, never outputs — so it
+// is safe to vary per deployment without invalidating cached modules.
+func WithBackend(name string) (Option, error) {
+	b, err := tensor.Select(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.WithBackend(b), nil
+}
+
+// Backends lists the selectable backend names for WithBackend.
+func Backends() []string { return tensor.Backends() }
 
 // DefaultMaxDecodeBatch is the fused-step width used when
 // WithDecodeScheduler is given a non-positive bound.

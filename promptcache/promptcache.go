@@ -37,6 +37,14 @@
 // changes throughput, never output. SchedulerStats exposes queue depth,
 // active lanes and the batch-size histogram.
 //
+// WithBackend selects the tensor kernel backend by name ("scalar",
+// "parallel", or "auto" for the hardware-based default). Backends are
+// bit-identical by contract: the parallel backend tiles the same
+// arithmetic across cores without ever reordering a reduction, so the
+// choice moves latency and core utilization, never tokens or logits —
+// cached modules, snapshots and golden outputs are portable across
+// backends and machines.
+//
 // With WithModuleMining the cache grows itself: alongside the explicit
 // PML modules a schema declares, the engine watches the uncached token
 // streams requests actually send and promotes hot shared prefixes

@@ -1,7 +1,7 @@
 // Command benchdiff compares two machine-readable benchmark files
-// (BENCH_serve.json / BENCH_decode.json / BENCH_load.json /
-// BENCH_kernels.json, as written by `pcbench -json`) and reports metric
-// regressions beyond a threshold.
+// (BENCH_serve.json / BENCH_decode.json / BENCH_spec.json /
+// BENCH_load.json / BENCH_kernels.json, as written by `pcbench -json`)
+// and reports metric regressions beyond a threshold.
 //
 // It is the warn-only half of a CI perf-regression gate: run the bench
 // on a PR, diff against the checked-in baseline, and annotate the run
@@ -39,6 +39,9 @@ var metricDirection = map[string]int{
 	"bytes_per_op":   +1,
 	"allocs_per_op":  +1,
 	"tokens_per_sec": -1,
+	// Speculation gate (BENCH_spec.json): tokens produced per fused step.
+	// Dropping toward 1 means the draft source stopped earning its keep.
+	"accepted_per_step": -1,
 	// Load-gate metrics (BENCH_load.json): TTFT tails and shed rate
 	// under offered load. max_queue_depth and offered_rps are reported
 	// in the file but deliberately not diffed — the former is bounded
@@ -54,7 +57,7 @@ var metricDirection = map[string]int{
 // backend also distinguishes decode points should the pinned backend
 // ever change (old and new rows then diff as distinct points rather
 // than as a phantom regression).
-var identityKeys = []string{"mode", "prefix_tokens", "streams", "load_mult", "arrival", "kernel", "backend"}
+var identityKeys = []string{"mode", "prefix_tokens", "streams", "load_mult", "arrival", "kernel", "backend", "scenario"}
 
 type point = map[string]any
 

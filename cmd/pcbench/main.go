@@ -8,6 +8,7 @@
 //	pcbench -csv fig5            # emit CSV instead of a table
 //	pcbench -json BENCH_serve.json serve
 //	pcbench -json BENCH_decode.json decode
+//	pcbench -json BENCH_spec.json speculate
 //	pcbench -json BENCH_load.json load
 //	pcbench -json BENCH_kernels.json kernels
 //	                             # serve/decode/load/kernels experiment +
@@ -67,14 +68,14 @@ func main() {
 	// overwrite one output file.
 	if *jsonOut != "" {
 		jsonable := 0
-		for _, id := range []string{"serve", "decode", "load", "kernels"} {
+		for _, id := range []string{"serve", "decode", "speculate", "load", "kernels"} {
 			if slices.Contains(args, id) {
 				jsonable++
 			}
 		}
 		switch {
 		case jsonable == 0:
-			fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve, decode, load or kernels experiment (got %v)\n", args)
+			fmt.Fprintf(os.Stderr, "pcbench: -json requires the serve, decode, speculate, load or kernels experiment (got %v)\n", args)
 			os.Exit(2)
 		case jsonable > 1:
 			fmt.Fprintf(os.Stderr, "pcbench: -json with several point-emitting experiments would overwrite %s; run them separately\n", *jsonOut)
@@ -147,6 +148,28 @@ func main() {
 				if *jsonOut != "" {
 					var data []byte
 					if data, err = bench.KernelPointsJSON(points); err == nil {
+						err = os.WriteFile(*jsonOut, data, 0o644)
+					}
+				}
+			}
+			if err != nil {
+				rep = nil
+			}
+		case id == "speculate" && (*jsonOut != "" || *count > 1):
+			var points []bench.SpecPoint
+			runs := make([][]bench.SpecPoint, 0, *count)
+			for i := 0; i < *count && err == nil; i++ {
+				points, err = bench.SpeculatePoints(bench.DefaultSpecScenarios)
+				runs = append(runs, points)
+			}
+			if err == nil && *count > 1 {
+				points, err = bench.MedianSpecPoints(runs)
+			}
+			if err == nil {
+				rep = bench.SpecReport(points)
+				if *jsonOut != "" {
+					var data []byte
+					if data, err = bench.SpecPointsJSON(points); err == nil {
 						err = os.WriteFile(*jsonOut, data, 0o644)
 					}
 				}

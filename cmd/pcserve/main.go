@@ -28,6 +28,15 @@
 // anonymous cached modules, and splices them bit-exactly into later
 // requests — the "mining" block of GET /stats tracks the win.
 //
+// With -speculate the decode phase speculates: generated token streams
+// train a per-serving-class n-gram draft source, and each decode lane
+// verifies the draft's proposals in one widened fused step, emitting
+// several tokens per step when the draft is right. Output is
+// bit-identical to non-speculative decode — requests can opt out per
+// call via {"speculation": {"enabled": false}} — and the "speculation"
+// block of GET /stats reports acceptance. Requires the decode scheduler
+// (-decode-batch > 0).
+//
 // With -admit N the server survives overload instead of collapsing
 // under it: N requests serve concurrently, -admit-queue more wait, and
 // further arrivals are shed immediately with HTTP 429 plus a computed
@@ -80,6 +89,10 @@ func main() {
 	decodeBatch := flag.Int("decode-batch", promptcache.DefaultMaxDecodeBatch, "continuous-batching decode width: concurrent generations fuse into shared model steps (0 disables the scheduler)")
 	cacheDir := flag.String("cache-dir", "", "durable cache directory: evicted modules spill here instead of dropping, and registered schemas persist across restarts (SIGINT/SIGTERM snapshots, next boot warm-restores)")
 	cacheCodec := flag.String("cache-codec", "int8", "disk-tier codec: fp32 (bit-exact), int8 or int4")
+	speculate := flag.Bool("speculate", false, "speculative decoding: train an n-gram draft source on served traffic and verify its proposals in widened fused steps; output is bit-identical, only tokens-per-step changes (requires the decode scheduler)")
+	specDraft := flag.Int("speculate-draft", 0, "speculation: max draft tokens verified per fused step (0 = default)")
+	specContext := flag.Int("speculate-context", 0, "speculation: n-gram context length of the draft source (0 = default)")
+	specHalfLife := flag.Float64("speculate-half-life", 0, "speculation: draft-transition decay half-life in observed streams (0 = default)")
 	mine := flag.Bool("mine", false, "automatic module mining: observe uncached token streams and promote hot shared prefixes to anonymous cached modules")
 	mineMinHits := flag.Float64("mine-min-hits", 0, "mining: observations before a prefix is promoted (0 = default)")
 	mineMinTokens := flag.Int("mine-min-tokens", 0, "mining: shortest prefix worth promoting (0 = default)")
@@ -121,6 +134,16 @@ func main() {
 	opts = append(opts, bkOpt)
 	if *decodeBatch > 0 {
 		opts = append(opts, promptcache.WithDecodeScheduler(*decodeBatch))
+	}
+	if *speculate {
+		if *decodeBatch <= 0 {
+			log.Fatalf("pcserve: -speculate requires the decode scheduler (-decode-batch > 0)")
+		}
+		opts = append(opts, promptcache.WithSpeculation(promptcache.DraftOpts{
+			MaxDraft: *specDraft,
+			Context:  *specContext,
+			HalfLife: *specHalfLife,
+		}))
 	}
 	if *mine {
 		opts = append(opts, promptcache.WithModuleMining(promptcache.MiningOpts{

@@ -45,6 +45,34 @@
 // BenchmarkDecodeContinuous and `pcbench -json BENCH_decode.json
 // decode` track fused-vs-sequential throughput.
 //
+// # Speculative decoding
+//
+// With promptcache.WithSpeculation (requires the decode scheduler), the
+// fused decode step widens: a back-off n-gram draft source — the same
+// radix-structure family as module mining, trained on the token streams
+// decode actually produced per serving class, no second model — proposes
+// up to MaxDraft tokens per lane, and ONE batched verify step
+// (model.DecodeStepBatchMulti) scores every proposed position. Each lane
+// accepts exactly the longest proposal prefix matching what solo decode
+// would have sampled, falls back to the verified next token on
+// rejection, and truncates unverified KV rows — so output is
+// bit-identical to non-speculative decode by construction, and a cold or
+// wrong draft costs verify width, never a token. Requests opt in or out
+// per call via promptcache.GenConfig.Speculation; `pcserve -speculate`
+// wires it into the server (the /v1/stats "speculation" block tracks
+// acceptance), and `pcbench -json BENCH_spec.json speculate` tracks
+// tokens-per-step and throughput against solo decode on LongBench
+// replays.
+//
+// # Generation options
+//
+// promptcache.GenConfig is the single generation-options surface —
+// max tokens, sampler, stop conditions, SLO class, speculation — shared
+// by Request, Session defaults, BatchRequest and the HTTP request
+// shapes, which embed it so the wire keys (max_tokens, slo, speculation)
+// are the same everywhere. The older flat Request fields survive as
+// deprecated aliases that apply only when the GenConfig field is zero.
+//
 // # Storage tiers & persistence
 //
 // Module states live in a three-level hierarchy — device pool

@@ -115,7 +115,7 @@ func main() {
 			fmt.Fprintf(&imports, "<%s/>", d)
 		}
 		prompt := fmt.Sprintf("<prompt schema=\"rag\">%s<user>%s</user></prompt>", imports.String(), q)
-		out := post("/v1/complete", server.CompleteRequest{Prompt: prompt, MaxTokens: 14})
+		out := post("/v1/complete", server.CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 14}})
 		fmt.Printf("q: %-38s retrieved %v, reused %v tokens\n  -> %v\n",
 			q, docs, out["cached_tokens"], out["text"])
 	}
@@ -124,7 +124,7 @@ func main() {
 	// turns pay prefill only for their own text.
 	sess := post("/v1/sessions", server.SessionRequest{
 		Prompt:    `<prompt schema="rag"><doc-harbor/><user>Describe the harbor festival.</user></prompt>`,
-		MaxTokens: 12,
+		GenConfig: promptcache.GenConfig{MaxTokens: 12},
 	})
 	id := sess["session_id"].(string)
 	fmt.Printf("\nsession %s opened, reused %v tokens\n  -> %v\n", id, sess["cached_tokens"], sess["text"])

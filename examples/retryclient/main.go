@@ -97,7 +97,7 @@ func main() {
 	// the rest of the burst arrives.
 	body, _ := json.Marshal(server.CompleteRequest{
 		Prompt:    `<prompt schema="town"><records/><user>Summarize the records.</user></prompt>`,
-		MaxTokens: 300,
+		GenConfig: promptcache.GenConfig{MaxTokens: 300},
 	})
 
 	const burst = 10

@@ -70,7 +70,7 @@ schema kiosk:
 	  <fossils/>
 	  <user>What should I see first?</user>
 	</prompt>`,
-		MaxTokens: 8,
+		Gen: promptcache.GenConfig{MaxTokens: 8},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -168,7 +168,7 @@ func TestServerWithQuantizedEvictingCache(t *testing.T) {
 	}
 	post("/schemas", server.SchemaRequest{PML: w.Schema})
 	for _, s := range w.Samples[:4] {
-		out := post("/v1/complete", server.CompleteRequest{Prompt: s.Prompt, MaxTokens: 6})
+		out := post("/v1/complete", server.CompleteRequest{Prompt: s.Prompt, GenConfig: promptcache.GenConfig{MaxTokens: 6}})
 		if out["cached_tokens"].(float64) <= 0 {
 			t.Fatalf("no reuse through server: %v", out)
 		}
@@ -215,7 +215,7 @@ func TestBatchEndpointSharing(t *testing.T) {
 	for _, s := range w.Samples {
 		prompts = append(prompts, s.Prompt)
 	}
-	breq, _ := json.Marshal(server.BatchRequest{Prompts: prompts, MaxTokens: 4})
+	breq, _ := json.Marshal(server.BatchRequest{Prompts: prompts, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
 	resp, err := srv.Client().Post(srv.URL+"/v1/complete_batch", "application/json", bytes.NewReader(breq))
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +291,7 @@ func TestSessionsOverHTTP(t *testing.T) {
 
 	code, created := post("/v1/sessions", server.SessionRequest{
 		Prompt:    `<prompt schema="chat"><doc/><user>What does the keeper log?</user></prompt>`,
-		MaxTokens: 6,
+		GenConfig: promptcache.GenConfig{MaxTokens: 6},
 	})
 	if code != http.StatusCreated {
 		t.Fatalf("create = %d %v", code, created)

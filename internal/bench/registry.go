@@ -5,8 +5,8 @@ import "fmt"
 // Run executes an experiment by id. Known ids: fig3, fig3-all, fig4,
 // fig4-all, fig5, fig6, fig7, fig8, table1, table1-quick, table2, sec54,
 // ablation-scaffold, ablation-paged, ablation-concat, serve, decode,
-// kernels, load, engine, engine-serving, serving, quant, throughput,
-// breakdown.
+// speculate, kernels, load, engine, engine-serving, serving, quant,
+// throughput, breakdown.
 func Run(id string) (*Report, error) {
 	switch id {
 	case "fig3":
@@ -47,6 +47,8 @@ func Run(id string) (*Report, error) {
 		return ServeCachedPrefix()
 	case "decode":
 		return DecodeContinuous()
+	case "speculate":
+		return Speculate()
 	case "kernels":
 		return Kernels()
 	case "load":
@@ -90,6 +92,7 @@ func Experiments() [][2]string {
 		{"ablation-masking", "Masking severity vs module granularity (§3.3)"},
 		{"serve", "Cached-prefix TTFT + allocs, zero-copy views vs baseline (-json for BENCH_serve.json)"},
 		{"decode", "Continuous-batching decode throughput, fused vs sequential (-json for BENCH_decode.json)"},
+		{"speculate", "Speculative decoding on LongBench replays, draft-and-verify vs solo (-json for BENCH_spec.json)"},
 		{"kernels", "Tensor kernel microbenchmarks per backend (-json for BENCH_kernels.json)"},
 		{"load", "Overload behavior at 1× and 4× capacity: TTFT tails, shed rate, queue depth (-json for BENCH_load.json)"},
 		{"engine", "Measured wall-clock TTFT on the Go engine (Fig. 5 shape)"},

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/longbench"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/promptcache"
+)
+
+// SpecPoint is one measured (scenario × mode) cell of the speculative-
+// decoding experiment, shaped for machine-readable tracking of the perf
+// trajectory across PRs (BENCH_spec.json).
+type SpecPoint struct {
+	// Scenario is the LongBench workload the streams decode over, or
+	// "cold-draft" for the structural never-worse check (a draft source
+	// that never qualifies a proposal, so every step takes the plain
+	// fused path).
+	Scenario string `json:"scenario"`
+	Mode     string `json:"mode"` // "speculative" | "solo"
+	// Backend is pinned by name (see DecodePoint.Backend).
+	Backend string  `json:"backend"`
+	NsPerOp int64   `json:"ns_per_op"`
+	MsPerOp float64 `json:"ms_per_op"`
+	// TokensPerSec is end-to-end decode throughput across all streams.
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	// AcceptedPerStep is tokens a lane produces per fused step it
+	// participates in, over the measured interval — exactly 1 without
+	// speculation, > 1 when the draft source earns its keep. Token
+	// streams are bit-identical across modes, so this is the entire
+	// speculation effect.
+	AcceptedPerStep float64 `json:"accepted_per_step"`
+}
+
+// specBenchTokens is the reply length each stream decodes per op.
+const specBenchTokens = 24
+
+// DefaultSpecScenarios are the LongBench workloads the experiment
+// replays; "cold-draft" is always appended as the structural floor.
+var DefaultSpecScenarios = []string{"TriviaQA", "MultiNews"}
+
+// coldDraftScenario names the never-proposes cell.
+const coldDraftScenario = "cold-draft"
+
+// SpeculatePoints measures end-to-end decode throughput for LongBench
+// scenario replays, speculative vs solo. Both modes run the fused decode
+// scheduler on the pinned parallel backend and produce bit-identical
+// token streams; the speculative client additionally trains a per-class
+// n-gram draft source during warmup and verifies its proposals in
+// widened fused steps, so the measured difference is tokens-per-step
+// against verify overhead. The cold-draft cell runs the speculative
+// machinery with a draft threshold no transition can meet — the
+// structural "never worse when the draft is cold" floor.
+func SpeculatePoints(scenarios []string) ([]SpecPoint, error) {
+	ctx := context.Background()
+	var out []SpecPoint
+	for _, name := range scenarios {
+		d, ok := longbench.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown LongBench dataset %q", name)
+		}
+		w := longbench.Generate(d, longbench.GenConfig{
+			Seed: 99, NumSamples: 4, DocSentences: 6,
+		})
+		for _, mode := range []string{"solo", "speculative"} {
+			p, err := specCell(ctx, name, mode, w.Schema, samplePrompts(w), promptcache.DraftOpts{MinHits: 1})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *p)
+		}
+	}
+	// Cold floor: same workload shape, draft threshold unreachable.
+	d, _ := longbench.ByName(DefaultSpecScenarios[0])
+	w := longbench.Generate(d, longbench.GenConfig{Seed: 99, NumSamples: 4, DocSentences: 6})
+	for _, mode := range []string{"solo", "speculative"} {
+		p, err := specCell(ctx, coldDraftScenario, mode, w.Schema, samplePrompts(w), promptcache.DraftOpts{MinHits: 1e9})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+func samplePrompts(w *longbench.Workload) []string {
+	prompts := make([]string, len(w.Samples))
+	for i, s := range w.Samples {
+		prompts[i] = s.Prompt
+	}
+	return prompts
+}
+
+// specCell measures one (scenario, mode) point: N concurrent streams
+// each decoding specBenchTokens tokens over a cached LongBench prompt.
+func specCell(ctx context.Context, scenario, mode, schema string, prompts []string, draft promptcache.DraftOpts) (*SpecPoint, error) {
+	m, err := model.New(model.LlamaStyle(tokenizer.WordBase+2048, 444))
+	if err != nil {
+		return nil, err
+	}
+	bkOpt, err := promptcache.WithBackend("parallel")
+	if err != nil {
+		return nil, err
+	}
+	opts := []promptcache.Option{bkOpt, promptcache.WithDecodeScheduler(16)}
+	if mode == "speculative" {
+		opts = append(opts, promptcache.WithSpeculation(draft))
+	}
+	client := promptcache.New(m, opts...)
+	if _, err := client.RegisterSchema(schema); err != nil {
+		return nil, err
+	}
+	run := func() error {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var inferErr error
+		for _, prompt := range prompts {
+			wg.Add(1)
+			go func(prompt string) {
+				defer wg.Done()
+				// StopToken -1: untrained-model EOS must not shorten
+				// replies, so modes and scenarios stay comparable.
+				if _, err := client.Infer(ctx, promptcache.Request{
+					Prompt: prompt,
+					Gen:    promptcache.GenConfig{MaxTokens: specBenchTokens, StopToken: -1},
+				}); err != nil {
+					mu.Lock()
+					inferErr = err
+					mu.Unlock()
+				}
+			}(prompt)
+		}
+		wg.Wait()
+		return inferErr
+	}
+	// Warmup: encodes modules on first serve and — in speculative mode —
+	// trains the draft source on the streams the measurement will replay.
+	for i := 0; i < 2; i++ {
+		if err := run(); err != nil {
+			return nil, fmt.Errorf("bench: speculate %s-%s warmup: %w", scenario, mode, err)
+		}
+	}
+	before := client.SchedulerStats()
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				runErr = err
+			}
+		}
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("bench: speculate %s-%s: %w", scenario, mode, runErr)
+	}
+	after := client.SchedulerStats()
+	// Per-lane-step acceptance over the measured interval: each lane
+	// samples one token per fused step it joins, so the weighted batch
+	// histogram is the lane-step count and the ratio isolates speculation
+	// from batch width.
+	var laneSteps int64
+	for i, n := range after.BatchHist {
+		laneSteps += (n - before.BatchHist[i]) * int64(i+1)
+	}
+	accepted := 1.0
+	if laneSteps > 0 {
+		accepted = float64(after.TokensDecoded-before.TokensDecoded) / float64(laneSteps)
+	}
+	sec := float64(r.NsPerOp()) / 1e9
+	return &SpecPoint{
+		Scenario:        scenario,
+		Mode:            mode,
+		Backend:         client.Model().Backend().Name(),
+		NsPerOp:         r.NsPerOp(),
+		MsPerOp:         float64(r.NsPerOp()) / 1e6,
+		TokensPerSec:    float64(len(prompts)*specBenchTokens) / sec,
+		AcceptedPerStep: accepted,
+	}, nil
+}
+
+// Speculate renders the speculative-decoding experiment as a Report. The
+// same points serialize to BENCH_spec.json via
+// `pcbench -json BENCH_spec.json speculate`.
+func Speculate() (*Report, error) {
+	points, err := SpeculatePoints(DefaultSpecScenarios)
+	if err != nil {
+		return nil, err
+	}
+	return SpecReport(points), nil
+}
+
+// SpecReport renders measured speculation points as a printable Report.
+func SpecReport(points []SpecPoint) *Report {
+	rep := &Report{
+		ID:     "speculate",
+		Title:  "Speculative decoding: draft-and-verify vs solo fused decode",
+		Header: []string{"Scenario", "Mode", "ms/op", "tokens/sec", "accepted/step"},
+		Notes: []string{
+			fmt.Sprintf("One op = concurrent LongBench streams each decoding %d tokens over cached documents.", specBenchTokens),
+			"Token streams are bit-identical across modes; accepted/step > 1 is the speculation win, cold-draft is the never-worse floor.",
+		},
+	}
+	for _, p := range points {
+		rep.Rows = append(rep.Rows, []string{
+			p.Scenario, p.Mode,
+			fmt.Sprintf("%.2f", p.MsPerOp),
+			fmt.Sprintf("%.0f", p.TokensPerSec),
+			fmt.Sprintf("%.2f", p.AcceptedPerStep),
+		})
+	}
+	return rep
+}
+
+// MedianSpecPoints merges N runs of the speculation experiment (see
+// MedianServePoints for the de-noising rationale).
+func MedianSpecPoints(runs [][]SpecPoint) ([]SpecPoint, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("bench: no runs to merge")
+	}
+	out := append([]SpecPoint(nil), runs[0]...)
+	for i := range out {
+		ns := make([]int64, 0, len(runs))
+		var ms, ts, ac []float64
+		for _, run := range runs {
+			if len(run) != len(out) || run[i].Scenario != out[i].Scenario ||
+				run[i].Mode != out[i].Mode || run[i].Backend != out[i].Backend {
+				return nil, fmt.Errorf("bench: speculate runs disagree on point %d", i)
+			}
+			ns = append(ns, run[i].NsPerOp)
+			ms = append(ms, run[i].MsPerOp)
+			ts = append(ts, run[i].TokensPerSec)
+			ac = append(ac, run[i].AcceptedPerStep)
+		}
+		out[i].NsPerOp = medianInt64(ns)
+		out[i].MsPerOp = medianFloat64(ms)
+		out[i].TokensPerSec = medianFloat64(ts)
+		out[i].AcceptedPerStep = medianFloat64(ac)
+	}
+	return out, nil
+}
+
+// SpecPointsJSON serializes measured points as indented JSON, the
+// payload of BENCH_spec.json.
+func SpecPointsJSON(points []SpecPoint) ([]byte, error) {
+	return json.MarshalIndent(points, "", "  ")
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMedianSpecPoints(t *testing.T) {
+	mk := func(ns int64, tps, ac float64) []SpecPoint {
+		return []SpecPoint{
+			{Scenario: "TriviaQA", Mode: "solo", Backend: "parallel", NsPerOp: ns, TokensPerSec: tps, AcceptedPerStep: 1},
+			{Scenario: "TriviaQA", Mode: "speculative", Backend: "parallel", NsPerOp: ns, TokensPerSec: tps * 1.1, AcceptedPerStep: ac},
+		}
+	}
+	got, err := MedianSpecPoints([][]SpecPoint{
+		mk(90, 100, 5), // one outlier run must not drag the median
+		mk(10, 300, 2),
+		mk(20, 200, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].NsPerOp != 20 || got[0].TokensPerSec != 200 {
+		t.Fatalf("solo median = %+v", got[0])
+	}
+	if got[1].AcceptedPerStep != 3 {
+		t.Fatalf("speculative median = %+v", got[1])
+	}
+	if _, err := MedianSpecPoints(nil); err == nil {
+		t.Fatal("no runs should fail")
+	}
+	a, b := mk(1, 1, 1), mk(1, 1, 1)
+	b[1].Scenario = "other"
+	if _, err := MedianSpecPoints([][]SpecPoint{a, b}); err == nil {
+		t.Fatal("mismatched runs should fail")
+	}
+}
+
+// TestSpeculatePoints runs the real experiment on one scenario: the
+// speculative cell must accept more than one token per lane-step, the
+// solo and cold-draft cells exactly one, and the JSON payload must carry
+// the gate's identity and metric fields under their wire names.
+func TestSpeculatePoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured benchmark")
+	}
+	points, err := SpeculatePoints(DefaultSpecScenarios[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // scenario × {solo, speculative} + cold-draft pair
+		t.Fatalf("got %d points", len(points))
+	}
+	byKey := map[string]SpecPoint{}
+	for _, p := range points {
+		byKey[p.Scenario+"/"+p.Mode] = p
+		if p.TokensPerSec <= 0 || p.NsPerOp <= 0 {
+			t.Errorf("unmeasured point: %+v", p)
+		}
+	}
+	warm := byKey[DefaultSpecScenarios[0]+"/speculative"]
+	if warm.AcceptedPerStep <= 1 {
+		t.Errorf("warm draft accepted %.2f per step, want > 1", warm.AcceptedPerStep)
+	}
+	for _, key := range []string{DefaultSpecScenarios[0] + "/solo", coldDraftScenario + "/solo", coldDraftScenario + "/speculative"} {
+		if p := byKey[key]; p.AcceptedPerStep != 1 {
+			t.Errorf("%s accepted %.2f per step, want exactly 1", key, p.AcceptedPerStep)
+		}
+	}
+
+	data, err := SpecPointsJSON(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scenario", "mode", "backend", "ns_per_op",
+		"ms_per_op", "tokens_per_sec", "accepted_per_step"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("BENCH_spec.json point missing %q: %v", key, decoded[0])
+		}
+	}
+}

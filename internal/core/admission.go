@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,6 +57,28 @@ func ParseSLOClass(s string) (SLOClass, error) {
 	default:
 		return SLOInteractive, fmt.Errorf("%w: unknown SLO class %q (want interactive or batch)", ErrBadPrompt, s)
 	}
+}
+
+// MarshalJSON writes the class's wire name, so structs embedding an
+// SLOClass serialize "interactive"/"batch" instead of a bare int.
+func (c SLOClass) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.String())
+}
+
+// UnmarshalJSON accepts the wire names ParseSLOClass does (with "" and
+// absent meaning interactive), making SLOClass usable directly in
+// request JSON shapes.
+func (c *SLOClass) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("%w: SLO class must be a JSON string", ErrBadPrompt)
+	}
+	parsed, err := ParseSLOClass(s)
+	if err != nil {
+		return err
+	}
+	*c = parsed
+	return nil
 }
 
 // sloKey carries a request's SLOClass through its context.

@@ -235,8 +235,10 @@ func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	// prompts hitting the same prefix share one block copy.
 	fullToks, fullPos := newToks, newPos
 	var class, minedName string
-	if c.miner != nil {
+	if c.miner != nil || c.draft != nil {
 		class = servingClass(prompt.SchemaName, plan)
+	}
+	if c.miner != nil {
 		var n int
 		minedName, n = c.spliceMined(plan, prompt.SchemaName, class, newToks, newPos)
 		newToks, newPos = newToks[n:], newPos[n:]
@@ -275,6 +277,7 @@ func (c *Cache) serveShared(ctx context.Context, prompt *pml.Prompt, opts ServeO
 		// of the still-stable views.
 		c.observeServe(prompt.SchemaName, class, fullToks, fullPos, seq)
 	}
+	res.class = class
 	return res, nil
 }
 

@@ -177,6 +177,13 @@ type Cache struct {
 	// into the cache, so it may be used both under and outside mu.
 	miner *mining.Miner
 
+	// draft, when non-nil, is the speculative-decoding draft source
+	// (WithSpeculation): retired generations train it, decode lanes
+	// propose from it. Like the miner it synchronizes itself and never
+	// calls back into the cache. NewCache hands it to the scheduler;
+	// without a scheduler it is inert.
+	draft *mining.Draft
+
 	// adm, when non-nil, bounds concurrent serving (WithAdmission):
 	// requests acquire a slot before any engine work and excess load is
 	// shed with ErrOverloaded. It synchronizes itself and never takes mu.
@@ -289,9 +296,13 @@ func NewCache(m *model.Model, opts ...Option) *Cache {
 		c.policy = evict.NewLRU()
 	}
 	// Option order must not matter: wire the injector into the disk tier
-	// after all options ran, whichever of the two came first.
+	// and the draft source into the scheduler after all options ran,
+	// whichever order they came in.
 	if c.disk != nil {
 		c.disk.inject = c.inject
+	}
+	if c.sched != nil {
+		c.sched.draft = c.draft
 	}
 	return c
 }
@@ -431,6 +442,10 @@ func (c *Cache) freeTracked(p *memory.Pool, key string) {
 
 // dropSchemaLocked releases all pool reservations of a schema.
 func (c *Cache) dropSchemaLocked(name string, e *schemaEntry) {
+	if c.draft != nil {
+		// The draft source's learned phrasing dies with the schema too.
+		c.draft.DropClassPrefix(classPrefix(name))
+	}
 	if c.miner != nil {
 		// Forget the schema's observed traffic; mined modules counted
 		// here are also in e.modules and release their tiers below.

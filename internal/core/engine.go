@@ -43,6 +43,12 @@ type ServeResult struct {
 	// pins, when non-nil, holds the modules this result's KV views point
 	// into, pinned against eviction until Close (or Materialize).
 	pins *pinSet
+
+	// class is the serve's serving-class key (see servingClass), set when
+	// mining or speculation is active. Generate hands it to the decode
+	// scheduler so draft-source lookups stay scoped to streams whose
+	// attention context matches.
+	class string
 }
 
 // pinSet ties a serve's module pins to the lifetime of the results
@@ -145,8 +151,10 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 	// mined hit appends its own pin.
 	fullToks, fullPos := newToks, newPos
 	var class, minedName string
-	if c.miner != nil {
+	if c.miner != nil || c.draft != nil {
 		class = servingClass(prompt.SchemaName, plan)
+	}
+	if c.miner != nil {
 		var n int
 		minedName, n = c.spliceMined(plan, prompt.SchemaName, class, newToks, newPos)
 		newToks, newPos = newToks[n:], newPos[n:]
@@ -178,6 +186,7 @@ func (c *Cache) ServeParsed(ctx context.Context, prompt *pml.Prompt, opts ServeO
 		// rows out of the still-stable views.
 		c.observeServe(prompt.SchemaName, class, fullToks, fullPos, seq)
 	}
+	res.class = class
 	res.pins = ps
 	return res, nil
 }
@@ -715,7 +724,7 @@ func (c *Cache) Generate(ctx context.Context, res *ServeResult, opts model.Gener
 		err error
 	)
 	if c.sched != nil {
-		ids, err = c.sched.Generate(ctx, res.KV, res.Logits, opts, nil)
+		ids, err = c.sched.Generate(ctx, res.class, res.KV, res.Logits, opts, nil)
 	} else {
 		ids, err = c.m.Generate(ctx, res.KV, res.Logits, opts)
 	}
@@ -764,6 +773,7 @@ func (c *Cache) Continue(ctx context.Context, res *ServeResult, userText string)
 		Modules:      res.Modules,
 		Scaffolds:    res.Scaffolds,
 		pins:         res.pins,
+		class:        res.class,
 	}, nil
 }
 
@@ -780,7 +790,7 @@ func (c *Cache) GenerateStream(ctx context.Context, res *ServeResult, opts model
 		err error
 	)
 	if c.sched != nil {
-		ids, err = c.sched.Generate(ctx, res.KV, res.Logits, opts, detok)
+		ids, err = c.sched.Generate(ctx, res.class, res.KV, res.Logits, opts, detok)
 	} else {
 		ids, err = c.m.GenerateStream(ctx, res.KV, res.Logits, opts, detok)
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/kvcache"
+	"repro/internal/mining"
 	"repro/internal/model"
 )
 
@@ -38,6 +39,11 @@ type SchedStats struct {
 	BatchHist []int64
 	// DecodeNs is total wall time spent inside fused model steps.
 	DecodeNs int64
+	// SpecSteps counts fused steps that verified at least one draft
+	// token; DraftProposed and DraftAccepted count draft tokens verified
+	// and accepted across all lanes. Accepted drafts are tokens produced
+	// without their own fused step — the speculation win.
+	SpecSteps, DraftProposed, DraftAccepted int64
 }
 
 // TokensPerSec is the decode-phase throughput: tokens produced per second
@@ -47,6 +53,21 @@ func (s SchedStats) TokensPerSec() float64 {
 		return 0
 	}
 	return float64(s.TokensDecoded) / (float64(s.DecodeNs) / 1e9)
+}
+
+// AcceptedPerStep is the mean tokens a lane produces per fused step it
+// participates in — exactly 1 without speculation (each lane samples one
+// token per step regardless of batch width), above 1 when drafts are
+// being accepted. Zero before any step runs.
+func (s SchedStats) AcceptedPerStep() float64 {
+	var laneSteps int64
+	for i, n := range s.BatchHist {
+		laneSteps += n * int64(i+1)
+	}
+	if laneSteps == 0 {
+		return 0
+	}
+	return float64(s.TokensDecoded) / float64(laneSteps)
 }
 
 // schedLane is one request's sequence inside the scheduler: its KV state,
@@ -66,6 +87,18 @@ type schedLane struct {
 	out  []int
 	err  error
 	done chan struct{}
+
+	// speculation state: specOn resolves the request's policy against
+	// the engine's draft source; specClass keys draft lookups (the serve's
+	// serving class, possibly empty); spec and specPos are the step's
+	// token/position runs — spec[0] is the sampled token, the rest draft
+	// proposals; ready marks a lane whose pre-step sequence already ran
+	// inside settle, so the next iteration steps it without re-sampling.
+	specOn    bool
+	specClass string
+	spec      []int
+	specPos   []int
+	ready     bool
 }
 
 // Scheduler fuses concurrent decode loops into shared model steps
@@ -82,11 +115,23 @@ type schedLane struct {
 // it decoded alone or fused with any mix of neighbors joining and
 // retiring around it.
 //
+// With a draft source (WithSpeculation) the fused step speculates: each
+// lane proposes up to draftBudget tokens from its class's n-gram table,
+// one widened verify step scores all proposed positions, and settle
+// accepts exactly the prefix solo decode would have sampled, truncating
+// the rest — several tokens per step when the draft is right, the same
+// bit-identical stream always. Retiring lanes feed their accepted tokens
+// back into the draft source, which is how it trains.
+//
 // The run loop starts on demand and exits when no lanes are active or
 // waiting, so an idle scheduler costs nothing and needs no Close.
 type Scheduler struct {
 	m        *model.Model
 	maxBatch int
+	// draft, when non-nil, is the n-gram draft source speculative decode
+	// proposes from (WithSpeculation). It synchronizes itself; the run
+	// loop calls it without holding mu.
+	draft *mining.Draft
 
 	mu sync.Mutex
 	// pending holds queued lanes per SLO class: the admission sweep
@@ -101,6 +146,8 @@ type Scheduler struct {
 	steps, tokens              int64
 	decodeNs                   int64
 	hist                       []int64
+
+	specSteps, draftProposed, draftAccepted int64
 }
 
 // newScheduler builds a scheduler over m with the given fused-step width
@@ -137,6 +184,9 @@ func (s *Scheduler) Stats() SchedStats {
 		TokensDecoded:  s.tokens,
 		BatchHist:      append([]int64(nil), s.hist...),
 		DecodeNs:       s.decodeNs,
+		SpecSteps:      s.specSteps,
+		DraftProposed:  s.draftProposed,
+		DraftAccepted:  s.draftAccepted,
 	}
 }
 
@@ -144,8 +194,10 @@ func (s *Scheduler) Stats() SchedStats {
 // retires, returning the generated ids (semantics identical to
 // model.Generate / model.GenerateStream, including error returns). The
 // caller keeps ownership of kv after return; while the lane is live the
-// scheduler is the one goroutine appending to it.
-func (s *Scheduler) Generate(ctx context.Context, kv kvcache.KV, lastLogits []float32, opts model.GenerateOpts, emit func(tok int) bool) ([]int, error) {
+// scheduler is the one goroutine appending to it. class is the serve's
+// serving-class key, which scopes draft-source lookups when speculation
+// is enabled; the empty string is a valid (shared) class.
+func (s *Scheduler) Generate(ctx context.Context, class string, kv kvcache.KV, lastLogits []float32, opts model.GenerateOpts, emit func(tok int) bool) ([]int, error) {
 	opts.Defaults()
 	if kv.Len() == 0 {
 		//pclint:ignore errtaxonomy mirrors model.Generate's guard verbatim so fused and solo decode return identical errors
@@ -156,14 +208,16 @@ func (s *Scheduler) Generate(ctx context.Context, kv kvcache.KV, lastLogits []fl
 		return nil, fmt.Errorf("model: logits width %d != vocab %d", len(lastLogits), s.m.Cfg.VocabSize)
 	}
 	ln := &schedLane{
-		ctx:    ctx,
-		kv:     kv,
-		logits: lastLogits,
-		opts:   opts,
-		emit:   emit,
-		class:  SLOFromContext(ctx),
-		pos:    kv.MaxPos(),
-		done:   make(chan struct{}),
+		ctx:       ctx,
+		kv:        kv,
+		logits:    lastLogits,
+		opts:      opts,
+		emit:      emit,
+		class:     SLOFromContext(ctx),
+		pos:       kv.MaxPos(),
+		done:      make(chan struct{}),
+		specOn:    s.draft != nil && opts.Speculation.Policy != model.SpecOff,
+		specClass: class,
 	}
 	s.mu.Lock()
 	s.pending[ln.class] = append(s.pending[ln.class], ln)
@@ -238,18 +292,32 @@ func (s *Scheduler) run() {
 
 		// Sample-and-retire phase: per lane, the exact pre-step sequence
 		// of the solo loop (MaxTokens, ctx, sample, stop token, emit,
-		// MaxSeq), so retirement decisions match solo decoding bit for bit.
+		// MaxSeq), so retirement decisions match solo decoding bit for
+		// bit. A ready lane ran that sequence inside settle against the
+		// verify step's logits and skips it here. With a draft source,
+		// each surviving lane then proposes draft tokens to verify
+		// alongside its sampled one.
 		keep = keep[:0]
-		lanes, tokens, positions, kvs = lanes[:0], tokens[:0], positions[:0], kvs[:0]
+		lanes, kvs = lanes[:0], kvs[:0]
+		spec := false
 		for _, ln := range active {
-			if stop, err := s.advance(ln); stop {
+			if ln.ready {
+				ln.ready = false
+			} else if stop, err := s.advance(ln); stop {
 				s.retire(ln, err)
 				continue
 			}
+			ln.spec = append(ln.spec[:0], ln.next)
+			if ln.specOn {
+				if budget := s.draftBudget(ln); budget > 0 {
+					ln.spec = append(ln.spec, s.draft.Propose(ln.specClass, ln.out, budget)...)
+				}
+			}
+			if len(ln.spec) > 1 {
+				spec = true
+			}
 			keep = append(keep, ln)
 			lanes = append(lanes, ln.dl)
-			tokens = append(tokens, ln.next)
-			positions = append(positions, ln.pos)
 			kvs = append(kvs, ln.kv)
 		}
 		active = active[:0]
@@ -258,7 +326,19 @@ func (s *Scheduler) run() {
 			continue
 		}
 
-		// One fused model step for every surviving lane.
+		if spec {
+			s.stepSpec(&active, lanes, kvs)
+			continue
+		}
+
+		// One fused model step for every surviving lane. With no drafts
+		// anywhere in the batch (speculation off, or every draft cold)
+		// this is exactly the pre-speculation hot path.
+		tokens, positions = tokens[:0], positions[:0]
+		for _, ln := range active {
+			tokens = append(tokens, ln.next)
+			positions = append(positions, ln.pos)
+		}
 		start := time.Now()
 		err := s.m.DecodeStepBatch(lanes, tokens, positions, kvs)
 		elapsed := time.Since(start)
@@ -290,6 +370,113 @@ func (s *Scheduler) run() {
 		s.decodeNs += elapsed.Nanoseconds()
 		s.mu.Unlock()
 	}
+}
+
+// stepSpec runs one fused verify step for a batch in which at least one
+// lane carries draft tokens, then settles every lane's acceptance.
+// active is rewritten in place to the lanes that survived.
+func (s *Scheduler) stepSpec(active *[]*schedLane, lanes []*model.DecodeLane, kvs []kvcache.KV) {
+	mtoks := make([][]int, 0, len(lanes))
+	mpos := make([][]int, 0, len(lanes))
+	for _, ln := range *active {
+		ln.specPos = ln.specPos[:0]
+		for j := range ln.spec {
+			ln.specPos = append(ln.specPos, ln.pos+j)
+		}
+		mtoks = append(mtoks, ln.spec)
+		mpos = append(mpos, ln.specPos)
+	}
+
+	start := time.Now()
+	err := s.m.DecodeStepBatchMulti(lanes, mtoks, mpos, kvs)
+	elapsed := time.Since(start)
+	if err != nil {
+		for _, ln := range *active {
+			s.retire(ln, err)
+		}
+		*active = (*active)[:0]
+		return
+	}
+
+	var produced, proposed, accepted int64
+	keep := (*active)[:0]
+	for _, ln := range *active {
+		if lerr := ln.dl.Err(); lerr != nil {
+			// The failed lane appended nothing; solo decode would fail the
+			// same step with the same error.
+			s.retire(ln, lerr)
+			continue
+		}
+		proposed += int64(len(ln.spec) - 1)
+		p, a, retired := s.settle(ln)
+		produced += int64(p)
+		accepted += int64(a)
+		if retired {
+			continue
+		}
+		keep = append(keep, ln)
+	}
+	*active = keep
+
+	s.mu.Lock()
+	s.steps++
+	s.specSteps++
+	s.tokens += produced
+	s.hist[len(lanes)-1]++
+	s.decodeNs += elapsed.Nanoseconds()
+	s.draftProposed += proposed
+	s.draftAccepted += accepted
+	s.mu.Unlock()
+}
+
+// settle replays the solo post-step sequence over a lane's verify
+// logits: position j's logits feed the exact advance() the solo loop
+// would run next, and the draft token at j+1 is accepted only when the
+// lane's own sampler picked precisely it. On divergence — or any
+// retirement — the speculative tail rows are truncated away, so the
+// lane's KV, sampler state, token stream and emitted output are
+// bit-identical to never having speculated. A surviving lane leaves
+// settle step-ready: its next token is sampled and emitted, awaiting the
+// next fused step.
+func (s *Scheduler) settle(ln *schedLane) (produced, accepted int, retired bool) {
+	n := len(ln.spec)
+	base := ln.kv.Len() - n
+	for j := 0; j < n; j++ {
+		ln.logits = ln.dl.LogitsAt(j)
+		if stop, err := s.advance(ln); stop {
+			ln.kv.Truncate(base + j + 1)
+			s.retire(ln, err)
+			return produced, accepted, true
+		}
+		produced++
+		if j+1 < n {
+			if ln.next == ln.spec[j+1] {
+				accepted++
+				continue
+			}
+			ln.kv.Truncate(base + j + 1)
+		}
+		ln.ready = true
+		return produced, accepted, false
+	}
+	return produced, accepted, false // unreachable: the loop exits via ready
+}
+
+// draftBudget bounds a lane's draft width: the request's MaxDraft, the
+// remaining token budget (a draft past MaxTokens can never be accepted),
+// and the remaining position headroom.
+func (s *Scheduler) draftBudget(ln *schedLane) int {
+	b := ln.opts.Speculation.MaxDraft
+	if r := ln.opts.MaxTokens - len(ln.out); r < b {
+		b = r
+	}
+	if r := s.m.Cfg.MaxSeq - 1 - ln.pos; r < b {
+		b = r
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
 }
 
 // advance runs one lane's pre-step phase — the head of the solo decode
@@ -325,6 +512,13 @@ func (s *Scheduler) retire(ln *schedLane, err error) {
 	ln.err = err
 	if ln.dl != nil {
 		ln.dl.Close()
+	}
+	if s.draft != nil && len(ln.out) >= 2 {
+		// Feed the accepted stream to the draft source — only tokens
+		// decode actually produced, never rejected proposals, so the
+		// predictor cannot reinforce its own mistakes. Streams train the
+		// draft even when the request itself declined speculation.
+		s.draft.Observe(ln.specClass, ln.out)
 	}
 	s.mu.Lock()
 	s.retired++

@@ -1,0 +1,70 @@
+package core
+
+import "repro/internal/mining"
+
+// DraftOpts configures the speculative-decoding draft source; it is an
+// alias of the mining package's draft config so promptcache can
+// re-export it without leaking internals. Zero fields take the draft
+// package's documented defaults.
+type DraftOpts = mining.DraftConfig
+
+// WithSpeculation enables draft-and-verify speculative decoding: retired
+// generations train a per-serving-class n-gram draft source, and decode
+// lanes verify its proposals in widened fused steps, accepting exactly
+// the prefix solo decode would have produced — output is bit-identical
+// with or without it. Speculation runs inside the decode scheduler, so
+// it takes effect only together with WithDecodeScheduler; per-request
+// policy (model.SpecOpts) can opt individual generations out.
+func WithSpeculation(opts DraftOpts) Option {
+	return func(c *Cache) { c.draft = mining.NewDraft(opts) }
+}
+
+// SpecStats is a snapshot of speculative-decoding activity: the draft
+// source's table statistics plus the scheduler's verify counters.
+type SpecStats struct {
+	Enabled bool `json:"enabled"`
+	// Observed counts accepted token streams fed to the draft source.
+	Observed uint64 `json:"observed"`
+	// Classes and Contexts size the n-gram table.
+	Classes  int `json:"classes"`
+	Contexts int `json:"contexts"`
+	// SpecSteps counts fused steps that verified at least one draft
+	// token; DraftProposed and DraftAccepted count draft tokens verified
+	// and accepted across all lanes.
+	SpecSteps     int64 `json:"spec_steps"`
+	DraftProposed int64 `json:"draft_proposed"`
+	DraftAccepted int64 `json:"draft_accepted"`
+	// AcceptRate is DraftAccepted / DraftProposed (0 before any
+	// proposal) — how often the draft source guesses the sampler's next
+	// token.
+	AcceptRate float64 `json:"accept_rate"`
+}
+
+// SpecEnabled reports whether speculative decoding is active: a draft
+// source installed and a decode scheduler to run verify steps in.
+func (c *Cache) SpecEnabled() bool { return c.draft != nil && c.sched != nil }
+
+// SpecStats returns a snapshot of speculation activity. Without
+// WithSpeculation it returns the zero snapshot (Enabled false).
+func (c *Cache) SpecStats() SpecStats {
+	if c.draft == nil {
+		return SpecStats{}
+	}
+	ds := c.draft.Stats()
+	st := SpecStats{
+		Enabled:  true,
+		Observed: ds.Observed,
+		Classes:  ds.Classes,
+		Contexts: ds.Contexts,
+	}
+	if c.sched != nil {
+		ss := c.sched.Stats()
+		st.SpecSteps = ss.SpecSteps
+		st.DraftProposed = ss.DraftProposed
+		st.DraftAccepted = ss.DraftAccepted
+		if ss.DraftProposed > 0 {
+			st.AcceptRate = float64(ss.DraftAccepted) / float64(ss.DraftProposed)
+		}
+	}
+	return st
+}

@@ -59,6 +59,10 @@ func DefaultConfig() *Config {
 			core + ".Cache.mu",
 			core + ".blockRegistry.mu",
 			core + ".Scheduler.mu",
+			// The draft source's table lock: Propose runs on the scheduler's
+			// decode path between fused steps, so nothing heavy may ever run
+			// under it.
+			"repro/internal/mining.Draft.mu",
 		},
 		LockedSuffix: "Locked",
 		HeavyFuncs: []string{
@@ -66,6 +70,9 @@ func DefaultConfig() *Config {
 			model + ".Model.PrefillCtx",
 			model + ".Model.Decode",
 			model + ".Model.DecodeStepBatch",
+			// The speculative verify step: a widened fused step, as heavy as
+			// DecodeStepBatch times the draft depth.
+			model + ".Model.DecodeStepBatchMulti",
 			model + ".Model.Generate",
 			model + ".Model.GenerateStream",
 			model + ".Model.generate",
@@ -114,6 +121,10 @@ func DefaultConfig() *Config {
 			// Scheduler lane joins and retirement order.
 			core + ".Scheduler.run",
 			core + ".Scheduler.advance",
+			// Speculative verify and settle: token emission across lanes
+			// (already reachable from run; listed so the root survives a
+			// future refactor that severs that path).
+			core + ".Scheduler.stepSpec",
 			// Manifest writing: warm restarts replay this byte stream.
 			core + ".Cache.SaveAll",
 			core + ".Cache.SaveSchemaStates",

@@ -1,0 +1,135 @@
+package mining
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDraftColdProposesNothing(t *testing.T) {
+	d := NewDraft(DraftConfig{})
+	if got := d.Propose("c", []int{1, 2, 3}, 4); got != nil {
+		t.Fatalf("cold tree proposed %v", got)
+	}
+	// One observation leaves every transition at hits=1, below the
+	// default MinHits=2 threshold: still nothing — a single fluke reply
+	// must not steer the verify step.
+	d.Observe("c", []int{1, 2, 3, 4, 5})
+	if got := d.Propose("c", []int{1, 2, 3}, 4); got != nil {
+		t.Fatalf("single observation at default MinHits proposed %v", got)
+	}
+	// Wrong class: trained elsewhere, cold here.
+	d2 := NewDraft(DraftConfig{MinHits: 1})
+	d2.Observe("a", []int{1, 2, 3, 4})
+	d2.Observe("a", []int{1, 2, 3, 4})
+	if got := d2.Propose("b", []int{1, 2}, 4); got != nil {
+		t.Fatalf("unobserved class proposed %v", got)
+	}
+}
+
+func TestDraftProposesAfterTraining(t *testing.T) {
+	d := NewDraft(DraftConfig{MinHits: 1})
+	d.Observe("c", []int{1, 2, 3, 4, 5, 6})
+	// Greedy extension: from context [2,3] the predictor should walk the
+	// observed continuation 4, 5, 6.
+	if got, want := d.Propose("c", []int{1, 2, 3}, 3), []int{4, 5, 6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Propose = %v, want %v", got, want)
+	}
+	// max caps the proposal even when more is known.
+	if got, want := d.Propose("c", []int{1, 2, 3}, 2), []int{4, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Propose(max=2) = %v, want %v", got, want)
+	}
+	// max<=0 falls back to the configured MaxDraft (default 4).
+	if got := d.Propose("c", []int{1, 2, 3}, 0); len(got) != 3 {
+		t.Fatalf("Propose(max=0) = %v, want the full known continuation", got)
+	}
+}
+
+func TestDraftBacksOffToShorterContext(t *testing.T) {
+	d := NewDraft(DraftConfig{MinHits: 1})
+	d.Observe("c", []int{1, 3, 1, 5})
+	// Context [9, 1] was never observed, but its suffix [1] was: back-off
+	// must find it. [1] was followed by 3 and by 5, both at hits 1; the
+	// deterministic tie-break picks the lowest token id.
+	if got, want := d.Propose("c", []int{9, 1}, 1), []int{3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Propose = %v, want %v (lowest-token-id tie-break)", got, want)
+	}
+	// A later observation breaking the tie flips the winner.
+	d.Observe("c", []int{1, 5, 2, 2})
+	if got, want := d.Propose("c", []int{9, 1}, 1), []int{5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reinforcing 1->5: Propose = %v, want %v", got, want)
+	}
+}
+
+func TestDraftDecayedEntriesExpire(t *testing.T) {
+	// MinHits 1.5 sets the skip threshold at decayed hits <= 0.5, which a
+	// single observation (hits=1) crosses after one half-life. HalfLife 1
+	// makes every Observe a full half-life, so one unrelated observation
+	// is enough to age the transition out.
+	d := NewDraft(DraftConfig{MinHits: 1.5, HalfLife: 1})
+	d.Observe("c", []int{1, 2, 3})
+	d.Observe("c", []int{1, 2, 3}) // hits ~1.5 now: proposes
+	if got := d.Propose("c", []int{1, 2}, 1); len(got) == 0 {
+		t.Fatal("fresh transition did not propose")
+	}
+	// Two unrelated observations decay 1.5 -> 0.375, under the threshold.
+	d.Observe("other", []int{7, 8, 9})
+	d.Observe("other", []int{7, 8, 9})
+	if got := d.Propose("c", []int{1, 2}, 1); got != nil {
+		t.Fatalf("decayed transition still proposed %v", got)
+	}
+}
+
+func TestDraftDropClassPrefix(t *testing.T) {
+	d := NewDraft(DraftConfig{MinHits: 1})
+	d.Observe("travel/a", []int{1, 2, 3})
+	d.Observe("travel/b", []int{4, 5, 6})
+	d.Observe("docs/a", []int{7, 8, 9})
+	if st := d.Stats(); st.Classes != 3 || st.Contexts == 0 {
+		t.Fatalf("setup stats: %+v", st)
+	}
+	d.DropClassPrefix("travel/")
+	st := d.Stats()
+	if st.Classes != 1 {
+		t.Fatalf("after drop: %d classes, want 1", st.Classes)
+	}
+	if got := d.Propose("travel/a", []int{1, 2}, 1); got != nil {
+		t.Fatalf("dropped class still proposed %v", got)
+	}
+	if got := d.Propose("docs/a", []int{7, 8}, 1); len(got) == 0 {
+		t.Fatal("unrelated class lost its entries")
+	}
+	// Contexts bookkeeping must shrink with the drop, or MaxEntries would
+	// fill with ghosts.
+	if st.Contexts >= 3*st.Classes*2 {
+		t.Fatalf("entries not released: %+v", st)
+	}
+}
+
+func TestDraftMaxEntriesBounds(t *testing.T) {
+	d := NewDraft(DraftConfig{MinHits: 1, MaxEntries: 4})
+	// Each 3-token stream creates up to 3 contexts; after the cap fills,
+	// new contexts are refused but the table stays functional.
+	d.Observe("c", []int{1, 2, 3})
+	d.Observe("c", []int{10, 11, 12})
+	d.Observe("c", []int{20, 21, 22})
+	if st := d.Stats(); st.Contexts > 4 {
+		t.Fatalf("MaxEntries exceeded: %+v", st)
+	}
+	// The earliest transitions still work.
+	if got := d.Propose("c", []int{1, 2}, 1); len(got) == 0 {
+		t.Fatal("pre-cap transition lost")
+	}
+}
+
+func TestDraftStats(t *testing.T) {
+	d := NewDraft(DraftConfig{})
+	if st := d.Stats(); !st.Enabled || st.Observed != 0 || st.Classes != 0 {
+		t.Fatalf("zero stats: %+v", st)
+	}
+	d.Observe("c", []int{1, 2, 3})
+	d.Observe("c", []int{1, 2, 3})
+	st := d.Stats()
+	if st.Observed != 2 || st.Classes != 1 || st.Contexts == 0 {
+		t.Fatalf("stats after two observations: %+v", st)
+	}
+}

@@ -26,6 +26,16 @@ type DecodeLane struct {
 	pos  int
 	rows int  // rows to attend over this step (kv.Len() after AppendPos)
 	skip bool // lane failed validation; excluded from the fused walk
+
+	// multi-position state for DecodeStepBatchMulti: extra holds pooled
+	// scratch for verify positions 1..k-1 (position 0 runs in sc, so a
+	// batch of singletons costs exactly a DecodeStepBatch), mpos/mrows the
+	// per-position query positions and attention row counts, mk the
+	// position count of the lane's current step.
+	extra []*scratch
+	mpos  []int
+	mrows []int
+	mk    int
 }
 
 // NewDecodeLane acquires a lane backed by pooled scratch.
@@ -40,12 +50,46 @@ func (l *DecodeLane) Close() {
 		l.m.putScratch(l.sc)
 		l.sc = nil
 	}
+	for _, sc := range l.extra {
+		l.m.putScratch(sc)
+	}
+	l.extra = nil
 }
 
 // Logits returns the lane's next-token logits from the latest
 // DecodeStepBatch call. The slice aliases lane scratch: it is valid until
 // the lane's next step or Close, and must not be mutated.
 func (l *DecodeLane) Logits() []float32 { return l.sc.lgOut }
+
+// LogitsAt returns the next-token logits computed at verify position j of
+// the latest DecodeStepBatchMulti call (LogitsAt(0) == Logits()). Same
+// aliasing rules as Logits.
+func (l *DecodeLane) LogitsAt(j int) []float32 { return l.scratchAt(j).lgOut }
+
+// scratchAt maps a verify position to its scratch: position 0 is the
+// lane's own, the rest come from the extra pool.
+func (l *DecodeLane) scratchAt(j int) *scratch {
+	if j == 0 {
+		return l.sc
+	}
+	return l.extra[j-1]
+}
+
+// growMulti sizes the lane for a k-position step, acquiring extra pooled
+// scratch on first use and keeping it for the lane's lifetime so steady
+// speculative decode allocates nothing per step.
+func (l *DecodeLane) growMulti(k int) {
+	for len(l.extra) < k-1 {
+		l.extra = append(l.extra, l.m.getScratch())
+	}
+	if cap(l.mpos) < k {
+		l.mpos = make([]int, k)
+		l.mrows = make([]int, k)
+	}
+	l.mpos = l.mpos[:k]
+	l.mrows = l.mrows[:k]
+	l.mk = k
+}
 
 // Err reports the lane's failure from the latest DecodeStepBatch call,
 // or nil. A failed lane appended nothing to its cache; other lanes in the

@@ -150,12 +150,40 @@ func (r *RepetitionPenalty) remember(tok int) {
 	}
 }
 
+// SpecPolicy selects whether a decode loop may use draft-and-verify
+// speculative decoding. The default, SpecAuto, defers to the serving
+// engine: speculation runs iff a draft source is configured there.
+type SpecPolicy int
+
+const (
+	// SpecAuto speculates when the engine has a draft source.
+	SpecAuto SpecPolicy = iota
+	// SpecOn requests speculation (still a no-op without a draft source).
+	SpecOn
+	// SpecOff disables speculation for this generation.
+	SpecOff
+)
+
+// SpecOpts carries per-generation speculation controls. Speculation never
+// changes output — accepted drafts are exactly the tokens solo decode
+// would have sampled — so these knobs trade verify-step width against
+// wasted work, not quality.
+type SpecOpts struct {
+	Policy SpecPolicy
+	// MaxDraft bounds draft tokens verified per fused step (default 4).
+	MaxDraft int
+}
+
 // GenerateOpts controls autoregressive generation.
 type GenerateOpts struct {
 	MaxTokens int
 	Sampler   Sampler
 	// StopToken ends generation when sampled (defaults to tokenizer.EosID).
 	StopToken int
+	// Speculation configures draft-and-verify decode. The model's solo
+	// loop ignores it; the continuous-batching scheduler in internal/core
+	// honors it when a draft source is installed.
+	Speculation SpecOpts
 }
 
 // Defaults fills unset fields with their documented defaults. Decode
@@ -171,6 +199,9 @@ func (o *GenerateOpts) Defaults() {
 	}
 	if o.StopToken == 0 {
 		o.StopToken = tokenizer.EosID
+	}
+	if o.Speculation.MaxDraft <= 0 {
+		o.Speculation.MaxDraft = 4
 	}
 }
 

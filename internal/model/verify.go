@@ -1,0 +1,178 @@
+package model
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kvcache"
+	"repro/internal/tensor"
+)
+
+// DecodeStepBatchMulti is the speculative-decoding verify step: one fused
+// pass that scores several consecutive draft tokens per lane. Lane i
+// appends tokens[i][j] at positions[i][j] to kvs[i] for every j and
+// computes next-token logits at each of the k positions (read them with
+// lanes[i].LogitsAt(j)). A lane with a single token behaves exactly like
+// DecodeStepBatch; the layer loop still runs once for the whole batch.
+//
+// Bit-identity with sequential solo decode is structural, by the same
+// argument that makes prefill and decode agree: the walk is layer-outer,
+// lane-inner, position-inner, and every per-position operation — norm,
+// QKV projections, RoPE at that position, AppendToken, attention over
+// that position's causal row count, projection, FFN — has exactly the
+// inputs and reduction order the solo step() sequence would give it.
+// Position j's attention at layer l sees rows 0..base+j, whose layer-l
+// K/V values were appended earlier in the same layer pass and equal the
+// sequential values. So if the scored tokens match what solo decode
+// would have sampled, the logits at every position match bit-for-bit —
+// the invariant the speculation acceptance loop in internal/core relies
+// on, and what lets rejected drafts fall back to the verified token
+// without recomputing anything.
+//
+// Validation is all-or-nothing per lane: a lane with any out-of-range
+// token or position appends nothing to its cache and is excluded from
+// the walk, reported via Err(). The returned error is reserved for
+// malformed calls (mismatched slice shapes, empty lanes).
+func (m *Model) DecodeStepBatchMulti(lanes []*DecodeLane, tokens, positions [][]int, kvs []kvcache.KV) error {
+	if len(lanes) != len(tokens) || len(lanes) != len(positions) || len(lanes) != len(kvs) {
+		return fmt.Errorf("model: DecodeStepBatchMulti lanes=%d tokens=%d positions=%d kvs=%d",
+			len(lanes), len(tokens), len(positions), len(kvs))
+	}
+	cfg := &m.Cfg
+
+	for i, ln := range lanes {
+		ln.err = nil
+		ln.skip = false
+		ln.mk = 0
+		toks, poss := tokens[i], positions[i]
+		if len(toks) == 0 || len(toks) != len(poss) {
+			return fmt.Errorf("model: DecodeStepBatchMulti lane %d has %d tokens but %d positions",
+				i, len(toks), len(poss))
+		}
+		// Validate the whole lane before touching its cache, preserving
+		// the single-token step's contract that a failed lane appended
+		// nothing.
+		for j := range toks {
+			if tok := toks[j]; tok < 0 || tok >= cfg.VocabSize {
+				ln.err = fmt.Errorf("model: token %d out of vocab %d", tok, cfg.VocabSize)
+				ln.skip = true
+				break
+			}
+			if pos := poss[j]; pos < 0 || pos >= cfg.MaxSeq {
+				ln.err = fmt.Errorf("model: position %d out of range [0,%d)", pos, cfg.MaxSeq)
+				ln.skip = true
+				break
+			}
+		}
+		if ln.skip {
+			continue
+		}
+		ln.growMulti(len(toks))
+		for j := range toks {
+			sc := ln.scratchAt(j)
+			copy(sc.x, m.embedding.Row(toks[j]))
+			if cfg.PosEnc == Learned {
+				tensor.Add(sc.x, m.posTable.Row(poss[j]))
+			}
+			kvs[i].AppendPos(poss[j])
+			ln.mpos[j] = poss[j]
+			ln.mrows[j] = kvs[i].Len()
+		}
+	}
+
+	// Fan whole lanes out across workers exactly as DecodeStepBatch does:
+	// lanes share nothing but read-only weights, so the split cannot
+	// change any lane's numbers.
+	active := 0
+	for _, ln := range lanes {
+		if !ln.skip {
+			active++
+		}
+	}
+	if workers := m.bk.Workers(); workers > 1 && active >= 2 {
+		if workers > len(lanes) {
+			workers = len(lanes)
+		}
+		chunk := (len(lanes) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < len(lanes); lo += chunk {
+			hi := lo + chunk
+			if hi > len(lanes) {
+				hi = len(lanes)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				m.stepLanesMulti(lanes[lo:hi], kvs[lo:hi])
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		m.stepLanesMulti(lanes, kvs)
+	}
+
+	// Output head, batched over every (lane, position) pair: the verify
+	// step's bandwidth win — each vocab row is walked once while k·N
+	// logit vectors are produced.
+	var dsts, hs [][]float32
+	for _, ln := range lanes {
+		if ln.skip {
+			continue
+		}
+		for j := 0; j < ln.mk; j++ {
+			sc := ln.scratchAt(j)
+			if sc.lgOut == nil {
+				sc.lgH = make([]float32, cfg.Dim)
+				sc.lgOut = make([]float32, cfg.VocabSize)
+			}
+			m.norm(sc.lgH, sc.x, m.finalNormW, m.finalNormB)
+			dsts = append(dsts, sc.lgOut)
+			hs = append(hs, sc.lgH)
+		}
+	}
+	m.bk.OutputHead(dsts, m.embedding, hs)
+	return nil
+}
+
+// stepLanesMulti runs the fused layer walk for a lane range of a
+// multi-position step: layer-outer, lane-inner, position-inner. Within a
+// lane, position j's operation sequence at each layer is identical to
+// step()'s, and its attention row count ln.mrows[j] covers exactly the
+// rows a sequential decode would have cached before it.
+func (m *Model) stepLanesMulti(lanes []*DecodeLane, kvs []kvcache.KV) {
+	cfg := &m.Cfg
+	for l := range m.layers {
+		ly := &m.layers[l]
+		for i, ln := range lanes {
+			if ln.skip {
+				continue
+			}
+			for j := 0; j < ln.mk; j++ {
+				sc := ln.scratchAt(j)
+				pos := ln.mpos[j]
+				m.norm(sc.h, sc.x, ly.attnNormW, ly.attnNormB)
+
+				m.bk.MatVecT(sc.q, ly.wq, sc.h)
+				m.bk.MatVecT(sc.k, ly.wk, sc.h)
+				m.bk.MatVecT(sc.v, ly.wv, sc.h)
+				if cfg.PosEnc == RoPE {
+					m.applyRope(sc.q, cfg.NHeads, pos)
+					m.applyRope(sc.k, cfg.NKVHeads, pos)
+				}
+				kvs[i].AppendToken(l, sc.k, sc.v)
+
+				m.attend(sc, kvs[i], l, ln.mrows[j], pos)
+
+				m.bk.MatVecT(sc.proj, ly.wo, sc.attnOut)
+				if cfg.ParallelAttn {
+					tensor.Add(sc.x, sc.proj)
+					m.ffn(sc, ly, sc.h)
+				} else {
+					tensor.Add(sc.x, sc.proj)
+					m.norm(sc.h, sc.x, ly.ffnNormW, ly.ffnNormB)
+					m.ffn(sc, ly, sc.h)
+				}
+			}
+		}
+	}
+}

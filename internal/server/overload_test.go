@@ -71,7 +71,7 @@ func TestOverloadStormShedsWith429(t *testing.T) {
 	prompt := `<prompt schema="docs"><contract/>Summarize the duties please.</prompt>`
 
 	post := func(maxTokens int) (int, string) {
-		body, _ := json.Marshal(CompleteRequest{Prompt: prompt, MaxTokens: maxTokens})
+		body, _ := json.Marshal(CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: maxTokens}})
 		req := httptest.NewRequest(http.MethodPost, "/v1/complete", bytes.NewReader(body))
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
@@ -182,7 +182,7 @@ func TestOverloadStreamShedsBeforeSSE(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			body, _ := json.Marshal(CompleteRequest{Prompt: prompt, MaxTokens: 200})
+			body, _ := json.Marshal(CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 200}})
 			req := httptest.NewRequest(http.MethodPost, "/v1/complete", bytes.NewReader(body))
 			s.ServeHTTP(httptest.NewRecorder(), req)
 		}()
@@ -199,7 +199,7 @@ func TestOverloadStreamShedsBeforeSSE(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	body, _ := json.Marshal(CompleteRequest{Prompt: prompt, MaxTokens: 4})
+	body, _ := json.Marshal(CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
 	req := httptest.NewRequest(http.MethodPost, "/v1/stream", bytes.NewReader(body))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
@@ -222,7 +222,7 @@ func TestOverloadStreamShedsBeforeSSE(t *testing.T) {
 func TestDeadlineExpiryMaps504(t *testing.T) {
 	s := newAdmitServer(t, 4, 4, time.Nanosecond)
 	prompt := `<prompt schema="docs"><contract/>Summarize the duties please.</prompt>`
-	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("expired deadline = %d %v, want 504", rec.Code, out)
 	}
@@ -274,12 +274,12 @@ func TestCompleteSLOField(t *testing.T) {
 	s := newAdmitServer(t, 2, 2, 0)
 	prompt := `<prompt schema="docs"><contract/>Summarize the duties please.</prompt>`
 	for _, slo := range []string{"", "interactive", "batch"} {
-		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4, SLO: slo})
+		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", map[string]any{"prompt": prompt, "max_tokens": 4, "slo": slo})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("slo %q = %d %v", slo, rec.Code, out)
 		}
 	}
-	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4, SLO: "bulk"})
+	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", map[string]any{"prompt": prompt, "max_tokens": 4, "slo": "bulk"})
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("slo bulk = %d %v, want 422", rec.Code, out)
 	}

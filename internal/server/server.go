@@ -25,7 +25,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/hw"
 	"repro/promptcache"
 )
 
@@ -169,17 +168,16 @@ func (s *Server) handleRegisterSchema(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// CompleteRequest asks for a completion of a PML prompt.
+// CompleteRequest asks for a completion of a PML prompt. The embedded
+// GenConfig promotes the generation options into the request body —
+// max_tokens, stop_token, slo ("interactive"/"batch"; unknown names are
+// a 422, not a silent default), and speculation {enabled, max_draft} —
+// the same option surface every other entry point takes.
 type CompleteRequest struct {
-	Prompt    string `json:"prompt"`
-	MaxTokens int    `json:"max_tokens"`
+	Prompt string `json:"prompt"`
 	// Baseline disables attention reuse (full prefill), for comparisons.
 	Baseline bool `json:"baseline"`
-	// SLO selects the request's latency class: "interactive" (the
-	// default, also for "") or "batch". Under admission control and the
-	// decode scheduler, interactive traffic is admitted and decoded
-	// ahead of batch backfill.
-	SLO string `json:"slo,omitempty"`
+	promptcache.GenConfig
 }
 
 // CompleteResponse carries the generation and reuse statistics.
@@ -205,19 +203,13 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	s.reapIdle()
 	var req CompleteRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	slo, err := promptcache.ParseSLOClass(req.SLO)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, readStatus(err), err)
 		return
 	}
 	resp, err := s.client.Infer(r.Context(), promptcache.Request{
-		Prompt:    req.Prompt,
-		Baseline:  req.Baseline,
-		MaxTokens: req.MaxTokens,
-		SLO:       slo,
+		Prompt:   req.Prompt,
+		Baseline: req.Baseline,
+		Gen:      req.GenConfig,
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
@@ -247,7 +239,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.reapIdle()
 	var req CompleteRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, readStatus(err), err)
 		return
 	}
 	flusher, canFlush := w.(http.Flusher)
@@ -279,19 +271,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			send(map[string]string{"token": text})
 		}
 	}()
-	slo, err := promptcache.ParseSLOClass(req.SLO)
-	if err != nil {
-		close(tokens)
-		<-writerDone
-		writeErr(w, statusFor(err), err)
-		return
-	}
 	fused := s.client.SchedulerEnabled()
 	resp, err := s.client.Infer(r.Context(), promptcache.Request{
-		Prompt:    req.Prompt,
-		Baseline:  req.Baseline,
-		MaxTokens: req.MaxTokens,
-		SLO:       slo,
+		Prompt:   req.Prompt,
+		Baseline: req.Baseline,
+		Gen:      req.GenConfig,
 		Stream: func(text string) bool {
 			// Drop the lane the moment the client disconnects.
 			if r.Context().Err() != nil {
@@ -333,10 +317,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // BatchRequest completes several prompts in one call with module states
-// shared across the batch (§3.4).
+// shared across the batch (§3.4). The embedded GenConfig applies to
+// every prompt; the batch always rides the batch admission lane.
 type BatchRequest struct {
-	Prompts   []string `json:"prompts"`
-	MaxTokens int      `json:"max_tokens"`
+	Prompts []string `json:"prompts"`
+	promptcache.GenConfig
 }
 
 // BatchResponse returns per-prompt completions plus the sharing effect.
@@ -352,12 +337,12 @@ func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 	s.reapIdle()
 	var req BatchRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, readStatus(err), err)
 		return
 	}
 	batch, err := s.client.InferBatch(r.Context(), promptcache.BatchRequest{
-		Prompts:   req.Prompts,
-		MaxTokens: req.MaxTokens,
+		Prompts: req.Prompts,
+		Gen:     req.GenConfig,
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
@@ -376,10 +361,10 @@ func (s *Server) handleCompleteBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // SessionRequest opens a multi-turn session from a PML prompt. The
-// generation settings become the session's defaults for later turns.
+// embedded GenConfig becomes the session's defaults for later turns.
 type SessionRequest struct {
-	Prompt    string `json:"prompt"`
-	MaxTokens int    `json:"max_tokens"`
+	Prompt string `json:"prompt"`
+	promptcache.GenConfig
 }
 
 // SessionResponse reports the session handle plus the first reply.
@@ -388,11 +373,11 @@ type SessionResponse struct {
 	CompleteResponse
 }
 
-// SendRequest advances a session by one user turn.
+// SendRequest advances a session by one user turn. A non-zero embedded
+// GenConfig overrides the session defaults for this turn only.
 type SendRequest struct {
 	Text string `json:"text"`
-	// MaxTokens overrides the session default for this turn when > 0.
-	MaxTokens int `json:"max_tokens,omitempty"`
+	promptcache.GenConfig
 }
 
 // SendResponse carries one turn's reply, its reuse accounting (the
@@ -409,7 +394,7 @@ type SendResponse struct {
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req SessionRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, readStatus(err), err)
 		return
 	}
 	// Check the cap before paying for the prefill; recheck at insert.
@@ -418,8 +403,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess, first, err := s.client.NewSession(r.Context(), promptcache.Request{
-		Prompt:    req.Prompt,
-		MaxTokens: req.MaxTokens,
+		Prompt: req.Prompt,
+		Gen:    req.GenConfig,
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
@@ -535,12 +520,12 @@ func (s *Server) handleSessionSend(w http.ResponseWriter, r *http.Request) {
 	defer s.releaseSession(e)
 	var req SendRequest
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, readStatus(err), err)
 		return
 	}
 	var resp *promptcache.Response
-	if req.MaxTokens > 0 {
-		resp, err = e.sess.SendOpts(r.Context(), req.Text, promptcache.Request{MaxTokens: req.MaxTokens})
+	if req.GenConfig != (promptcache.GenConfig{}) {
+		resp, err = e.sess.SendOpts(r.Context(), req.Text, promptcache.Request{Gen: req.GenConfig})
 	} else {
 		resp, err = e.sess.Send(r.Context(), req.Text)
 	}
@@ -596,103 +581,17 @@ func (s *Server) handleVocabPut(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "merged"})
 }
 
+// handleStats serializes the client's consolidated Snapshot document
+// directly — promptcache.Snapshot's JSON tags are the monitoring
+// contract (pinned by the stats-contract golden test); the server only
+// contributes its transport-local gauge, open_sessions.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.reapIdle()
-	st := s.client.Stats()
+	snap := s.client.Snapshot()
 	s.mu.Lock()
-	open := len(s.sessions)
+	snap.OpenSessions = len(s.sessions)
 	s.mu.Unlock()
-	eng := s.client.Engine()
-	body := map[string]any{
-		"modules_encoded":  st.ModulesEncoded,
-		"modules_reused":   st.ModulesReused,
-		"modules_evicted":  st.ModulesEvicted,
-		"modules_reloaded": st.ModulesReloaded,
-		"tokens_encoded":   st.TokensEncoded,
-		"tokens_reused":    st.TokensReused,
-		"pool_bytes":       eng.PoolUsed(),
-		"open_sessions":    open,
-		// Storage-tier accounting: occupancy per tier plus the traffic
-		// between tiers (demotion/promotion for host, spill/hit for
-		// disk). tier_account_errors nonzero means a pool release failed
-		// and an occupancy number above can no longer be trusted.
-		"tiers": map[string]any{
-			"device_bytes":        eng.PoolUsed(),
-			"host_bytes":          eng.HostUsed(),
-			"disk_bytes":          eng.DiskUsed(),
-			"disk_modules":        eng.DiskModules(),
-			"modules_demoted":     st.ModulesDemoted,
-			"modules_promoted":    st.ModulesPromoted,
-			"modules_spilled":     st.ModulesSpilled,
-			"disk_hits":           st.DiskHits,
-			"disk_load_errors":    st.DiskLoadErrors,
-			"disk_retries":        st.DiskRetries,
-			"tier_account_errors": st.TierAccountErrors,
-		},
-	}
-	// Kernel-backend observability: which backend this deployment's
-	// forward passes run on and what the runtime detected about the host.
-	// Backends are bit-identical, so this block explains latency numbers,
-	// never outputs.
-	bk := s.client.Model().Backend()
-	cpu := hw.DetectCPU()
-	body["backend"] = map[string]any{
-		"name":      bk.Name(),
-		"workers":   bk.Workers(),
-		"cpu_arch":  cpu.Arch,
-		"cpu_cores": cpu.Cores,
-		"max_procs": cpu.MaxProcs,
-		"vector":    cpu.Vector,
-	}
-	if ms := s.client.MiningStatsSnapshot(); ms.Enabled {
-		// Module-mining observability: the observer tree's size, how many
-		// prefixes are past threshold but unpromoted, the mined-module
-		// inventory, and the prefill tokens mined hits actually saved.
-		body["mining"] = map[string]any{
-			"observed":         ms.Observed,
-			"classes":          ms.Classes,
-			"nodes":            ms.Nodes,
-			"candidates":       ms.Candidates,
-			"live_modules":     ms.LiveModules,
-			"promotions":       ms.Promotions,
-			"demotions":        ms.Demotions,
-			"hits":             ms.Hits,
-			"hit_tokens_saved": ms.HitTokens,
-			"snapshot_skipped": ms.SnapshotSkipped,
-		}
-	}
-	if as := s.client.AdmissionStats(); as.Enabled {
-		// Admission-control observability: the configured bounds, live
-		// occupancy, per-class admit/shed/cancel accounting, and the
-		// Retry-After a shed request would be told right now.
-		body["admission"] = map[string]any{
-			"max_concurrent": as.MaxConcurrent,
-			"max_queue":      as.MaxQueue,
-			"inflight":       as.Inflight,
-			"queue_depth":    as.QueueDepth,
-			"retry_after_ms": float64(as.RetryAfterEstimate) / float64(time.Millisecond),
-			"interactive":    admissionClassBody(as.Interactive),
-			"batch":          admissionClassBody(as.Batch),
-		}
-	}
-	if ss := s.client.SchedulerStats(); ss.Enabled {
-		// Decode-scheduler observability: whether mixed HTTP traffic is
-		// actually fusing (batch_hist beyond index 0), how deep the join
-		// queue runs, and decode-phase throughput.
-		body["scheduler"] = map[string]any{
-			"max_batch":       ss.MaxBatch,
-			"queue_depth":     ss.QueueDepth,
-			"active_lanes":    ss.ActiveLanes,
-			"lanes_joined":    ss.LanesJoined,
-			"lanes_retired":   ss.LanesRetired,
-			"lanes_cancelled": ss.LanesCancelled,
-			"fused_steps":     ss.Steps,
-			"tokens_decoded":  ss.TokensDecoded,
-			"batch_hist":      ss.BatchHist,
-			"tokens_per_sec":  ss.TokensPerSec(),
-		}
-	}
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func readJSON(r *http.Request, dst any) error {
@@ -709,14 +608,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func admissionClassBody(cs promptcache.AdmissionClassStats) map[string]any {
-	return map[string]any{
-		"admitted":    cs.Admitted,
-		"shed":        cs.Shed,
-		"canceled":    cs.Canceled,
-		"completed":   cs.Completed,
-		"queue_depth": cs.QueueDepth,
+// readStatus maps a request-body decode failure to its status: body
+// errors that carry the promptcache taxonomy (an unknown SLO class name,
+// surfaced by SLOClass's UnmarshalJSON) keep their taxonomy status;
+// anything else — malformed JSON, wrong types — is a plain 400.
+func readStatus(err error) int {
+	if errors.Is(err, promptcache.ErrBadPrompt) {
+		return statusFor(err)
 	}
+	return http.StatusBadRequest
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {

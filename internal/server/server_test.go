@@ -106,7 +106,7 @@ func TestCompleteCachedAndBaseline(t *testing.T) {
 	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
 
 	prompt := `<prompt schema="docs"><contract/>Summarize the duties.</prompt>`
-	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8})
+	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 8}})
 	if rec.Code != http.StatusOK {
 		t.Fatalf("complete = %d %v", rec.Code, out)
 	}
@@ -118,7 +118,7 @@ func TestCompleteCachedAndBaseline(t *testing.T) {
 		t.Fatalf("modules = %v", mods)
 	}
 
-	rec2, out2 := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8, Baseline: true})
+	rec2, out2 := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, Baseline: true, GenConfig: promptcache.GenConfig{MaxTokens: 8}})
 	if rec2.Code != http.StatusOK {
 		t.Fatalf("baseline = %d %v", rec2.Code, out2)
 	}
@@ -187,7 +187,7 @@ func TestCompleteBatch(t *testing.T) {
 			`<prompt schema="docs"><contract/><rider/>What about parking?</prompt>`,
 			`<prompt schema="docs"><contract/>List weekly chores.</prompt>`,
 		},
-		MaxTokens: 6,
+		GenConfig: promptcache.GenConfig{MaxTokens: 6},
 	}
 	rec, out := doJSON(t, s, http.MethodPost, "/v1/complete_batch", req)
 	if rec.Code != http.StatusOK {
@@ -226,7 +226,7 @@ func TestVocabEndpoint(t *testing.T) {
 	a := newServer(t)
 	doJSON(t, a, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
 	prompt := `<prompt schema="docs"><contract/>Summarize the duties.</prompt>`
-	_, outA := doJSON(t, a, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8})
+	_, outA := doJSON(t, a, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 8}})
 
 	recDump := httptest.NewRecorder()
 	a.ServeHTTP(recDump, httptest.NewRequest(http.MethodGet, "/vocab", nil))
@@ -241,7 +241,7 @@ func TestVocabEndpoint(t *testing.T) {
 		t.Fatalf("vocab PUT = %d %s", recPut.Code, recPut.Body.String())
 	}
 	doJSON(t, b, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
-	_, outB := doJSON(t, b, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 8})
+	_, outB := doJSON(t, b, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 8}})
 	if outA["text"] != outB["text"] {
 		t.Fatalf("decodes differ after vocab transfer: %q vs %q", outA["text"], outB["text"])
 	}
@@ -259,7 +259,7 @@ func TestStreamEndpoint(t *testing.T) {
 	var buf bytes.Buffer
 	_ = json.NewEncoder(&buf).Encode(CompleteRequest{
 		Prompt:    `<prompt schema="docs"><contract/>Summarize.</prompt>`,
-		MaxTokens: 5,
+		GenConfig: promptcache.GenConfig{MaxTokens: 5},
 	})
 	req := httptest.NewRequest(http.MethodPost, "/v1/stream", &buf)
 	rec := httptest.NewRecorder()
@@ -328,7 +328,7 @@ func TestSessionLifecycle(t *testing.T) {
 
 	rec, out := doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
 		Prompt:    `<prompt schema="docs"><contract/>Summarize the duties.</prompt>`,
-		MaxTokens: 6,
+		GenConfig: promptcache.GenConfig{MaxTokens: 6},
 	})
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("create = %d %v", rec.Code, out)
@@ -380,7 +380,7 @@ func TestSessionCap(t *testing.T) {
 	create := func() (*httptest.ResponseRecorder, map[string]any) {
 		return doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
 			Prompt:    `<prompt schema="docs"><contract/>Hi.</prompt>`,
-			MaxTokens: 2,
+			GenConfig: promptcache.GenConfig{MaxTokens: 2},
 		})
 	}
 	rec, out := create()
@@ -409,7 +409,7 @@ func TestSessionIdleReaping(t *testing.T) {
 	create := func() (*httptest.ResponseRecorder, map[string]any) {
 		return doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
 			Prompt:    `<prompt schema="docs"><contract/>Hi.</prompt>`,
-			MaxTokens: 2,
+			GenConfig: promptcache.GenConfig{MaxTokens: 2},
 		})
 	}
 	rec, out := create()
@@ -439,7 +439,7 @@ func TestReapSkipsInFlightSession(t *testing.T) {
 	create := func() (*httptest.ResponseRecorder, map[string]any) {
 		return doJSON(t, s, http.MethodPost, "/v1/sessions", SessionRequest{
 			Prompt:    `<prompt schema="docs"><contract/>Hi.</prompt>`,
-			MaxTokens: 2,
+			GenConfig: promptcache.GenConfig{MaxTokens: 2},
 		})
 	}
 	rec, out := create()
@@ -479,8 +479,8 @@ func TestStats(t *testing.T) {
 	s := newServer(t)
 	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
 	prompt := `<prompt schema="docs"><contract/>Summarize.</prompt>`
-	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
-	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
+	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
 	_, out := doJSON(t, s, http.MethodGet, "/stats", nil)
 	if out["modules_encoded"].(float64) < 2 {
 		t.Fatalf("stats = %v", out)
@@ -526,7 +526,7 @@ func TestStreamClientDisconnectRetiresLane(t *testing.T) {
 	buf.Reset()
 	_ = json.NewEncoder(&buf).Encode(CompleteRequest{
 		Prompt:    `<prompt schema="docs"><contract/>Summarize at length.</prompt>`,
-		MaxTokens: 1 << 20,
+		GenConfig: promptcache.GenConfig{MaxTokens: 1 << 20},
 	})
 	resp, err := ts.Client().Post(ts.URL+"/v1/stream", "application/json", &buf)
 	if err != nil {
@@ -562,7 +562,7 @@ func TestStatsSchedulerBlock(t *testing.T) {
 	s, _ := newSchedServer(t)
 	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
 	prompt := `<prompt schema="docs"><contract/>Summarize.</prompt>`
-	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+	doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
 	_, out := doJSON(t, s, http.MethodGet, "/v1/stats", nil)
 	sched, ok := out["scheduler"].(map[string]any)
 	if !ok {
@@ -638,7 +638,7 @@ func TestStatsTierCounters(t *testing.T) {
 	for _, mod := range []string{"contract", "rider"} {
 		rec, _ = doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{
 			Prompt:    `<prompt schema="docs"><` + mod + `/><user>Summarize.</user></prompt>`,
-			MaxTokens: 4,
+			GenConfig: promptcache.GenConfig{MaxTokens: 4},
 		})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("complete %s: %d %s", mod, rec.Code, rec.Body.String())

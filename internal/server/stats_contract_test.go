@@ -63,6 +63,7 @@ func checkBlock(t *testing.T, label string, got map[string]any, want map[string]
 }
 
 var statsTopContract = map[string]string{
+	"api_version":      "number",
 	"modules_encoded":  "number",
 	"modules_reused":   "number",
 	"modules_evicted":  "number",
@@ -76,6 +77,7 @@ var statsTopContract = map[string]string{
 	"scheduler":        "object",
 	"mining":           "object",
 	"admission":        "object",
+	"speculation":      "object",
 }
 
 var statsBackendContract = map[string]string{
@@ -132,6 +134,17 @@ var statsAdmissionClassContract = map[string]string{
 	"queue_depth": "number",
 }
 
+var statsSpeculationContract = map[string]string{
+	"enabled":        "bool",
+	"observed":       "number",
+	"classes":        "number",
+	"contexts":       "number",
+	"spec_steps":     "number",
+	"draft_proposed": "number",
+	"draft_accepted": "number",
+	"accept_rate":    "number",
+}
+
 var statsMiningContract = map[string]string{
 	"observed":         "number",
 	"classes":          "number",
@@ -157,12 +170,13 @@ func TestStatsContractGolden(t *testing.T) {
 		promptcache.WithDiskTier(t.TempDir(), promptcache.CodecFP32),
 		promptcache.WithModuleMining(promptcache.MiningOpts{MinHits: 2, MinTokens: 4}),
 		promptcache.WithAdmission(promptcache.AdmissionConfig{}),
+		promptcache.WithSpeculation(promptcache.DraftOpts{}),
 	)
 	s := New(client)
 	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
 	prompt := `<prompt schema="docs"><contract/>Summarize the duties and list every obligation in order.</prompt>`
 	for i := 0; i < 3; i++ {
-		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("complete %d: %d %v", i, rec.Code, out)
 		}
@@ -189,6 +203,11 @@ func TestStatsContractGolden(t *testing.T) {
 	if mining, ok := out["mining"].(map[string]any); ok {
 		checkBlock(t, "mining", mining, statsMiningContract)
 	}
+	spec, ok := out["speculation"].(map[string]any)
+	if !ok {
+		t.Fatalf("no speculation block in /v1/stats with WithSpeculation: %v", out)
+	}
+	checkBlock(t, "speculation", spec, statsSpeculationContract)
 	if adm, ok := out["admission"].(map[string]any); ok {
 		checkBlock(t, "admission", adm, statsAdmissionContract)
 		for _, class := range []string{"interactive", "batch"} {
@@ -215,7 +234,7 @@ func TestStatsMiningBlock(t *testing.T) {
 	doJSON(t, s, http.MethodPost, "/schemas", SchemaRequest{PML: testSchema})
 	prompt := `<prompt schema="docs"><contract/>Summarize the duties and list every obligation in order.</prompt>`
 	for i := 0; i < 4; i++ {
-		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, MaxTokens: 4})
+		rec, out := doJSON(t, s, http.MethodPost, "/v1/complete", CompleteRequest{Prompt: prompt, GenConfig: promptcache.GenConfig{MaxTokens: 4}})
 		if rec.Code != http.StatusOK {
 			t.Fatalf("complete %d: %d %v", i, rec.Code, out)
 		}

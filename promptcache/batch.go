@@ -19,9 +19,24 @@ type BatchRequest struct {
 	// Workers bounds the worker pool the batch's prefills fan out over
 	// (0 = GOMAXPROCS).
 	Workers int
-	// Generation settings shared by all prompts.
+	// Gen carries the generation settings shared by all prompts. Note
+	// the batch always admits as SLOBatch regardless of Gen.SLO — a bulk
+	// request is batch traffic by definition.
+	Gen GenConfig
+	// MaxTokens bounds generation per prompt.
+	//
+	// Deprecated: set Gen.MaxTokens instead. Applies only when
+	// Gen.MaxTokens is zero.
 	MaxTokens int
-	Sampler   Sampler
+	// Sampler selects next tokens for every prompt.
+	//
+	// Deprecated: set Gen.Sampler instead. Applies only when Gen.Sampler
+	// is nil.
+	Sampler Sampler
+	// StopToken ends each prompt's generation when sampled.
+	//
+	// Deprecated: set Gen.StopToken instead. Applies only when
+	// Gen.StopToken is zero.
 	StopToken int
 }
 
@@ -53,25 +68,21 @@ func (c *Client) InferBatch(ctx context.Context, req BatchRequest) (*BatchRespon
 		return nil, err
 	}
 	out := &BatchResponse{Stats: stats, Results: make([]*Response, len(results))}
-	one := Request{
-		PrefillOnly: req.PrefillOnly,
-		MaxTokens:   req.MaxTokens,
-		Sampler:     req.Sampler,
-		StopToken:   req.StopToken,
-	}
+	gen := req.Gen.withFallback(req.MaxTokens, req.Sampler, req.StopToken, SLOBatch)
+	one := Request{PrefillOnly: req.PrefillOnly, Gen: gen}
 	// Under a decode scheduler, generate every member concurrently so the
 	// whole batch decodes as simultaneous lanes of the fused steps — but
 	// only with the stateless default sampler: the request's one Sampler
 	// is shared across members, and concurrent lanes would consume its
 	// state in nondeterministic member order.
-	if c.cache.SchedEnabled() && !req.PrefillOnly && req.Sampler == nil && len(results) > 1 {
+	if c.cache.SchedEnabled() && !req.PrefillOnly && gen.Sampler == nil && len(results) > 1 {
 		errs := make([]error, len(results))
 		var wg sync.WaitGroup
 		for i, res := range results {
 			wg.Add(1)
 			go func(i int, res *core.ServeResult) {
 				defer wg.Done()
-				out.Results[i], errs[i] = c.generate(ctx, res, one)
+				out.Results[i], errs[i] = c.generate(ctx, res, one, gen)
 			}(i, res)
 		}
 		wg.Wait()
@@ -83,7 +94,7 @@ func (c *Client) InferBatch(ctx context.Context, req BatchRequest) (*BatchRespon
 		return out, nil
 	}
 	for i, res := range results {
-		resp, err := c.generate(ctx, res, one)
+		resp, err := c.generate(ctx, res, one, gen)
 		if err != nil {
 			return nil, err
 		}

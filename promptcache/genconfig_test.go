@@ -1,0 +1,197 @@
+package promptcache
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestDeprecatedFlatFieldsEquivalent is the migration contract: a
+// Request using the deprecated flat fields and one using Gen must
+// produce identical responses, and when both are set Gen wins.
+func TestDeprecatedFlatFieldsEquivalent(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	prompt := `<prompt schema="travel"><miami/><user>Plan a beach day.</user></prompt>`
+
+	flat, err := c.Infer(ctx, Request{Prompt: prompt, MaxTokens: 8, StopToken: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Infer(ctx, Request{Prompt: prompt, Gen: GenConfig{MaxTokens: 8, StopToken: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Text != gen.Text || !reflect.DeepEqual(flat.Tokens, gen.Tokens) {
+		t.Fatalf("flat fields and Gen diverge:\nflat %v %q\ngen  %v %q", flat.Tokens, flat.Text, gen.Tokens, gen.Text)
+	}
+
+	// Gen wins over a conflicting flat field.
+	short, err := c.Infer(ctx, Request{
+		Prompt:    prompt,
+		MaxTokens: 8, // ignored: Gen.MaxTokens is set
+		StopToken: -1,
+		Gen:       GenConfig{MaxTokens: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.Tokens) != 3 {
+		t.Fatalf("Gen.MaxTokens did not win: %d tokens, want 3", len(short.Tokens))
+	}
+
+	// Gen zero fields fall back to the flat alias: StopToken -1 above
+	// came from the flat field while MaxTokens came from Gen.
+	if short.Tokens[len(short.Tokens)-1] == 0 {
+		t.Fatalf("flat StopToken=-1 fallback lost: %v", short.Tokens)
+	}
+}
+
+// TestDeprecatedBatchFlatFieldsEquivalent covers the same contract on
+// the batch entry point.
+func TestDeprecatedBatchFlatFieldsEquivalent(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	prompts := []string{
+		`<prompt schema="travel"><miami/><user>Beach day.</user></prompt>`,
+		`<prompt schema="travel"><tokyo/><user>Temple walk.</user></prompt>`,
+	}
+	flat, err := c.InferBatch(ctx, BatchRequest{Prompts: prompts, MaxTokens: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.InferBatch(ctx, BatchRequest{Prompts: prompts, Gen: GenConfig{MaxTokens: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Results) != len(gen.Results) {
+		t.Fatalf("response counts diverge: %d vs %d", len(flat.Results), len(gen.Results))
+	}
+	for i := range flat.Results {
+		if flat.Results[i].Text != gen.Results[i].Text {
+			t.Fatalf("batch %d diverges: %q vs %q", i, flat.Results[i].Text, gen.Results[i].Text)
+		}
+	}
+}
+
+// TestSessionGenConfig: sessions built from a Gen-style request keep the
+// config as their per-turn default.
+func TestSessionGenConfig(t *testing.T) {
+	c := newClient(t)
+	ctx := context.Background()
+	s, _, err := c.NewSession(ctx, Request{
+		Prompt: `<prompt schema="travel"><tokyo/><user>hello</user></prompt>`,
+		Gen:    GenConfig{MaxTokens: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := s.Send(ctx, "tell me more")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tokens) > 5 {
+		t.Fatalf("session default MaxTokens ignored: %d tokens", len(resp.Tokens))
+	}
+}
+
+func TestGenConfigJSONRoundTrip(t *testing.T) {
+	on := true
+	in := GenConfig{
+		MaxTokens: 12,
+		StopToken: -1,
+		SLO:       SLOBatch,
+		Speculation: SpecConfig{
+			Enabled:  &on,
+			MaxDraft: 6,
+		},
+	}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out GenConfig
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxTokens != 12 || out.StopToken != -1 || out.SLO != SLOBatch {
+		t.Fatalf("round trip lost fields: %+v", out)
+	}
+	if out.Speculation.Enabled == nil || !*out.Speculation.Enabled || out.Speculation.MaxDraft != 6 {
+		t.Fatalf("speculation lost: %+v", out.Speculation)
+	}
+
+	// Tri-state: absent "enabled" stays nil, explicit false stays false.
+	var unset GenConfig
+	if err := json.Unmarshal([]byte(`{"speculation":{"max_draft":2}}`), &unset); err != nil {
+		t.Fatal(err)
+	}
+	if unset.Speculation.Enabled != nil {
+		t.Fatalf("absent enabled decoded as %v, want nil", *unset.Speculation.Enabled)
+	}
+	var off GenConfig
+	if err := json.Unmarshal([]byte(`{"speculation":{"enabled":false}}`), &off); err != nil {
+		t.Fatal(err)
+	}
+	if off.Speculation.Enabled == nil || *off.Speculation.Enabled {
+		t.Fatal("explicit enabled:false did not survive")
+	}
+
+	// The zero config marshals to an empty object: nothing spurious ever
+	// reaches the wire from defaulted requests.
+	zero, err := json.Marshal(GenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(zero) != "{}" {
+		t.Fatalf("zero GenConfig marshals to %s", zero)
+	}
+
+	// SLO wire names round-trip through the SLOClass JSON methods.
+	raw, err = json.Marshal(GenConfig{SLO: SLOBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != `{"slo":"batch"}` {
+		t.Fatalf("SLO marshals to %s", raw)
+	}
+	var slo GenConfig
+	if err := json.Unmarshal([]byte(`{"slo":"interactive"}`), &slo); err != nil {
+		t.Fatal(err)
+	}
+	if slo.SLO != SLOInteractive {
+		t.Fatalf("slo round trip: %v", slo.SLO)
+	}
+	if err := json.Unmarshal([]byte(`{"slo":"bulk"}`), &slo); err == nil {
+		t.Fatal("invalid SLO name decoded silently")
+	}
+}
+
+// TestSnapshotShape: the consolidated Snapshot carries the version tag
+// and the per-subsystem blocks exactly when their subsystem is on.
+func TestSnapshotShape(t *testing.T) {
+	c := newClient(t)
+	snap := c.Snapshot()
+	if snap.APIVersion != StatsAPIVersion {
+		t.Fatalf("APIVersion = %d, want %d", snap.APIVersion, StatsAPIVersion)
+	}
+	if snap.Mining != nil || snap.Speculation != nil || snap.Admission != nil || snap.Scheduler != nil {
+		t.Fatalf("optional blocks present without their subsystems: %+v", snap)
+	}
+	if _, err := c.Infer(context.Background(), Request{
+		Prompt: `<prompt schema="travel"><miami/><user>hi</user></prompt>`,
+		Gen:    GenConfig{MaxTokens: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap = c.Snapshot()
+	if snap.ModulesReused == 0 || snap.TokensReused == 0 {
+		t.Fatalf("counters did not move: %+v", snap)
+	}
+	// Deprecated accessors remain thin views over the same counters.
+	if st := c.Stats(); st.ModulesReused != snap.ModulesReused || st.TokensReused != snap.TokensReused {
+		t.Fatalf("Stats() diverges from Snapshot(): %+v vs %+v", st, snap)
+	}
+}

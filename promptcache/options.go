@@ -67,6 +67,18 @@ func WithEvictionPolicy(name string) (Option, error) {
 	return core.WithEvictionPolicy(p), nil
 }
 
+// MustEvictionPolicy is WithEvictionPolicy for compile-time-constant
+// names: it panics on an unknown name instead of returning an error, so
+// option lists stay literal. Use the (Option, error) form for names that
+// arrive at runtime (flags, config files).
+func MustEvictionPolicy(name string) Option {
+	opt, err := WithEvictionPolicy(name)
+	if err != nil {
+		panic(err)
+	}
+	return opt
+}
+
 // WithBackend selects the tensor kernel backend by name: "scalar" (the
 // single-threaded reference), "parallel" (goroutine-tiled across cores),
 // or ""/"auto" to re-run the hardware-based default (which also honors
@@ -79,6 +91,17 @@ func WithBackend(name string) (Option, error) {
 		return nil, err
 	}
 	return core.WithBackend(b), nil
+}
+
+// MustBackend is WithBackend for compile-time-constant names: it panics
+// on an unknown name instead of returning an error. Use the
+// (Option, error) form for names that arrive at runtime.
+func MustBackend(name string) Option {
+	opt, err := WithBackend(name)
+	if err != nil {
+		panic(err)
+	}
+	return opt
 }
 
 // Backends lists the selectable backend names for WithBackend.
@@ -148,3 +171,22 @@ func WithAdmission(cfg AdmissionConfig) Option { return core.WithAdmission(cfg) 
 // retire. Each request's token stream is bit-identical to what it would
 // produce decoding solo: same sampler state, same logits.
 func WithDecodeScheduler(maxBatch int) Option { return core.WithDecodeScheduler(maxBatch) }
+
+// DraftOpts configures the speculative-decoding draft source
+// (WithSpeculation): n-gram context length, draft budget per step, the
+// hit threshold a transition must clear before being proposed, and the
+// decay half-life that ages stale transitions out. The zero value of
+// each field selects a sensible default. An alias of the engine's type,
+// like MiningOpts.
+type DraftOpts = core.DraftOpts
+
+// WithSpeculation enables draft-and-verify speculative decoding through
+// the module cache: retired generations train a per-serving-class n-gram
+// draft source (the same radix-flavored machinery module mining uses),
+// and each decode lane verifies the draft's proposed tokens in one
+// widened fused step, accepting exactly the prefix solo decode would
+// have produced. Output is bit-identical with or without it — same
+// tokens, same logits — only tokens-per-step changes. Takes effect
+// together with WithDecodeScheduler; per-request policy rides
+// GenConfig.Speculation.
+func WithSpeculation(opts DraftOpts) Option { return core.WithSpeculation(opts) }

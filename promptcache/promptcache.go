@@ -37,6 +37,33 @@
 // changes throughput, never output. SchedulerStats exposes queue depth,
 // active lanes and the batch-size histogram.
 //
+// With WithSpeculation (which requires the decode scheduler) decode
+// speculates: accepted token streams train a per-serving-class n-gram
+// draft source, and each lane verifies the draft's proposals in one
+// widened fused step, emitting several tokens per step when the draft is
+// right. Output stays bit-identical to solo decode — a wrong draft costs
+// verify width, never a token — and requests opt in or out per call via
+// GenConfig.Speculation. SpecStats exposes acceptance counters.
+//
+// # Generation options
+//
+// GenConfig is the single generation-options surface: Request.Gen,
+// Session defaults, BatchRequest.Gen and the HTTP request shapes all
+// take the same struct (max tokens, sampler, stop token, SLO class,
+// speculation). The flat Request fields (MaxTokens, Sampler, StopToken,
+// SLO) predate it and remain as deprecated aliases: they apply only when
+// the corresponding GenConfig field is zero, so existing callers behave
+// identically.
+//
+// # Options convention
+//
+// Option constructors that cannot fail return Option directly
+// (WithDecodeScheduler, WithSpeculation, ...). Constructors that
+// validate a name return (Option, error) — WithBackend,
+// WithEvictionPolicy — for runtime-supplied names (flags, config files);
+// their Must* variants (MustBackend, MustEvictionPolicy) panic on a bad
+// name and exist for compile-time-constant names in tests and examples.
+//
 // WithBackend selects the tensor kernel backend by name ("scalar",
 // "parallel", or "auto" for the hardware-based default). Backends are
 // bit-identical by contract: the parallel backend tiles the same
@@ -163,6 +190,10 @@ func (c *Client) RegisterSchema(src string) (*SchemaInfo, error) {
 func (c *Client) Schemas() []string { return c.cache.SchemaNames() }
 
 // Stats returns a snapshot of cache activity counters.
+//
+// Deprecated: Snapshot returns the same counters plus every subsystem
+// block in one versioned document; this remains as a thin per-subsystem
+// view.
 func (c *Client) Stats() core.Stats { return c.cache.Stats() }
 
 // SchedStats is a snapshot of decode-scheduler activity: queue depth,
@@ -173,6 +204,9 @@ type SchedStats = core.SchedStats
 // SchedulerStats returns a snapshot of the decode scheduler's activity.
 // Without WithDecodeScheduler it returns the zero snapshot
 // (Enabled false).
+//
+// Deprecated: Snapshot carries the same data in its Scheduler block;
+// this remains as a thin per-subsystem view.
 func (c *Client) SchedulerStats() SchedStats { return c.cache.SchedStats() }
 
 // SchedulerEnabled reports whether this client decodes through a
@@ -188,6 +222,9 @@ type MiningStats = core.MiningStats
 
 // MiningStatsSnapshot returns a snapshot of module-mining activity.
 // Without WithModuleMining it returns the zero snapshot (Enabled false).
+//
+// Deprecated: Snapshot carries the same data in its Mining block; this
+// remains as a thin per-subsystem view.
 func (c *Client) MiningStatsSnapshot() MiningStats { return c.cache.MiningStats() }
 
 // MiningEnabled reports whether this client mines modules from traffic
@@ -210,11 +247,28 @@ type OverloadError = core.OverloadError
 
 // AdmissionStats returns a snapshot of admission-control activity.
 // Without WithAdmission it returns the zero snapshot (Enabled false).
+//
+// Deprecated: Snapshot carries the same data in its Admission block;
+// this remains as a thin per-subsystem view.
 func (c *Client) AdmissionStats() AdmissionStats { return c.cache.AdmissionStats() }
 
 // AdmissionEnabled reports whether this client admission-controls its
 // requests (WithAdmission).
 func (c *Client) AdmissionEnabled() bool { return c.cache.AdmissionEnabled() }
+
+// SpecStats is a snapshot of speculative-decoding activity: the draft
+// source's table statistics plus the scheduler's verify/accept counters.
+// An alias of the engine's type, like SchedStats.
+type SpecStats = core.SpecStats
+
+// SpecStats returns a snapshot of speculative-decoding activity. Without
+// WithSpeculation it returns the zero snapshot (Enabled false).
+func (c *Client) SpecStats() SpecStats { return c.cache.SpecStats() }
+
+// SpeculationEnabled reports whether this client speculates its decodes:
+// a draft source (WithSpeculation) together with a decode scheduler
+// (WithDecodeScheduler) to run the verify steps in.
+func (c *Client) SpeculationEnabled() bool { return c.cache.SpecEnabled() }
 
 // RetryAfterHint recovers the Retry-After estimate from a shed
 // request's error chain: how long the caller should back off before
@@ -257,7 +311,8 @@ func (c *Client) Infer(ctx context.Context, req Request) (*Response, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	ctx, done, err := c.admit(ctx, req.SLO)
+	gen := req.genConfig()
+	ctx, done, err := c.admit(ctx, gen.SLO)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +326,7 @@ func (c *Client) Infer(ctx context.Context, req Request) (*Response, error) {
 	// modules become evictable again. Sessions keep their result (and
 	// pins) open instead — see NewSession.
 	defer res.Close()
-	return c.generate(ctx, res, req)
+	return c.generate(ctx, res, req, gen)
 }
 
 // serve assembles the prompt's attention states per the request mode.
@@ -290,8 +345,9 @@ func (c *Client) serve(ctx context.Context, req Request) (*core.ServeResult, err
 }
 
 // generate runs the decode phase of a request over a served result and
-// assembles the Response.
-func (c *Client) generate(ctx context.Context, res *core.ServeResult, req Request) (*Response, error) {
+// assembles the Response. gen is the request's merged GenConfig (from
+// Request.genConfig), already used for admission.
+func (c *Client) generate(ctx context.Context, res *core.ServeResult, req Request, gen GenConfig) (*Response, error) {
 	resp := &Response{
 		CachedTokens: res.CachedTokens,
 		NewTokens:    res.NewTokens,
@@ -302,7 +358,7 @@ func (c *Client) generate(ctx context.Context, res *core.ServeResult, req Reques
 	if req.PrefillOnly {
 		return resp, nil
 	}
-	opts := req.generateOpts()
+	opts := gen.generateOpts()
 	var (
 		ids []int
 		err error

@@ -14,8 +14,8 @@ import (
 // A Session serializes its own turns; use one Session per conversation.
 type Session struct {
 	client *Client
-	// defaults are the generation settings turns inherit from the
-	// creating request (MaxTokens, Sampler, StopToken).
+	// defaults carry the merged GenConfig turns inherit from the
+	// creating request.
 	defaults Request
 
 	mu     sync.Mutex
@@ -38,7 +38,8 @@ func (c *Client) NewSession(ctx context.Context, req Request) (*Session, *Respon
 	// The admission slot covers serve plus the first reply; each later
 	// Send admits its own turn. An idle session holds KV state but no
 	// slot, so parked conversations don't starve admission.
-	ctx, done, err := c.admit(ctx, req.SLO)
+	gen := req.genConfig()
+	ctx, done, err := c.admit(ctx, gen.SLO)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -47,16 +48,17 @@ func (c *Client) NewSession(ctx context.Context, req Request) (*Session, *Respon
 	if err != nil {
 		return nil, nil, err
 	}
-	resp, err := c.generate(ctx, res, req)
+	resp, err := c.generate(ctx, res, req, gen)
 	if err != nil {
 		res.Close()
 		return nil, nil, err
 	}
 	// Only generation settings persist: a Stream sink belongs to the
 	// turn that supplied it, not to every future turn. The SLO class
-	// persists too — a batch conversation stays batch.
-	defaults := Request{MaxTokens: req.MaxTokens, Sampler: req.Sampler, StopToken: req.StopToken, SLO: req.SLO}
-	return &Session{client: c, defaults: defaults, res: res}, resp, nil
+	// persists too — a batch conversation stays batch. The merged
+	// GenConfig is stored, so deprecated flat fields on the creating
+	// request carry over exactly as explicit Gen fields would.
+	return &Session{client: c, defaults: Request{Gen: gen}, res: res}, resp, nil
 }
 
 // Send appends a user turn to the session and generates the reply with
@@ -79,7 +81,8 @@ func (s *Session) SendOpts(ctx context.Context, text string, req Request) (*Resp
 	if s.closed {
 		return nil, ErrSessionClosed
 	}
-	ctx, done, err := s.client.admit(ctx, req.SLO)
+	gen := req.genConfig()
+	ctx, done, err := s.client.admit(ctx, gen.SLO)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +97,7 @@ func (s *Session) SendOpts(ctx context.Context, text string, req Request) (*Resp
 	// Continue extends s.res.KV in place; adopt the new logits/counters.
 	s.res = res
 	req.PrefillOnly = false
-	resp, err := s.client.generate(ctx, res, req)
+	resp, err := s.client.generate(ctx, res, req, gen)
 	if err != nil {
 		// Drop the prefilled user text and any partially decoded reply:
 		// an aborted turn must not leave invisible tokens in the history.
